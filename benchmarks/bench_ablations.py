@@ -1,0 +1,139 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+Three knobs distinguish this reproduction's checkers from naive baselines;
+each ablation removes one and measures the damage on the benchmark suite:
+
+* **A1 — constraint-aware tableau rewrites** (deductive backend): without
+  primary-key self-join collapse and foreign-key lookup elimination, the
+  transpiled query (which re-joins tables the hand-written SQL elides) is
+  never structurally isomorphic to the manual one, so the verified count
+  collapses.
+* **A2 — constant seeding** (bounded backend): without injecting query
+  constants into the generated value domains, selective predicates such as
+  ``CID = 1`` or the Figure-23 cross-attribute join at 10 are unreachable,
+  so several planted bugs stop being refuted.
+* **A3 — counterexample shrinking** (bounded backend): without greedy row
+  removal the witnesses are several times larger than the paper-style
+  minimal instances.
+"""
+
+import statistics
+
+from repro.benchmarks.suite import benchmark_suite, benchmarks_by_category
+from repro.checkers.base import Verdict
+from repro.checkers.bounded import BoundedChecker
+from repro.checkers.deductive import DeductiveChecker
+from repro.core.equivalence import check_equivalence
+
+
+def _run(benchmarks, checker):
+    return [
+        check_equivalence(
+            b.graph_schema,
+            b.cypher_query,
+            b.relational_schema,
+            b.sql_query,
+            b.transformer,
+            checker,
+        )
+        for b in benchmarks
+    ]
+
+
+def test_ablation_tableau_rewrites(benchmark, report_rows):
+    """A1: verified count on the Mediator category with/without rewrites."""
+    mediator = benchmarks_by_category()["Mediator"]
+
+    def run():
+        with_rewrites = sum(
+            1
+            for r in _run(mediator, DeductiveChecker(time_budget_seconds=5.0))
+            if r.verdict is Verdict.EQUIVALENT
+        )
+        without_rewrites = sum(
+            1
+            for r in _run(
+                mediator,
+                DeductiveChecker(time_budget_seconds=5.0, enable_simplification=False),
+            )
+            if r.verdict is Verdict.EQUIVALENT
+        )
+        return with_rewrites, without_rewrites
+
+    with_rewrites, without_rewrites = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_rows.append("== Ablation A1: constraint-aware tableau rewrites ==")
+    report_rows.append(
+        f"Mediator verified: {with_rewrites}/100 with rewrites, "
+        f"{without_rewrites}/100 without"
+    )
+    assert with_rewrites == 77
+    assert without_rewrites < with_rewrites
+
+
+def test_ablation_constant_seeding(benchmark, report_rows):
+    """A2: refuted bug count with/without constant seeding."""
+    bugs = [b for b in benchmark_suite() if not b.expected_equivalent]
+
+    def run():
+        seeded = sum(
+            1
+            for r in _run(
+                bugs,
+                BoundedChecker(
+                    max_bound=3, samples_per_bound=150, time_budget_seconds=4.0, seed=11
+                ),
+            )
+            if r.verdict is Verdict.NOT_EQUIVALENT
+        )
+        unseeded = sum(
+            1
+            for r in _run(
+                bugs,
+                BoundedChecker(
+                    max_bound=3,
+                    samples_per_bound=150,
+                    time_budget_seconds=4.0,
+                    seed=11,
+                    enable_constant_seeding=False,
+                ),
+            )
+            if r.verdict is Verdict.NOT_EQUIVALENT
+        )
+        return seeded, unseeded
+
+    seeded, unseeded = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_rows.append("== Ablation A2: constant seeding ==")
+    report_rows.append(
+        f"bugs refuted: {seeded}/34 with seeding, {unseeded}/34 without"
+    )
+    assert seeded == 34
+    assert unseeded <= seeded
+
+
+def test_ablation_shrinking(benchmark, report_rows):
+    """A3: average counterexample size with/without shrinking."""
+    bugs = [b for b in benchmark_suite() if not b.expected_equivalent][:12]
+
+    def run():
+        def sizes(enable):
+            checker = BoundedChecker(
+                max_bound=3,
+                samples_per_bound=150,
+                time_budget_seconds=4.0,
+                seed=11,
+                enable_shrinking=enable,
+            )
+            rows = []
+            for result in _run(bugs, checker):
+                if result.counterexample is not None:
+                    rows.append(result.counterexample.induced_database.total_rows())
+            return statistics.mean(rows) if rows else 0.0
+
+        return sizes(True), sizes(False)
+
+    shrunk, raw = benchmark.pedantic(run, iterations=1, rounds=1)
+    report_rows.append("== Ablation A3: counterexample shrinking ==")
+    report_rows.append(
+        f"avg witness size: {shrunk:.1f} rows shrunk vs {raw:.1f} rows raw"
+    )
+    assert shrunk <= raw

@@ -1,0 +1,20 @@
+"""Table 1 — statistics of Cypher and SQL queries in the benchmarks.
+
+Regenerates the per-category AST-size and transformer-size statistics for
+all 410 benchmarks.  Sizes are AST-node counts as in the paper; absolute
+values depend on AST granularity, but the shape — Cypher queries larger
+than their SQL counterparts, transformers a handful of rules — matches.
+"""
+
+from repro.benchmarks.evaluation import table1_statistics
+
+
+def test_table1_statistics(benchmark, report_rows):
+    rows = benchmark(table1_statistics)
+    report_rows.append("== Table 1: benchmark statistics ==")
+    for row in rows:
+        report_rows.append(row.format())
+    total = rows[-1]
+    assert total.count == 410
+    # Transformer sizes stay small (the paper reports avg 5.9 rules).
+    assert total.tf_avg < 10

@@ -1,0 +1,32 @@
+"""Table 4 — execution time of transpiled vs manually-written SQL.
+
+For the StackOverflow + Tutorial + Academic benchmarks (the categories with
+"ground truth" hand-written SQL), populates paired mock instances — an
+induced-schema instance and its residual-transformer image — and measures
+SQLite execution of the transpiled query against the manual one.
+
+Paper shape: transpiled queries are faster on a third of the benchmarks and
+within a 1.2x slowdown on most of the rest.  (The paper scales tables to
+10k-1M rows on a commercial RDBMS; the default here is smaller so the bench
+finishes quickly — pass a bigger ``rows_per_table`` to approach that scale.)
+"""
+
+from repro.benchmarks.evaluation import table4_execution
+
+
+def test_table4_execution(benchmark, report_rows):
+    rows = benchmark.pedantic(
+        table4_execution,
+        kwargs={"rows_per_table": 3000, "repeats": 3},
+        iterations=1,
+        rounds=1,
+    )
+    report_rows.append("== Table 4: transpiled vs manual execution time ==")
+    for row in rows:
+        report_rows.append(row.format())
+    total = rows[-1]
+    assert total.count == 45
+    # Most transpiled queries stay within a modest slowdown of the manual
+    # ones; a substantial share is outright faster.
+    competitive = total.transpiled_faster + total.slower_within_1_1 + total.slower_within_1_2
+    assert competitive >= 0.4

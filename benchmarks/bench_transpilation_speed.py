@@ -1,0 +1,17 @@
+"""Section 6.3 (first experiment) — transpilation latency.
+
+The paper reports that Graphiti transpiles all 410 queries with average /
+median / maximum times of 6.3 / 3.0 / 180.2 milliseconds.  This bench
+measures the same statistic for this implementation; the shape to check is
+"milliseconds per query", i.e. transpilation is never the bottleneck.
+"""
+
+from repro.benchmarks.evaluation import transpilation_speed
+
+
+def test_transpilation_speed(benchmark, report_rows):
+    stats = benchmark(transpilation_speed)
+    report_rows.append("== Section 6.3: transpilation latency ==")
+    report_rows.append(stats.format())
+    assert stats.count == 410
+    assert stats.avg_ms < 50.0  # milliseconds per query, as in the paper

@@ -1,0 +1,23 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_table*.py`` regenerates one table of the paper's evaluation
+section.  The measured body is wrapped in ``benchmark.pedantic``-style
+single-shot calls (these are experiments, not micro-benchmarks), and the
+resulting rows are printed so ``pytest benchmarks/ --benchmark-only -s``
+shows the paper-style output.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "table: paper-table reproduction benchmark")
+
+
+@pytest.fixture(scope="session")
+def report_rows():
+    """Collects formatted rows; prints them at the end of the session."""
+    collected: list[str] = []
+    yield collected
+    if collected:
+        print("\n" + "\n".join(collected))

@@ -1,0 +1,80 @@
+"""Graphiti reproduction — equivalence checking between Cypher and SQL
+queries modulo database transformers (He, Fang, Dillig, Wang; PLDI 2025).
+
+Public API quick tour::
+
+    from repro import (
+        GraphSchema, NodeType, EdgeType,          # graph schemas
+        RelationalSchema, Relation,               # relational schemas
+        parse_cypher, parse_sql, parse_transformer,
+        infer_sdt, transpile, check_equivalence,
+        BoundedChecker, DeductiveChecker,
+    )
+
+    sdt = infer_sdt(graph_schema)                 # Ψ'_R and Φ_sdt (Fig. 13)
+    sql_ast = transpile(cypher_ast, graph_schema, sdt)   # Figs. 16-18
+    result = check_equivalence(                   # Algorithm 1
+        graph_schema, cypher_ast,
+        relational_schema, sql_ast_user,
+        transformer, BoundedChecker(),
+    )
+"""
+
+from repro.checkers import BoundedChecker, DeductiveChecker, RandomTester, Verdict
+from repro.core import check_equivalence, infer_sdt, transpile
+from repro.core.counterexample import Counterexample, lift_counterexample
+from repro.core.equivalence import CheckResult
+from repro.core.sdt import SdtResult
+from repro.cypher import parse_cypher
+from repro.cypher import evaluate_query as evaluate_cypher
+from repro.graph import EdgeType, GraphBuilder, GraphSchema, NodeType, PropertyGraph
+from repro.relational import (
+    Database,
+    Relation,
+    RelationalSchema,
+    Table,
+    tables_equivalent,
+)
+from repro.sql import evaluate_query as evaluate_sql
+from repro.sql import parse_sql, to_sql_text
+from repro.transformer import (
+    Transformer,
+    parse_transformer,
+    residual_transformer,
+)
+from repro.transformer.semantics import transform_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundedChecker",
+    "DeductiveChecker",
+    "RandomTester",
+    "Verdict",
+    "check_equivalence",
+    "infer_sdt",
+    "transpile",
+    "Counterexample",
+    "lift_counterexample",
+    "CheckResult",
+    "SdtResult",
+    "parse_cypher",
+    "evaluate_cypher",
+    "EdgeType",
+    "GraphBuilder",
+    "GraphSchema",
+    "NodeType",
+    "PropertyGraph",
+    "Database",
+    "Relation",
+    "RelationalSchema",
+    "Table",
+    "tables_equivalent",
+    "evaluate_sql",
+    "parse_sql",
+    "to_sql_text",
+    "Transformer",
+    "parse_transformer",
+    "residual_transformer",
+    "transform_graph",
+]

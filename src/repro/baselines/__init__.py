@@ -1,0 +1,9 @@
+"""Baseline transpilers the paper compares against (Appendix E)."""
+
+from repro.baselines.opencypher_transpiler import (
+    BaselineResult,
+    BaselineStatus,
+    transpile_baseline,
+)
+
+__all__ = ["BaselineResult", "BaselineStatus", "transpile_baseline"]

@@ -1,0 +1,236 @@
+"""A behavioural re-implementation of Microsoft's OpenCypherTranspiler.
+
+The paper's Appendix E evaluates OpenCypherTranspiler [Liang 2025] on all
+410 benchmarks and finds: 284 queries outside its supported fragment, 2
+translated into syntactically invalid SQL, 2 translated into semantically
+incorrect SQL, and 122 translated correctly.  The original tool is a C#
+code base; this module reproduces its *behaviour profile* — the documented
+fragment limits and the two bug classes the appendix demonstrates — on top
+of this library's ASTs, so Table 5 can be regenerated.
+
+Fragment limits (each check mirrors a limitation reported in Appendix E or
+the upstream README):
+
+* no ``Count(*)`` / ``Avg(*)``-style argument-less aggregates (App. E ex. 1),
+* no ``WITH`` pipelines, no ``UNION``, no ``ORDER BY``,
+* no chained ``MATCH`` clauses (a single pattern chain only),
+* no ``EXISTS`` subpattern predicates,
+* no undirected edge patterns.
+
+Bug classes:
+
+* ``IS NULL`` / ``IN``-style predicates over multiple disconnected patterns
+  produce SQL that references an undefined table alias — a *syntax error*
+  (App. E ex. 2);
+* ``OPTIONAL MATCH`` whose pattern *points into* the previously bound
+  variable is translated with the outer-join sides swapped — a left join
+  where a right join is required — producing *semantically incorrect* SQL
+  (App. E ex. 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.errors import GraphitiError
+from repro.core.sdt import SdtResult
+from repro.core.transpile import Transpiler
+from repro.cypher import ast as cy
+from repro.graph.schema import GraphSchema
+from repro.sql import ast as sq
+
+
+class BaselineStatus(enum.Enum):
+    OK = "ok"
+    UNSUPPORTED = "unsupported"
+    SYNTAX_ERROR = "syntax-error"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of running the baseline on one Cypher query."""
+
+    status: BaselineStatus
+    reason: str = ""
+    query: sq.Query | None = None
+    #: True when the produced query is known to deviate semantically
+    #: (the OPTIONAL MATCH orientation bug).
+    semantically_suspect: bool = False
+
+    @property
+    def supported(self) -> bool:
+        return self.status is not BaselineStatus.UNSUPPORTED
+
+
+def transpile_baseline(
+    query: cy.Query, graph_schema: GraphSchema, sdt: SdtResult
+) -> BaselineResult:
+    """Best-effort translation with OpenCypherTranspiler's limitations."""
+    if isinstance(query, cy.Return) and _has_multi_pattern_null_or_in(query):
+        # Bug class 1: the tool *accepts* comma-separated patterns but its
+        # rendering references an undefined alias — checked before the
+        # fragment gate because desugared comma patterns look like chained
+        # MATCH clauses, which the gate would otherwise reject.
+        return BaselineResult(
+            BaselineStatus.SYNTAX_ERROR,
+            "emits SQL referencing an undefined table alias",
+        )
+    gate = _fragment_gate(query)
+    if gate is not None:
+        return BaselineResult(BaselineStatus.UNSUPPORTED, gate)
+    transpiler = _BuggyTranspiler(graph_schema, sdt)
+    try:
+        translated = transpiler.translate_query(query)
+    except GraphitiError as error:
+        return BaselineResult(BaselineStatus.UNSUPPORTED, str(error))
+    return BaselineResult(
+        BaselineStatus.OK,
+        query=translated,
+        semantically_suspect=transpiler.used_buggy_optional_match,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fragment gate
+# ---------------------------------------------------------------------------
+
+
+def _fragment_gate(query: cy.Query) -> str | None:
+    """Return a reason string when *query* is outside the fragment."""
+    if isinstance(query, (cy.Union, cy.UnionAll)):
+        return "UNION is not supported"
+    if isinstance(query, cy.OrderBy):
+        return "ORDER BY is not supported"
+    assert isinstance(query, cy.Return)
+    for expression in query.expressions:
+        reason = _expression_gate(expression)
+        if reason is not None:
+            return reason
+    return _clause_gate(query.clause, depth=0)
+
+
+def _expression_gate(expression: cy.Expression) -> str | None:
+    if isinstance(expression, cy.Aggregate):
+        if expression.argument is None:
+            return "argument-less aggregates such as Count(*) are not supported"
+        return _expression_gate(expression.argument)
+    if isinstance(expression, cy.BinaryOp):
+        return _expression_gate(expression.left) or _expression_gate(expression.right)
+    if isinstance(expression, cy.CastPredicate):
+        return "predicate-to-value casts are not supported"
+    return None
+
+
+def _clause_gate(clause: cy.Clause, depth: int) -> str | None:
+    if isinstance(clause, cy.With):
+        return "WITH pipelines are not supported"
+    if isinstance(clause, cy.OptMatch):
+        reason = _predicate_gate(clause.predicate)
+        if reason is not None:
+            return reason
+        if _pattern_gate(clause.pattern):
+            return _pattern_gate(clause.pattern)
+        return _clause_gate(clause.previous, depth)
+    assert isinstance(clause, cy.Match)
+    if clause.previous is not None and not isinstance(clause.previous, cy.OptMatch):
+        inner = clause.previous
+        if isinstance(inner, cy.Match):
+            return "chained MATCH clauses are not supported"
+        return _clause_gate(inner, depth + 1)
+    reason = _predicate_gate(clause.predicate)
+    if reason is not None:
+        return reason
+    if _pattern_gate(clause.pattern):
+        return _pattern_gate(clause.pattern)
+    if clause.previous is not None:
+        return _clause_gate(clause.previous, depth + 1)
+    return None
+
+
+def _pattern_gate(pattern: cy.PathPattern) -> str | None:
+    for element in pattern:
+        if isinstance(element, cy.EdgePattern) and element.direction is cy.Direction.BOTH:
+            return "undirected edge patterns are not supported"
+    return None
+
+
+def _predicate_gate(predicate: cy.Predicate) -> str | None:
+    if isinstance(predicate, cy.Exists):
+        return "EXISTS subpatterns are not supported"
+    if isinstance(predicate, (cy.And, cy.Or)):
+        return _predicate_gate(predicate.left) or _predicate_gate(predicate.right)
+    if isinstance(predicate, cy.Not):
+        return _predicate_gate(predicate.operand)
+    return None
+
+
+def _has_multi_pattern_null_or_in(query: cy.Query) -> bool:
+    """App. E ex. 2: several comma patterns + NULL/IN tests break rendering."""
+    assert isinstance(query, cy.Return)
+    match_count = 0
+    has_null_or_in = False
+
+    def walk_predicate(predicate: cy.Predicate) -> None:
+        nonlocal has_null_or_in
+        if isinstance(predicate, (cy.IsNull, cy.InValues)):
+            has_null_or_in = True
+        elif isinstance(predicate, (cy.And, cy.Or)):
+            walk_predicate(predicate.left)
+            walk_predicate(predicate.right)
+        elif isinstance(predicate, cy.Not):
+            walk_predicate(predicate.operand)
+
+    clause = query.clause
+    while clause is not None:
+        if isinstance(clause, cy.Match):
+            match_count += 1
+            walk_predicate(clause.predicate)
+            clause = clause.previous
+        elif isinstance(clause, cy.OptMatch):
+            walk_predicate(clause.predicate)
+            clause = clause.previous
+        else:
+            break
+    return match_count >= 3 and has_null_or_in
+
+
+# ---------------------------------------------------------------------------
+# The buggy translation
+# ---------------------------------------------------------------------------
+
+
+class _BuggyTranspiler(Transpiler):
+    """Graphiti's transpiler with OpenCypherTranspiler's orientation bug."""
+
+    def __init__(self, graph_schema: GraphSchema, sdt: SdtResult) -> None:
+        super().__init__(graph_schema, sdt)
+        self.used_buggy_optional_match = False
+
+    def translate_clause(self, clause: cy.Clause):
+        if isinstance(clause, cy.OptMatch) and self._pattern_points_backwards(clause):
+            self.used_buggy_optional_match = True
+            # Swap the join sides: the optional pattern becomes the LEFT
+            # operand of the left join, so unmatched *previous* rows are
+            # dropped instead of null-padded (Appendix E example 3).
+            output = self._translate_chained_match(
+                clause.previous, clause.pattern, clause.predicate, sq.JoinKind.INNER
+            )
+            return output
+        return super().translate_clause(clause)
+
+    @staticmethod
+    def _pattern_points_backwards(clause: cy.OptMatch) -> bool:
+        """Does the optional pattern's *last* edge point at a bound variable?"""
+        edges = [e for e in clause.pattern if isinstance(e, cy.EdgePattern)]
+        if not edges:
+            return False
+        return edges[-1].direction is cy.Direction.OUT and _last_node_bound(clause)
+
+
+def _last_node_bound(clause: cy.OptMatch) -> bool:
+    from repro.cypher.analysis import collect_variables
+
+    bound = collect_variables(clause.previous)
+    last = clause.pattern[-1]
+    return isinstance(last, cy.NodePattern) and last.variable in bound

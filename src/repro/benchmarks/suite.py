@@ -1,0 +1,176 @@
+"""Assembly of the 410-benchmark suite.
+
+Category counts follow the paper's Table 1 exactly (12 StackOverflow, 26
+Tutorial, 7 Academic, 60 VeriEQL, 100 Mediator, 205 GPT-Translate), the
+planted non-equivalences follow Table 2 (1 + 1 + 1 + 4 + 0 + 27 = 34,
+i.e. 3 "wild" + 4 manual + 27 GPT), the deductive-fragment membership
+follows Table 3 (0/0/1/1/100/94 supported per category), and the baseline
+behaviour profile follows Table 5.  The composition is deterministic:
+every benchmark is generated from a per-index seeded RNG.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.benchmarks import templates as T
+from repro.benchmarks.curated import curated_benchmarks
+from repro.benchmarks.spec import Benchmark, Universe
+from repro.benchmarks.universes import (
+    COMPANY,
+    COMPANY_MERGED,
+    LIBRARY,
+    MOVIES,
+    SOCIAL,
+    STORE,
+    UNIVERSITY,
+)
+
+CATEGORY_COUNTS = {
+    "StackOverflow": 12,
+    "Tutorial": 26,
+    "Academic": 7,
+    "VeriEQL": 60,
+    "Mediator": 100,
+    "GPT-Translate": 205,
+}
+
+ALL = (COMPANY, COMPANY_MERGED, SOCIAL, STORE, MOVIES, UNIVERSITY, LIBRARY)
+CHAINABLE = (SOCIAL, STORE, LIBRARY)
+EDGE_TABLE = (COMPANY, SOCIAL, STORE, MOVIES, UNIVERSITY, LIBRARY)
+NOT_MERGED = EDGE_TABLE
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """One recipe line: template × repetition over a universe pool."""
+
+    template: Callable
+    count: int
+    universes: tuple[Universe, ...]
+    kwargs: dict | None = None
+
+
+_RECIPES: dict[str, list[_Entry]] = {
+    "StackOverflow": [
+        _Entry(T.t_scan_filter, 1, ALL),
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Sum"}),
+        _Entry(T.t_optional, 1, CHAINABLE),
+        _Entry(T.b_optional_as_inner, 1, CHAINABLE),
+        _Entry(T.t_agg_count, 3, ALL),
+        _Entry(T.t_exists, 2, NOT_MERGED),
+        _Entry(T.t_orderby, 3, ALL),
+    ],
+    "Tutorial": [
+        _Entry(T.t_two_hop, 1, CHAINABLE),
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Sum"}),
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Avg"}),
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Min"}),
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Max"}),
+        _Entry(T.t_optional, 3, CHAINABLE),
+        _Entry(T.t_arith_predicate, 2, ALL),
+        _Entry(T.t_agg_count, 5, ALL),
+        _Entry(T.t_exists, 4, NOT_MERGED),
+        _Entry(T.t_orderby, 5, ALL),
+    ],
+    "Academic": [
+        _Entry(T.t_agg_numeric, 1, ALL, {"function": "Avg"}),
+        _Entry(T.t_agg_count, 2, ALL),
+        _Entry(T.t_exists, 1, NOT_MERGED),
+        _Entry(T.t_orderby, 1, ALL),
+    ],
+    "VeriEQL": [
+        _Entry(T.b_wrong_group_key, 1, ALL),
+        _Entry(T.b_count_star_vs_nullable, 1, CHAINABLE),
+        _Entry(T.b_double_count, 1, EDGE_TABLE),
+        _Entry(T.t_triple_pattern_in, 1, (MOVIES,)),
+        _Entry(T.t_agg_numeric, 4, ALL, {"function": "Sum"}),
+        _Entry(T.t_agg_numeric, 3, ALL, {"function": "Max"}),
+        _Entry(T.t_optional, 4, CHAINABLE),
+        _Entry(T.t_arith_predicate, 3, ALL),
+        _Entry(T.t_agg_count, 14, ALL),
+        _Entry(T.t_exists, 14, NOT_MERGED),
+        _Entry(T.t_orderby, 13, ALL),
+    ],
+    "Mediator": [
+        _Entry(T.t_multimatch, 27, ALL),
+        _Entry(T.t_with_rename, 25, ALL),
+        _Entry(T.t_union, 13, ALL),
+        _Entry(T.t_union, 12, ALL, {"bag": True}),
+        _Entry(T.t_multimatch_unknown, 12, ALL),
+        _Entry(T.t_with_unknown, 11, ALL),
+    ],
+    "GPT-Translate": [
+        _Entry(T.t_scan_filter, 20, ALL),
+        _Entry(T.t_two_hop, 15, CHAINABLE),
+        _Entry(T.t_distinct, 10, ALL),
+        _Entry(T.t_head_arith, 10, ALL),
+        _Entry(T.t_union, 9, ALL),
+        _Entry(T.t_multimatch, 9, ALL),
+        _Entry(T.t_implied_conjunct, 10, ALL),
+        _Entry(T.t_head_identity_arith, 9, ALL),
+        _Entry(T.b_wrong_constant, 1, ALL),
+        _Entry(T.b_reversed_follow, 1, (SOCIAL,)),
+        _Entry(T.b_optional_as_inner, 7, CHAINABLE),
+        _Entry(T.b_double_count, 6, EDGE_TABLE),
+        _Entry(T.b_wrong_group_key, 4, ALL),
+        _Entry(T.b_count_star_vs_nullable, 4, CHAINABLE),
+        _Entry(T.b_orderby_direction, 4, ALL),
+        _Entry(T.t_triple_pattern_in, 1, (SOCIAL,)),
+        _Entry(T.t_optional_into, 2, NOT_MERGED),
+        _Entry(T.t_agg_count, 26, ALL),
+        _Entry(T.t_exists, 25, NOT_MERGED),
+        _Entry(T.t_orderby, 25, ALL),
+        _Entry(T.t_agg_numeric, 4, ALL, {"function": "Avg"}),
+        _Entry(T.t_optional, 3, CHAINABLE),
+    ],
+}
+
+
+@lru_cache(maxsize=1)
+def benchmark_suite() -> tuple[Benchmark, ...]:
+    """The full, deterministic 410-benchmark suite."""
+    benchmarks: list[Benchmark] = list(curated_benchmarks())
+    for category, entries in _RECIPES.items():
+        for entry_index, entry in enumerate(entries, start=1):
+            for repetition in range(entry.count):
+                seed_material = (
+                    f"{category}:{entry_index}:{entry.template.__name__}:{repetition}"
+                )
+                rng = random.Random(zlib.crc32(seed_material.encode()))
+                universe = entry.universes[repetition % len(entry.universes)]
+                kwargs = entry.kwargs or {}
+                built = entry.template(universe, rng, **kwargs)
+                benchmarks.append(
+                    Benchmark(
+                        id=(
+                            f"{category.lower()}/e{entry_index:02d}-"
+                            f"{entry.template.__name__}-{repetition + 1}"
+                        ),
+                        category=category,
+                        universe=universe,
+                        cypher_text=built.cypher_text,
+                        sql_text=built.sql_text,
+                        expected_equivalent=built.expected_equivalent,
+                        bug_class=built.bug_class,
+                        features=frozenset(built.features),
+                        notes=built.notes,
+                    )
+                )
+    ordered = sorted(benchmarks, key=lambda b: (list(CATEGORY_COUNTS).index(b.category), b.id))
+    counts: dict[str, int] = {}
+    for benchmark in ordered:
+        counts[benchmark.category] = counts.get(benchmark.category, 0) + 1
+    assert counts == CATEGORY_COUNTS, f"suite miscounted: {counts}"
+    return tuple(ordered)
+
+
+def benchmarks_by_category() -> dict[str, list[Benchmark]]:
+    grouped: dict[str, list[Benchmark]] = {name: [] for name in CATEGORY_COUNTS}
+    for benchmark in benchmark_suite():
+        grouped[benchmark.category].append(benchmark)
+    return grouped

@@ -1,0 +1,25 @@
+"""SQL equivalence-checking backends.
+
+The paper reduces Cypher/SQL equivalence to SQL/SQL equivalence and then
+delegates to an off-the-shelf backend.  This package provides the two
+backends used in the evaluation, rebuilt from scratch:
+
+* :mod:`repro.checkers.bounded` — a VeriEQL-style bounded model checker,
+* :mod:`repro.checkers.deductive` — a Mediator-style deductive verifier for
+  the aggregation-free, outer-join-free fragment,
+* :mod:`repro.checkers.random_testing` — a quick random differential tester.
+"""
+
+from repro.checkers.base import CheckOutcome, CheckRequest, Verdict
+from repro.checkers.bounded import BoundedChecker
+from repro.checkers.deductive import DeductiveChecker
+from repro.checkers.random_testing import RandomTester
+
+__all__ = [
+    "CheckOutcome",
+    "CheckRequest",
+    "Verdict",
+    "BoundedChecker",
+    "DeductiveChecker",
+    "RandomTester",
+]

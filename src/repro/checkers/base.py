@@ -1,0 +1,63 @@
+"""The ``CheckSQL`` contract shared by all equivalence-checking backends.
+
+A backend decides whether two SQL queries over *different* schemas agree on
+every pair of instances related by a residual database transformer:
+
+    for every induced-schema instance D' satisfying its integrity
+    constraints, with D = Φ_rdt(D'):   ⟦Q'_R⟧_{D'} ≡ ⟦Q_R⟧_D
+
+which is the quantifier structure of Definition 4.5 after the SDT bijection
+collapses the graph side onto the induced schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.relational.instance import Database
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast as sq
+from repro.transformer.dsl import Transformer
+
+
+class Verdict(enum.Enum):
+    """Outcome categories across all backends."""
+
+    EQUIVALENT = "equivalent"  # proven for all instances (deductive backend)
+    NOT_EQUIVALENT = "not-equivalent"  # refuted with a counterexample
+    BOUNDED_EQUIVALENT = "bounded-equivalent"  # no counterexample up to the bound
+    UNKNOWN = "unknown"  # backend gave up / unsupported fragment
+    UNSUPPORTED = "unsupported"  # query outside the backend's fragment
+
+
+@dataclass(frozen=True)
+class CheckRequest:
+    """One ``CheckSQL(Ψ_R, Q_R, Ψ'_R, Q'_R, Φ_rdt)`` invocation."""
+
+    induced_schema: RelationalSchema
+    induced_query: sq.Query
+    target_schema: RelationalSchema
+    target_query: sq.Query
+    residual: Transformer
+
+
+@dataclass
+class CheckOutcome:
+    """Backend verdict plus whatever evidence it gathered."""
+
+    verdict: Verdict
+    induced_witness: Database | None = None
+    target_witness: Database | None = None
+    checked_bound: int = 0
+    instances_checked: int = 0
+    elapsed_seconds: float = 0.0
+    detail: str = ""
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict is Verdict.NOT_EQUIVALENT
+
+    @property
+    def verified(self) -> bool:
+        return self.verdict in (Verdict.EQUIVALENT, Verdict.BOUNDED_EQUIVALENT)

@@ -1,0 +1,246 @@
+"""Randomised instance generation for the bounded model checker.
+
+The checker explores the space of induced-schema instances bounded by a
+maximum per-table row count.  Generation respects the integrity constraints
+``ξ`` (primary keys unique and non-null, foreign keys drawn from referenced
+columns, not-null attributes non-null) so every sample is a legal instance —
+i.e. the image of some property graph under the SDT.
+
+Two ingredients matter for refutation power (they play the role VeriEQL's
+SMT solver plays in the paper):
+
+* **constant seeding** — literals appearing in either query or in the
+  transformer are injected into the value domains of the attributes they are
+  compared against, so selective predicates like ``CID = 1`` are exercised;
+* **small domains** — values are drawn from a domain barely larger than the
+  table bound, forcing joins to collide and fan-in/fan-out shapes (multiple
+  edges sharing an endpoint) to appear, which is exactly the shape of the
+  motivating example's double-counting bug.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.values import NULL, Value
+from repro.relational.instance import Database
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast as sq
+from repro.transformer.dsl import Constant, Transformer
+
+#: Attribute-name (local, unqualified) → constants compared against it.
+ConstantSeeds = dict[str, set[Value]]
+
+
+def collect_constant_seeds(
+    queries: list[sq.Query], transformers: list[Transformer]
+) -> ConstantSeeds:
+    """Harvest literals that flow into comparisons with attributes."""
+    seeds: ConstantSeeds = {}
+
+    def note(attribute: str, value: Value) -> None:
+        local = attribute.rsplit(".", 1)[-1]
+        # Flattened names like ``c1_CID`` should also seed ``CID``.
+        if "_" in local:
+            suffix = local.rsplit("_", 1)[-1]
+            seeds.setdefault(suffix, set()).add(value)
+        seeds.setdefault(local, set()).add(value)
+
+    def walk_expression(expr: sq.Expression) -> None:
+        if isinstance(expr, sq.BinaryOp):
+            # Literals inside arithmetic (e.g. ``DeptNo + 5``) matter for
+            # counterexamples even though they face no attribute directly.
+            for side in (expr.left, expr.right):
+                if isinstance(side, sq.Literal):
+                    seeds.setdefault("", set()).add(side.value)
+            walk_expression(expr.left)
+            walk_expression(expr.right)
+        elif isinstance(expr, sq.CastPredicate):
+            walk_predicate(expr.predicate)
+        elif isinstance(expr, sq.Aggregate) and expr.argument is not None:
+            walk_expression(expr.argument)
+
+    def walk_predicate(predicate: sq.Predicate) -> None:
+        if isinstance(predicate, sq.Comparison):
+            if isinstance(predicate.left, sq.AttributeRef) and isinstance(
+                predicate.right, sq.Literal
+            ):
+                note(predicate.left.name, predicate.right.value)
+            if isinstance(predicate.right, sq.AttributeRef) and isinstance(
+                predicate.left, sq.Literal
+            ):
+                note(predicate.right.name, predicate.left.value)
+            walk_expression(predicate.left)
+            walk_expression(predicate.right)
+        elif isinstance(predicate, sq.InValues):
+            if isinstance(predicate.operand, sq.AttributeRef):
+                for value in predicate.values:
+                    note(predicate.operand.name, value)
+        elif isinstance(predicate, (sq.And, sq.Or)):
+            walk_predicate(predicate.left)
+            walk_predicate(predicate.right)
+        elif isinstance(predicate, sq.Not):
+            walk_predicate(predicate.operand)
+        elif isinstance(predicate, sq.InQuery):
+            walk_query(predicate.query)
+        elif isinstance(predicate, sq.ExistsQuery):
+            walk_query(predicate.query)
+        elif isinstance(predicate, sq.IsNull):
+            walk_expression(predicate.operand)
+
+    def walk_query(query: sq.Query) -> None:
+        if isinstance(query, sq.Relation):
+            return
+        if isinstance(query, sq.Projection):
+            for column in query.columns:
+                walk_expression(column.expression)
+            walk_query(query.query)
+        elif isinstance(query, sq.Selection):
+            walk_predicate(query.predicate)
+            walk_query(query.query)
+        elif isinstance(query, sq.Renaming):
+            walk_query(query.query)
+        elif isinstance(query, sq.Join):
+            walk_predicate(query.predicate)
+            walk_query(query.left)
+            walk_query(query.right)
+        elif isinstance(query, sq.UnionOp):
+            walk_query(query.left)
+            walk_query(query.right)
+        elif isinstance(query, sq.GroupBy):
+            for key in query.keys:
+                walk_expression(key)
+            for column in query.columns:
+                walk_expression(column.expression)
+            walk_predicate(query.having)
+            walk_query(query.query)
+        elif isinstance(query, sq.WithQuery):
+            walk_query(query.definition)
+            walk_query(query.body)
+        elif isinstance(query, sq.OrderBy):
+            for key in query.keys:
+                walk_expression(key)
+            walk_query(query.query)
+
+    for query in queries:
+        walk_query(query)
+    for transformer in transformers:
+        for rule in transformer:
+            for atom in (*rule.body, rule.head):
+                for position, term in enumerate(atom.terms):
+                    if isinstance(term, Constant):
+                        seeds.setdefault(atom.name, set())  # keep name known
+                        # Without schema positions we cannot name the attribute,
+                        # so seed the global pool via the empty key.
+                        seeds.setdefault("", set()).add(term.value)
+    return seeds
+
+
+@dataclass
+class InstanceGenerator:
+    """Draws random legal instances of *schema* with ≤ *bound* rows/table."""
+
+    schema: RelationalSchema
+    seeds: ConstantSeeds = field(default_factory=dict)
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    null_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        # Constants compared against *any* attribute also seed every other
+        # attribute's pool: cross-attribute joins against a constant (the
+        # paper's Figure-23 counterexample joins EmpNo to DeptNo at 10)
+        # are otherwise unreachable with tiny domains.
+        self._global_pool: list[Value] = sorted(
+            {value for values in self.seeds.values() for value in values},
+            key=repr,
+        )
+
+    def random_instance(self, bound: int) -> Database:
+        database = Database(self.schema)
+        for relation in self._topological_relations():
+            pk_attr = self.schema.constraints.primary_key_of(relation.name)
+            row_count = self.rng.randint(0, bound)
+            pk_pool = self._key_pool(relation.name, pk_attr, bound)
+            rows_added = 0
+            for _ in range(row_count):
+                row = self._random_row(database, relation.name, pk_attr, pk_pool, bound)
+                if row is None:
+                    break
+                database.insert(relation.name, row)
+                rows_added += 1
+        return database
+
+    # -- internals -----------------------------------------------------------
+
+    def _topological_relations(self):
+        """Relations ordered so FK targets are populated before referrers."""
+        remaining = list(self.schema.relations)
+        ordered = []
+        placed: set[str] = set()
+        while remaining:
+            progressed = False
+            for relation in list(remaining):
+                fks = self.schema.constraints.foreign_keys_of(relation.name)
+                if all(fk.referenced in placed or fk.referenced == relation.name for fk in fks):
+                    ordered.append(relation)
+                    placed.add(relation.name)
+                    remaining.remove(relation)
+                    progressed = True
+            if not progressed:  # FK cycle: emit the rest in declaration order
+                ordered.extend(remaining)
+                break
+        return ordered
+
+    def _key_pool(self, relation: str, pk_attr: str | None, bound: int) -> list[Value]:
+        pool: list[Value] = list(range(0, bound + 2))
+        if pk_attr is not None:
+            pool.extend(self.seeds.get(pk_attr, ()))
+        pool.extend(v for v in self._global_pool if isinstance(v, int))
+        pool = list(dict.fromkeys(pool))
+        self.rng.shuffle(pool)
+        return pool
+
+    def _random_row(
+        self,
+        database: Database,
+        relation_name: str,
+        pk_attr: str | None,
+        pk_pool: list[Value],
+        bound: int,
+    ):
+        relation = self.schema.relation(relation_name)
+        constraints = self.schema.constraints
+        fks = {fk.attribute: fk for fk in constraints.foreign_keys_of(relation_name)}
+        not_null = {
+            nn.attribute for nn in constraints.not_nulls if nn.relation == relation_name
+        }
+        row: list[Value] = []
+        for attribute in relation.attributes:
+            if attribute == pk_attr:
+                if not pk_pool:
+                    return None
+                row.append(pk_pool.pop())
+            elif attribute in fks:
+                fk = fks[attribute]
+                referenced = database.table(fk.referenced)
+                candidates = [
+                    referenced.value(r, fk.referenced_attribute) for r in referenced
+                ]
+                if not candidates:
+                    if attribute in not_null:
+                        return None
+                    row.append(NULL)
+                else:
+                    row.append(self.rng.choice(candidates))
+            else:
+                row.append(self._random_value(attribute, bound, attribute in not_null))
+        return tuple(row)
+
+    def _random_value(self, attribute: str, bound: int, must_not_be_null: bool) -> Value:
+        if not must_not_be_null and self.rng.random() < self.null_probability:
+            return NULL
+        pool: list[Value] = list(range(0, bound + 2))
+        pool.extend(self.seeds.get(attribute, ()))
+        pool.extend(self._global_pool)
+        return self.rng.choice(pool)

@@ -1,0 +1,33 @@
+"""Quick random differential testing backend.
+
+A thin configuration of the bounded checker's machinery: a single bound and
+a modest number of samples.  Useful as a fast smoke-test pass before the
+more expensive growing-bound search, mirroring the role testing tools play
+alongside verifiers in the paper's related-work discussion (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checkers.base import CheckOutcome, CheckRequest
+from repro.checkers.bounded import BoundedChecker
+
+
+@dataclass
+class RandomTester:
+    """Differential testing at a fixed bound."""
+
+    bound: int = 4
+    samples: int = 150
+    seed: int = 7
+    time_budget_seconds: float = 10.0
+
+    def check(self, request: CheckRequest) -> CheckOutcome:
+        checker = BoundedChecker(
+            max_bound=self.bound,
+            samples_per_bound=max(1, self.samples // self.bound),
+            time_budget_seconds=self.time_budget_seconds,
+            seed=self.seed,
+        )
+        return checker.check(request)

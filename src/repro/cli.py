@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+
+``transpile``
+    Translate a Cypher query into SQL over the induced relational schema::
+
+        python -m repro transpile --graph-schema schema.txt \\
+            --cypher "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name"
+
+    ``--example emp-dept`` substitutes the built-in Figure-14 schema.
+
+``check``
+    Run the full Algorithm-1 pipeline on a pair of queries (or a named
+    benchmark from the suite)::
+
+        python -m repro check --benchmark academic/motivating --backend bounded
+        python -m repro check --graph-schema g.txt --relational-schema r.txt \\
+            --transformer t.txt --cypher "..." --sql "..." --backend deductive
+
+``tables``
+    Regenerate one of the paper's evaluation tables::
+
+        python -m repro tables --table 3
+
+``suite``
+    List the 410 benchmarks (ids, categories, ground truth).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.checkers.base import Verdict
+from repro.checkers.bounded import BoundedChecker
+from repro.checkers.deductive import DeductiveChecker
+from repro.core.equivalence import check_equivalence
+from repro.core.sdt import infer_sdt
+from repro.core.transpile import transpile
+from repro.cypher.parser import parse_cypher
+from repro.graph.parser import parse_graph_schema
+from repro.graph.schema import GraphSchema
+from repro.relational.parser import parse_relational_schema
+from repro.sql.parser import parse_sql
+from repro.sql.pretty import to_sql_text
+from repro.transformer.parser import parse_transformer
+
+_EXAMPLE_SCHEMAS = {
+    "emp-dept": """
+        node EMP(id, name)
+        node DEPT(dnum, dname)
+        edge WORK_AT(wid): EMP -> DEPT
+    """,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command is None:
+        parser.print_help()
+        return 2
+    handler = {
+        "transpile": _command_transpile,
+        "check": _command_check,
+        "tables": _command_tables,
+        "suite": _command_suite,
+    }[arguments.command]
+    return handler(arguments)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Graphiti reproduction: Cypher/SQL equivalence checking",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    transpile_parser = subparsers.add_parser(
+        "transpile", help="translate Cypher to SQL over the induced schema"
+    )
+    transpile_parser.add_argument("--cypher", required=True, help="Cypher query text")
+    transpile_parser.add_argument(
+        "--graph-schema", type=Path, help="graph schema declaration file"
+    )
+    transpile_parser.add_argument(
+        "--example", choices=sorted(_EXAMPLE_SCHEMAS), help="built-in schema"
+    )
+
+    check_parser = subparsers.add_parser(
+        "check", help="run the full equivalence-checking pipeline"
+    )
+    check_parser.add_argument("--benchmark", help="benchmark id from the suite")
+    check_parser.add_argument("--graph-schema", type=Path)
+    check_parser.add_argument("--relational-schema", type=Path)
+    check_parser.add_argument("--transformer", type=Path)
+    check_parser.add_argument("--cypher")
+    check_parser.add_argument("--sql")
+    check_parser.add_argument(
+        "--backend", choices=("bounded", "deductive"), default="bounded"
+    )
+    check_parser.add_argument("--max-bound", type=int, default=4)
+    check_parser.add_argument("--samples", type=int, default=250)
+    check_parser.add_argument("--budget", type=float, default=10.0)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="regenerate a paper evaluation table"
+    )
+    tables_parser.add_argument(
+        "--table", required=True, choices=("1", "2", "3", "4", "5", "speed")
+    )
+
+    subparsers.add_parser("suite", help="list the benchmark suite")
+    return parser
+
+
+def _load_graph_schema(arguments) -> GraphSchema:
+    if getattr(arguments, "example", None):
+        return parse_graph_schema(_EXAMPLE_SCHEMAS[arguments.example])
+    if arguments.graph_schema is None:
+        raise SystemExit("provide --graph-schema FILE or --example NAME")
+    return parse_graph_schema(arguments.graph_schema.read_text())
+
+
+def _command_transpile(arguments) -> int:
+    schema = _load_graph_schema(arguments)
+    query = parse_cypher(arguments.cypher, schema)
+    sdt = infer_sdt(schema)
+    translated = transpile(query, schema, sdt)
+    print("-- induced relational schema")
+    for relation in sdt.schema.relations:
+        print(f"--   {relation}")
+    print(to_sql_text(translated, sdt.schema))
+    return 0
+
+
+def _command_check(arguments) -> int:
+    if arguments.benchmark:
+        from repro.benchmarks.suite import benchmark_suite
+
+        matches = [b for b in benchmark_suite() if b.id == arguments.benchmark]
+        if not matches:
+            raise SystemExit(f"unknown benchmark id {arguments.benchmark!r}")
+        benchmark = matches[0]
+        graph_schema = benchmark.graph_schema
+        relational_schema = benchmark.relational_schema
+        transformer = benchmark.transformer
+        cypher = benchmark.cypher_query
+        sql = benchmark.sql_query
+        print(f"benchmark {benchmark.id} "
+              f"(expected {'equivalent' if benchmark.expected_equivalent else 'NOT equivalent'})")
+    else:
+        required = ("graph_schema", "relational_schema", "transformer", "cypher", "sql")
+        missing = [name for name in required if getattr(arguments, name) is None]
+        if missing:
+            raise SystemExit(
+                "missing arguments: " + ", ".join(f"--{m.replace('_', '-')}" for m in missing)
+            )
+        graph_schema = parse_graph_schema(arguments.graph_schema.read_text())
+        relational_schema = parse_relational_schema(
+            arguments.relational_schema.read_text()
+        )
+        transformer = parse_transformer(arguments.transformer.read_text())
+        cypher = parse_cypher(arguments.cypher, graph_schema)
+        sql = parse_sql(arguments.sql)
+
+    if arguments.backend == "bounded":
+        checker = BoundedChecker(
+            max_bound=arguments.max_bound,
+            samples_per_bound=arguments.samples,
+            time_budget_seconds=arguments.budget,
+        )
+    else:
+        checker = DeductiveChecker(time_budget_seconds=arguments.budget)
+
+    result = check_equivalence(
+        graph_schema, cypher, relational_schema, sql, transformer, checker
+    )
+    print(f"verdict: {result.verdict.value}")
+    if result.outcome.detail:
+        print(f"detail:  {result.outcome.detail}")
+    if result.verdict is Verdict.BOUNDED_EQUIVALENT:
+        print(
+            f"checked bound {result.outcome.checked_bound} "
+            f"({result.outcome.instances_checked} instances, "
+            f"{result.outcome.elapsed_seconds:.2f}s)"
+        )
+    if result.counterexample is not None:
+        print(result.counterexample.describe())
+    return 0 if result.verdict is not Verdict.NOT_EQUIVALENT else 1
+
+
+def _command_tables(arguments) -> int:
+    from repro.benchmarks import evaluation
+
+    if arguments.table == "1":
+        rows = evaluation.table1_statistics()
+    elif arguments.table == "2":
+        rows = evaluation.table2_bounded()
+    elif arguments.table == "3":
+        rows = evaluation.table3_deductive()
+    elif arguments.table == "4":
+        rows = evaluation.table4_execution()
+    elif arguments.table == "5":
+        rows = evaluation.table5_baseline()
+    else:
+        print(evaluation.transpilation_speed().format())
+        return 0
+    for row in rows:
+        print(row.format())
+    return 0
+
+
+def _command_suite(arguments) -> int:
+    from repro.benchmarks.suite import benchmark_suite
+
+    for benchmark in benchmark_suite():
+        marker = "=" if benchmark.expected_equivalent else "≠"
+        bug = f"  [{benchmark.bug_class}]" if benchmark.bug_class else ""
+        print(f"{marker} {benchmark.id:55} {benchmark.category}{bug}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

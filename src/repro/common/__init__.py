@@ -1,0 +1,43 @@
+"""Shared foundations: value domain, three-valued logic, and error types."""
+
+from repro.common.errors import (
+    GraphitiError,
+    ParseError,
+    SchemaError,
+    SemanticsError,
+    TranspileError,
+    TransformerError,
+    UnsupportedError,
+)
+from repro.common.values import (
+    NULL,
+    Null,
+    Value,
+    is_null,
+    sql_and,
+    sql_not,
+    sql_or,
+    truth_value,
+    value_eq,
+    value_lt,
+)
+
+__all__ = [
+    "GraphitiError",
+    "ParseError",
+    "SchemaError",
+    "SemanticsError",
+    "TranspileError",
+    "TransformerError",
+    "UnsupportedError",
+    "NULL",
+    "Null",
+    "Value",
+    "is_null",
+    "sql_and",
+    "sql_not",
+    "sql_or",
+    "truth_value",
+    "value_eq",
+    "value_lt",
+]

@@ -1,0 +1,77 @@
+"""Aggregate combination shared by the Cypher and SQL evaluators.
+
+The paper gives one definition of ``Count/Sum/Avg/Min/Max`` (Appendix A) and
+relies on the SQL side (VeriEQL's semantics) matching it.  Keeping a single
+implementation here guarantees the two reference evaluators in this library
+agree by construction — which Theorem 5.7 (soundness of transpilation)
+depends on.
+
+Paper quirks faithfully preserved:
+
+* an aggregate over a group whose argument is NULL on **every** row yields
+  NULL (including ``Count``, which standard SQL would report as 0);
+* ``Avg = Sum / Count`` with true division.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.values import NULL, Value, is_null
+
+
+def combine(function: str, values: Iterable[Value], distinct: bool = False) -> Value:
+    """Fold *values* (one per group member) with aggregate *function*.
+
+    Type-incompatible inputs (e.g. ``SUM`` over strings mixed with numbers)
+    raise :class:`~repro.common.errors.SemanticsError`, which the bounded
+    checker treats as "skip this instance" — mirroring how an SMT backend
+    would never construct ill-typed instances in the first place.
+    """
+    from repro.common.errors import SemanticsError
+
+    collected = list(values)
+    if all(is_null(v) for v in collected):
+        return NULL
+    non_null = [v for v in collected if not is_null(v)]
+    if distinct:
+        non_null = _dedup(non_null)
+    try:
+        if function == "Count":
+            return len(non_null)
+        if function == "Sum":
+            return _sum(non_null)
+        if function == "Avg":
+            total = _sum(non_null)
+            if is_null(total):
+                return NULL
+            return total / len(non_null)
+        if function == "Min":
+            return min(non_null)
+        if function == "Max":
+            return max(non_null)
+    except TypeError as error:
+        raise SemanticsError(f"{function} over incompatible values: {error}") from None
+    raise ValueError(f"unknown aggregate function {function!r}")
+
+
+def count_rows(row_count: int) -> Value:
+    """``Count(*)`` — counts rows regardless of NULLs; 0 stays 0."""
+    return row_count
+
+
+def _sum(values: list[Value]) -> Value:
+    total: Value = 0
+    for value in values:
+        total += value  # type: ignore[operator]
+    return total
+
+
+def _dedup(values: list[Value]) -> list[Value]:
+    seen: set[Value] = set()
+    out: list[Value] = []
+    for value in values:
+        if value not in seen:
+            seen.add(value)
+            out.append(value)
+    return out

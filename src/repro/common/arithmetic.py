@@ -1,0 +1,54 @@
+"""Scalar arithmetic shared by the Cypher and SQL evaluators.
+
+NULL propagates through every operator.  Integer division truncates toward
+zero (matching SQLite and Neo4j); division by zero yields NULL so the
+reference evaluators stay total.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.values import NULL, Value, is_null
+
+
+def apply_binary(op: str, left: Value, right: Value) -> Value:
+    """Evaluate ``left op right`` with NULL propagation.
+
+    Type mismatches raise :class:`~repro.common.errors.SemanticsError` so
+    callers (notably the bounded checker) can skip ill-typed instances.
+    """
+    from repro.common.errors import SemanticsError
+
+    if is_null(left) or is_null(right):
+        return NULL
+    try:
+        if op == "+":
+            return left + right  # type: ignore[operator]
+        if op == "-":
+            return left - right  # type: ignore[operator]
+        if op == "*":
+            return left * right  # type: ignore[operator]
+        if op == "/":
+            return _divide(left, right)
+        if op == "%":
+            return _modulo(left, right)
+    except TypeError as error:
+        raise SemanticsError(f"arithmetic over incompatible values: {error}") from None
+    raise ValueError(f"unknown arithmetic operator {op!r}")
+
+
+def _divide(left: Value, right: Value) -> Value:
+    if right == 0:
+        return NULL
+    if isinstance(left, int) and isinstance(right, int):
+        return int(left / right)  # truncate toward zero, like SQLite / Neo4j
+    return left / right  # type: ignore[operator]
+
+
+def _modulo(left: Value, right: Value) -> Value:
+    if right == 0:
+        return NULL
+    if isinstance(left, int) and isinstance(right, int):
+        return int(math.fmod(left, right))
+    return math.fmod(left, right)  # type: ignore[arg-type]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Graphiti reproduction.
+
+Every error raised by this library derives from :class:`GraphitiError`, so
+callers can catch a single base class at API boundaries.  The subclasses map
+onto pipeline stages: parsing, schema validation, query evaluation,
+transformer application, and transpilation.
+"""
+
+from __future__ import annotations
+
+
+class GraphitiError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParseError(GraphitiError):
+    """A surface-syntax string could not be parsed.
+
+    Carries enough positional information to produce a useful diagnostic.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line or column:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class SchemaError(GraphitiError):
+    """A schema is ill-formed, or an instance violates its schema."""
+
+
+class SemanticsError(GraphitiError):
+    """A query is ill-typed or references unknown names during evaluation."""
+
+
+class TransformerError(GraphitiError):
+    """A database transformer is ill-formed or cannot be applied."""
+
+
+class TranspileError(GraphitiError):
+    """The syntax-directed transpiler cannot translate a construct."""
+
+
+class UnsupportedError(GraphitiError):
+    """A query falls outside the fragment supported by a backend.
+
+    The deductive backend raises (or records) this for aggregations and outer
+    joins, mirroring Mediator's supported fragment in the paper's Section 6.2.
+    """

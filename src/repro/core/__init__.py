@@ -1,0 +1,18 @@
+"""The paper's primary contribution: SDT inference, transpilation, and the
+end-to-end equivalence-checking pipeline (Algorithms 1 and 2)."""
+
+from repro.core.sdt import SdtResult, infer_sdt
+from repro.core.transpile import transpile
+from repro.core.equivalence import CheckResult, Verdict, check_equivalence
+from repro.core.counterexample import Counterexample, lift_counterexample
+
+__all__ = [
+    "SdtResult",
+    "infer_sdt",
+    "transpile",
+    "CheckResult",
+    "Verdict",
+    "check_equivalence",
+    "Counterexample",
+    "lift_counterexample",
+]

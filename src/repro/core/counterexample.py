@@ -1,0 +1,126 @@
+"""Lifting relational counterexamples back to property graphs.
+
+When the bounded checker refutes equivalence it produces a relational
+instance over the *induced* schema.  Because the standard database
+transformer is a bijection between graph instances and induced-schema
+instances (each node/edge type maps to exactly one table), the witness can
+be lifted back into a property graph — the paper's Figure 23 shows such a
+lifted counterexample.
+
+``lift_counterexample`` is the exact inverse of applying ``Φ_sdt``:
+``lift(Φ_sdt(G)) == G`` up to element identity, a property the test suite
+checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SchemaError
+from repro.common.values import Value
+from repro.core.sdt import SdtResult
+from repro.graph.builder import GraphBuilder
+from repro.graph.instance import Node, PropertyGraph
+from repro.graph.schema import GraphSchema
+from repro.relational.instance import Database, Table
+
+
+@dataclass
+class Counterexample:
+    """A witness of non-equivalence: paired instances plus query outputs."""
+
+    graph: PropertyGraph
+    induced_database: Database
+    target_database: Database
+    cypher_result: Table
+    sql_result: Table
+    bound: int = 0
+    note: str = ""
+
+    def describe(self) -> str:
+        lines = [
+            "counterexample (queries disagree on equivalent instances):",
+            "--- graph instance ---",
+            str(self.graph),
+            "--- relational instance ---",
+            str(self.target_database),
+            "--- Cypher result ---",
+            str(self.cypher_result),
+            "--- SQL result ---",
+            str(self.sql_result),
+        ]
+        if self.note:
+            lines.append(f"note: {self.note}")
+        return "\n".join(lines)
+
+    def to_cypher_create(self) -> str:
+        """The witness graph as an executable Cypher ``CREATE`` statement,
+        ready to paste into a Neo4j console to replay the discrepancy."""
+        return graph_to_cypher_create(self.graph)
+
+
+def graph_to_cypher_create(graph: PropertyGraph) -> str:
+    """Render *graph* as one Cypher ``CREATE`` statement."""
+    from repro.common.values import is_null
+
+    def render_value(value: Value) -> str:
+        if is_null(value):
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+            return f"'{escaped}'"
+        return repr(value)
+
+    def render_properties(pairs: tuple[tuple[str, Value], ...]) -> str:
+        if not pairs:
+            return ""
+        body = ", ".join(f"{key}: {render_value(value)}" for key, value in pairs)
+        return f" {{{body}}}"
+
+    parts: list[str] = []
+    names: dict[int, str] = {}
+    for index, node in enumerate(graph.nodes, start=1):
+        names[node.uid] = f"n{index}"
+        parts.append(
+            f"({names[node.uid]}:{node.label}{render_properties(node.properties)})"
+        )
+    for edge in graph.edges:
+        source = names[edge.source_uid]
+        target = names[edge.target_uid]
+        parts.append(
+            f"({source})-[:{edge.label}{render_properties(edge.properties)}]->({target})"
+        )
+    if not parts:
+        return "// empty graph"
+    return "CREATE\n  " + ",\n  ".join(parts)
+
+
+def lift_counterexample(
+    graph_schema: GraphSchema, sdt: SdtResult, induced: Database
+) -> PropertyGraph:
+    """Reconstruct the property graph whose SDT image is *induced*."""
+    builder = GraphBuilder(graph_schema)
+    nodes_by_key: dict[tuple[str, Value], Node] = {}
+    for node_type in graph_schema.node_types:
+        table = induced.table(sdt.table_for(node_type.label))
+        for row in table:
+            properties = dict(zip(node_type.keys, row))
+            node = builder.add_node(node_type.label, **properties)
+            key_value = properties[node_type.default_key]
+            nodes_by_key[(node_type.label, key_value)] = node
+    for edge_type in graph_schema.edge_types:
+        table = induced.table(sdt.table_for(edge_type.label))
+        for row in table:
+            *property_values, source_key, target_key = row
+            properties = dict(zip(edge_type.keys, property_values))
+            source = nodes_by_key.get((edge_type.source, source_key))
+            target = nodes_by_key.get((edge_type.target, target_key))
+            if source is None or target is None:
+                raise SchemaError(
+                    f"induced instance has a dangling {edge_type.label!r} edge "
+                    f"({source_key!r} -> {target_key!r}); foreign keys violated"
+                )
+            builder.add_edge(edge_type.label, source, target, **properties)
+    return builder.build()

@@ -1,0 +1,95 @@
+"""End-to-end equivalence checking (paper Algorithm 1).
+
+``check_equivalence`` wires the pipeline together:
+
+1. ``InferSDT``          — induced schema + standard transformer,
+2. ``Transpile``         — correct-by-construction Cypher → SQL,
+3. ``ReduceToSQL``       — residual transformer by substitution (Alg. 2),
+4. ``CheckSQL``          — a pluggable backend decides SQL equivalence.
+
+On refutation, the backend's induced-schema witness is lifted back to a
+property graph (the SDT is a bijection), and both query results are attached
+so callers can print a paper-style counterexample (Figures 3/4, 23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checkers.base import CheckOutcome, CheckRequest, Verdict
+from repro.core.counterexample import Counterexample, lift_counterexample
+from repro.core.sdt import SdtResult, infer_sdt
+from repro.core.transpile import transpile
+from repro.cypher import ast as cy
+from repro.cypher.semantics import evaluate_query as evaluate_cypher
+from repro.graph.schema import GraphSchema
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast as sq
+from repro.sql.semantics import evaluate_query as evaluate_sql
+from repro.transformer.dsl import Transformer
+from repro.transformer.residual import residual_transformer
+
+
+@dataclass
+class CheckResult:
+    """Everything produced by one ``CheckEquivalence`` run."""
+
+    verdict: Verdict
+    outcome: CheckOutcome
+    sdt: SdtResult
+    transpiled: sq.Query
+    residual: Transformer
+    counterexample: Counterexample | None = None
+
+    @property
+    def refuted(self) -> bool:
+        return self.verdict is Verdict.NOT_EQUIVALENT
+
+    @property
+    def verified(self) -> bool:
+        return self.verdict in (Verdict.EQUIVALENT, Verdict.BOUNDED_EQUIVALENT)
+
+
+def check_equivalence(
+    graph_schema: GraphSchema,
+    cypher_query: cy.Query,
+    relational_schema: RelationalSchema,
+    sql_query: sq.Query,
+    transformer: Transformer,
+    checker,
+) -> CheckResult:
+    """``CheckEquivalence(Ψ_G, Q_G, Ψ_R, Q_R, Φ)`` with backend *checker*."""
+    sdt = infer_sdt(graph_schema)
+    transpiled = transpile(cypher_query, graph_schema, sdt)
+    residual = residual_transformer(transformer, sdt.transformer)
+    request = CheckRequest(
+        induced_schema=sdt.schema,
+        induced_query=transpiled,
+        target_schema=relational_schema,
+        target_query=sql_query,
+        residual=residual,
+    )
+    outcome = checker.check(request)
+    counterexample = None
+    if outcome.verdict is Verdict.NOT_EQUIVALENT and outcome.induced_witness is not None:
+        graph = lift_counterexample(graph_schema, sdt, outcome.induced_witness)
+        cypher_result = evaluate_cypher(cypher_query, graph)
+        sql_result = evaluate_sql(sql_query, outcome.target_witness)
+        counterexample = Counterexample(
+            graph=graph,
+            induced_database=outcome.induced_witness,
+            target_database=outcome.target_witness,
+            cypher_result=cypher_result,
+            sql_result=sql_result,
+            bound=outcome.checked_bound,
+        )
+    return CheckResult(
+        verdict=outcome.verdict,
+        outcome=outcome,
+        sdt=sdt,
+        transpiled=transpiled,
+        residual=residual,
+        counterexample=counterexample,
+    )
+
+

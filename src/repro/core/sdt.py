@@ -1,0 +1,140 @@
+"""``InferSDT`` — induced relational schema and standard database transformer
+(paper Section 5.1, Figure 13).
+
+For every node type ``(l, K1, ..., Kn)`` the induced schema contains a table
+``R_l(K1, ..., Kn)`` with ``PK(R_l) = K1``; for every edge type
+``(l, t_src, t_tgt, K1, ..., Km)`` a table ``R_l(K1, ..., Km, SRC, TGT)``
+with ``PK(R_l) = K1`` and foreign keys ``SRC``/``TGT`` referencing the
+endpoint tables' primary keys (paper Figure 6 shows exactly this shape).
+
+Induced table names reuse the graph label verbatim — the rendering in the
+paper's Figure 7 (``FROM Concept AS c1 JOIN CS AS r1 ...``) does the same.
+The standard transformer's rules are then identity renamings
+``l(K1, ..) → R_l(K1, ..)``, so the residual substitution of Algorithm 2 is
+well-defined even when label and table names coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    NotNull,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+from repro.transformer.dsl import Predicate, Rule, Transformer, Variable
+
+#: Attribute names the Edge rule appends for the endpoint foreign keys.
+SOURCE_ATTRIBUTE = "SRC"
+TARGET_ATTRIBUTE = "TGT"
+
+
+@dataclass(frozen=True)
+class SdtResult:
+    """Output of ``InferSDT``: ``(Φ_sdt, Ψ'_R)`` plus name bookkeeping."""
+
+    schema: RelationalSchema
+    transformer: Transformer
+    table_of_label: dict[str, str]
+
+    def table_for(self, label: str) -> str:
+        """Induced table name for a node/edge label."""
+        try:
+            return self.table_of_label[label]
+        except KeyError:
+            raise SchemaError(f"no induced table for label {label!r}") from None
+
+
+def infer_sdt(graph_schema: GraphSchema) -> SdtResult:
+    """``InferSDT(Ψ_G) = (Φ_sdt, Ψ'_R)`` (Algorithm 1, line 2)."""
+    relations: list[Relation] = []
+    primary_keys: list[PrimaryKey] = []
+    foreign_keys: list[ForeignKey] = []
+    not_nulls: list[NotNull] = []
+    rules: list[Rule] = []
+    table_of_label: dict[str, str] = {}
+
+    for node_type in graph_schema.node_types:
+        relation, constraints, rule = _node_rule(node_type)
+        relations.append(relation)
+        primary_keys.extend(constraints.primary_keys)
+        not_nulls.extend(constraints.not_nulls)
+        rules.append(rule)
+        table_of_label[node_type.label] = relation.name
+
+    for edge_type in graph_schema.edge_types:
+        relation, constraints, rule = _edge_rule(edge_type, graph_schema)
+        relations.append(relation)
+        primary_keys.extend(constraints.primary_keys)
+        foreign_keys.extend(constraints.foreign_keys)
+        not_nulls.extend(constraints.not_nulls)
+        rules.append(rule)
+        table_of_label[edge_type.label] = relation.name
+
+    schema = RelationalSchema(
+        tuple(relations),
+        IntegrityConstraints(
+            tuple(primary_keys), tuple(foreign_keys), tuple(not_nulls)
+        ),
+    )
+    return SdtResult(schema, Transformer.of(rules), table_of_label)
+
+
+def _node_rule(node_type: NodeType) -> tuple[Relation, IntegrityConstraints, Rule]:
+    """The ``Node`` rule of Figure 13."""
+    table_name = node_type.label
+    relation = Relation(table_name, node_type.keys)
+    constraints = IntegrityConstraints(
+        primary_keys=(PrimaryKey(table_name, node_type.default_key),),
+        not_nulls=(NotNull(table_name, node_type.default_key),),
+    )
+    terms = tuple(Variable(key) for key in node_type.keys)
+    rule = Rule((Predicate(node_type.label, terms),), Predicate(table_name, terms))
+    return relation, constraints, rule
+
+
+def _edge_rule(
+    edge_type: EdgeType, graph_schema: GraphSchema
+) -> tuple[Relation, IntegrityConstraints, Rule]:
+    """The ``Edge`` rule of Figure 13."""
+    table_name = edge_type.label
+    for reserved in (SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE):
+        if reserved in edge_type.keys:
+            raise SchemaError(
+                f"edge type {edge_type.label!r} declares reserved key {reserved!r}"
+            )
+    attributes = edge_type.keys + (SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE)
+    relation = Relation(table_name, attributes)
+    source_type = graph_schema.node_type(edge_type.source)
+    target_type = graph_schema.node_type(edge_type.target)
+    constraints = IntegrityConstraints(
+        primary_keys=(PrimaryKey(table_name, edge_type.default_key),),
+        foreign_keys=(
+            ForeignKey(
+                table_name, SOURCE_ATTRIBUTE, source_type.label, source_type.default_key
+            ),
+            ForeignKey(
+                table_name, TARGET_ATTRIBUTE, target_type.label, target_type.default_key
+            ),
+        ),
+        not_nulls=(
+            NotNull(table_name, edge_type.default_key),
+            NotNull(table_name, SOURCE_ATTRIBUTE),
+            NotNull(table_name, TARGET_ATTRIBUTE),
+        ),
+    )
+    variables = tuple(Variable(key) for key in edge_type.keys) + (
+        Variable("fk_src"),
+        Variable("fk_tgt"),
+    )
+    rule = Rule(
+        (Predicate(edge_type.label, variables),),
+        Predicate(table_name, variables),
+    )
+    return relation, constraints, rule

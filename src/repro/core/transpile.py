@@ -1,0 +1,522 @@
+"""Syntax-directed transpilation of Featherweight Cypher into Featherweight
+SQL over the induced relational schema (paper Section 5.2, Figures 16-18,
+and Appendix B Figures 21-22).
+
+The judgment forms map onto functions:
+
+* ``Φsdt, Ψ_R ⊢ Q  --query-->   Q'``   →  :func:`transpile`
+* ``Φsdt, Ψ_R ⊢ C  --clause-->  X, Q`` →  :func:`_translate_clause`
+* ``Φsdt, Ψ_R ⊢ PP --pattern--> X, Q`` →  :func:`_translate_pattern`
+* ``Φsdt, Ψ_R ⊢ E  --expr-->    E'``   →  :func:`_translate_expression`
+* ``Φsdt, Ψ_R ⊢ φ  --pred-->    φ'``   →  :func:`_translate_predicate`
+
+Attribute-naming invariant: every translated clause produces a SQL query
+whose output attributes are exactly the *flattened* names ``{X}_{K}`` for
+each in-scope variable ``X`` and each induced-table attribute ``K`` of its
+label (node keys; edge keys plus ``SRC``/``TGT``).  The C-Match2/C-OptMatch
+rules re-establish the invariant after their ``ρ_T1 ⋈ ρ_T2`` join with a
+projection, which corresponds to the paper's flattened CTE columns
+(``c1_CID``, ``s_SID``, ... in Figure 7).
+
+Cypher path patterns become chains of inner joins whose predicates connect
+edge-table ``SRC``/``TGT`` foreign keys to endpoint primary keys (PT-Path);
+``MATCH`` accumulation becomes an inner join on shared-variable primary keys
+(C-Match2); ``OPTIONAL MATCH`` becomes a left outer join (C-OptMatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable
+
+from repro.common.errors import TranspileError
+from repro.core.sdt import SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE, SdtResult
+from repro.cypher import ast as cy
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.sql import ast as sq
+
+#: Maps a (variable, induced attribute) pair to an attribute reference string.
+Naming = Callable[[str, str], str]
+
+
+def flat(variable: str, key: str) -> str:
+    """The flattened output-attribute name for ``X.K``."""
+    return f"{variable}_{key}"
+
+
+@dataclass(frozen=True)
+class ClauseOutput:
+    """``X, Q`` — in-scope variables (name → label) and the SQL translation."""
+
+    variables: dict[str, str]
+    query: sq.Query
+
+
+class Transpiler:
+    """Carries ``Φ_sdt`` / ``Ψ'_R`` and fresh-name state through translation."""
+
+    def __init__(self, graph_schema: GraphSchema, sdt: SdtResult) -> None:
+        self.graph_schema = graph_schema
+        self.sdt = sdt
+        self._fresh = count(1)
+
+    # -- queries (Figure 16) ------------------------------------------------
+
+    def translate_query(self, query: cy.Query) -> sq.Query:
+        if isinstance(query, cy.Return):
+            return self._translate_return(query)
+        if isinstance(query, cy.OrderBy):
+            inner = self.translate_query(query.query)
+            keys = tuple(sq.AttributeRef(k) for k in query.keys)
+            return sq.OrderBy(inner, keys, tuple(query.ascending), query.limit)
+        if isinstance(query, cy.Union):
+            return sq.UnionOp(
+                self.translate_query(query.left),
+                self.translate_query(query.right),
+                all=False,
+            )
+        if isinstance(query, cy.UnionAll):
+            return sq.UnionOp(
+                self.translate_query(query.left),
+                self.translate_query(query.right),
+                all=True,
+            )
+        raise TranspileError(f"cannot transpile query node {type(query).__name__}")
+
+    def _translate_return(self, query: cy.Return) -> sq.Query:
+        clause = self.translate_clause(query.clause)
+        naming = self._flat_naming(clause.variables)
+        expressions = [
+            self._translate_expression(expr, naming, clause.variables)
+            for expr in query.expressions
+        ]
+        columns = sq.columns_of(expressions, query.names)
+        if not any(self._has_aggregate(e) for e in query.expressions):
+            # Q-Ret: plain projection with renaming.
+            return sq.Projection(clause.query, columns, distinct=query.distinct)
+        # Q-Agg: group by the non-aggregate output expressions.
+        grouping = tuple(
+            translated
+            for translated, original in zip(expressions, query.expressions)
+            if not self._has_aggregate(original)
+        )
+        grouped: sq.Query = sq.GroupBy(clause.query, grouping, columns, sq.TRUE)
+        if query.distinct:
+            passthrough = tuple(
+                sq.OutputColumn(c.alias, sq.AttributeRef(c.alias)) for c in columns
+            )
+            grouped = sq.Projection(grouped, passthrough, distinct=True)
+        return grouped
+
+    # -- clauses (Figure 17) -------------------------------------------------
+
+    def translate_clause(self, clause: cy.Clause) -> ClauseOutput:
+        if isinstance(clause, cy.Match):
+            if clause.previous is None:
+                return self._translate_first_match(clause)
+            return self._translate_chained_match(
+                clause.previous, clause.pattern, clause.predicate, sq.JoinKind.INNER
+            )
+        if isinstance(clause, cy.OptMatch):
+            return self._translate_chained_match(
+                clause.previous, clause.pattern, clause.predicate, sq.JoinKind.LEFT
+            )
+        if isinstance(clause, cy.With):
+            return self._translate_with(clause)
+        raise TranspileError(f"cannot transpile clause node {type(clause).__name__}")
+
+    def _translate_first_match(self, clause: cy.Match) -> ClauseOutput:
+        """C-Match1: ``σ_φ'(Q_PP)``."""
+        pattern = self._translate_pattern(clause.pattern)
+        naming = self._flat_naming(pattern.variables)
+        predicate = self._translate_predicate(clause.predicate, naming, pattern.variables)
+        return ClauseOutput(pattern.variables, sq.Selection(pattern.query, predicate))
+
+    def _translate_chained_match(
+        self,
+        previous: cy.Clause,
+        pattern: cy.PathPattern,
+        predicate: cy.Predicate,
+        kind: sq.JoinKind,
+    ) -> ClauseOutput:
+        """C-Match2 / C-OptMatch: join on shared-variable primary keys."""
+        left = self.translate_clause(previous)
+        right = self._translate_pattern(pattern)
+        t1 = self._fresh_table("T")
+        t2 = self._fresh_table("T")
+        shared = sorted(set(left.variables) & set(right.variables))
+        for variable in shared:
+            if left.variables[variable] != right.variables[variable]:
+                raise TranspileError(
+                    f"variable {variable!r} used with labels "
+                    f"{left.variables[variable]!r} and {right.variables[variable]!r}"
+                )
+
+        def joined_naming(variable: str, key: str) -> str:
+            if variable in left.variables:
+                return f"{t1}.{flat(variable, key)}"
+            if variable in right.variables:
+                return f"{t2}.{flat(variable, key)}"
+            raise TranspileError(f"unbound variable {variable!r} in match predicate")
+
+        merged_vars = dict(left.variables)
+        merged_vars.update(right.variables)
+        join_predicate = self._translate_predicate(predicate, joined_naming, merged_vars)
+        for variable in shared:
+            pk = self._primary_key_of(left.variables[variable])
+            equality = sq.Comparison(
+                "=",
+                sq.AttributeRef(f"{t1}.{flat(variable, pk)}"),
+                sq.AttributeRef(f"{t2}.{flat(variable, pk)}"),
+            )
+            join_predicate = (
+                equality if join_predicate == sq.TRUE else sq.And(join_predicate, equality)
+            )
+        join = sq.Join(
+            kind,
+            sq.Renaming(t1, left.query),
+            sq.Renaming(t2, right.query),
+            join_predicate,
+        )
+        # Re-establish the flat-attribute invariant: shared variables read
+        # from the left (non-null) side, pattern-only variables from the right.
+        columns: list[sq.OutputColumn] = []
+        for variable, label in merged_vars.items():
+            prefix = t1 if variable in left.variables else t2
+            for key in self._attributes_of(label):
+                columns.append(
+                    sq.OutputColumn(
+                        flat(variable, key),
+                        sq.AttributeRef(f"{prefix}.{flat(variable, key)}"),
+                    )
+                )
+        return ClauseOutput(merged_vars, sq.Projection(join, tuple(columns)))
+
+    def _translate_with(self, clause: cy.With) -> ClauseOutput:
+        """C-With: project to the kept variables, renaming old → new."""
+        inner = self.translate_clause(clause.previous)
+        variables: dict[str, str] = {}
+        columns: list[sq.OutputColumn] = []
+        for old, new in zip(clause.old_names, clause.new_names):
+            if old not in inner.variables:
+                raise TranspileError(f"WITH references unbound variable {old!r}")
+            label = inner.variables[old]
+            variables[new] = label
+            for key in self._attributes_of(label):
+                columns.append(
+                    sq.OutputColumn(flat(new, key), sq.AttributeRef(flat(old, key)))
+                )
+        return ClauseOutput(variables, sq.Projection(inner.query, tuple(columns)))
+
+    # -- patterns (Figure 18) -------------------------------------------------
+
+    def _translate_pattern(self, pattern: cy.PathPattern) -> ClauseOutput:
+        """PT-Node / PT-Path with flattened output attributes.
+
+        Repeated variables inside one pattern are scanned once per
+        occurrence under a fresh alias and constrained equal on their
+        primary key, then surfaced once in the output.
+        """
+        variables: dict[str, str] = {}
+        scans: list[tuple[str, str, str]] = []  # (alias, variable, label)
+        alias_of_occurrence: list[str] = []
+
+        def register(variable: str, label: str) -> str:
+            if variable in variables:
+                if variables[variable] != label:
+                    raise TranspileError(
+                        f"variable {variable!r} used with labels "
+                        f"{variables[variable]!r} and {label!r}"
+                    )
+                alias = self._fresh_table(f"{variable}__dup")
+            else:
+                variables[variable] = label
+                alias = variable
+            scans.append((alias, variable, label))
+            return alias
+
+        for element in pattern:
+            alias_of_occurrence.append(register(element.variable, element.label))
+
+        query: sq.Query | None = None
+        duplicate_constraints: list[sq.Predicate] = []
+        alias_by_variable: dict[str, str] = {}
+        for alias, variable, label in scans:
+            scan: sq.Query = sq.Renaming(
+                alias, sq.Relation(self.sdt.table_for(label))
+            )
+            if query is None:
+                query = scan
+            else:
+                query = sq.Join(sq.JoinKind.CROSS, query, scan, sq.TRUE)
+            if variable in alias_by_variable and alias != alias_by_variable[variable]:
+                pk = self._primary_key_of(label)
+                duplicate_constraints.append(
+                    sq.Comparison(
+                        "=",
+                        sq.AttributeRef(f"{alias_by_variable[variable]}.{pk}"),
+                        sq.AttributeRef(f"{alias}.{pk}"),
+                    )
+                )
+            else:
+                alias_by_variable[variable] = alias
+
+        connection_predicates: list[sq.Predicate] = []
+        for index in range(1, len(pattern), 2):
+            edge = pattern[index]
+            assert isinstance(edge, cy.EdgePattern)
+            left_alias = alias_of_occurrence[index - 1]
+            edge_alias = alias_of_occurrence[index]
+            right_alias = alias_of_occurrence[index + 1]
+            left_node = pattern[index - 1]
+            right_node = pattern[index + 1]
+            assert isinstance(left_node, cy.NodePattern)
+            assert isinstance(right_node, cy.NodePattern)
+            connection_predicates.append(
+                self._edge_connection(
+                    edge, left_node, right_node, left_alias, edge_alias, right_alias
+                )
+            )
+
+        assert query is not None
+        predicate = _conjoin(connection_predicates + duplicate_constraints)
+        if predicate != sq.TRUE:
+            query = sq.Selection(query, predicate)
+
+        columns: list[sq.OutputColumn] = []
+        for variable, label in variables.items():
+            alias = alias_by_variable[variable]
+            for key in self._attributes_of(label):
+                columns.append(
+                    sq.OutputColumn(flat(variable, key), sq.AttributeRef(f"{alias}.{key}"))
+                )
+        return ClauseOutput(variables, sq.Projection(query, tuple(columns)))
+
+    def _edge_connection(
+        self,
+        edge: cy.EdgePattern,
+        left_node: cy.NodePattern,
+        right_node: cy.NodePattern,
+        left_alias: str,
+        edge_alias: str,
+        right_alias: str,
+    ) -> sq.Predicate:
+        """The PT-Path join predicate ``φ ∧ φ'`` for one edge occurrence."""
+        edge_type = self.graph_schema.edge_type(edge.label)
+        forward_ok = (
+            edge_type.source == left_node.label and edge_type.target == right_node.label
+        )
+        backward_ok = (
+            edge_type.source == right_node.label and edge_type.target == left_node.label
+        )
+
+        def orient(source_alias: str, source_label: str, target_alias: str, target_label: str):
+            source_pk = self._primary_key_of(source_label)
+            target_pk = self._primary_key_of(target_label)
+            return sq.And(
+                sq.Comparison(
+                    "=",
+                    sq.AttributeRef(f"{edge_alias}.{SOURCE_ATTRIBUTE}"),
+                    sq.AttributeRef(f"{source_alias}.{source_pk}"),
+                ),
+                sq.Comparison(
+                    "=",
+                    sq.AttributeRef(f"{edge_alias}.{TARGET_ATTRIBUTE}"),
+                    sq.AttributeRef(f"{target_alias}.{target_pk}"),
+                ),
+            )
+
+        if edge.direction is cy.Direction.OUT:
+            if not forward_ok:
+                raise TranspileError(
+                    f"edge {edge.label!r} cannot run from {left_node.label!r} "
+                    f"to {right_node.label!r}"
+                )
+            return orient(left_alias, left_node.label, right_alias, right_node.label)
+        if edge.direction is cy.Direction.IN:
+            if not backward_ok:
+                raise TranspileError(
+                    f"edge {edge.label!r} cannot run from {right_node.label!r} "
+                    f"to {left_node.label!r}"
+                )
+            return orient(right_alias, right_node.label, left_alias, left_node.label)
+        # Undirected: admit every orientation the edge type allows.
+        options: list[sq.Predicate] = []
+        if forward_ok:
+            options.append(orient(left_alias, left_node.label, right_alias, right_node.label))
+        if backward_ok:
+            options.append(orient(right_alias, right_node.label, left_alias, left_node.label))
+        if not options:
+            raise TranspileError(
+                f"edge {edge.label!r} cannot connect {left_node.label!r} "
+                f"and {right_node.label!r} in either direction"
+            )
+        if len(options) == 1:
+            return options[0]
+        return sq.Or(options[0], options[1])
+
+    # -- expressions (Figure 21) ----------------------------------------------
+
+    def _translate_expression(
+        self, expression: cy.Expression, naming: Naming, variables: dict[str, str]
+    ) -> sq.Expression:
+        if isinstance(expression, cy.PropertyRef):
+            self._check_property(expression, variables)
+            return sq.AttributeRef(naming(expression.variable, expression.key))
+        if isinstance(expression, cy.VariableRef):
+            if expression.variable not in variables:
+                raise TranspileError(f"unbound variable {expression.variable!r}")
+            pk = self._primary_key_of(variables[expression.variable])
+            return sq.AttributeRef(naming(expression.variable, pk))
+        if isinstance(expression, cy.Literal):
+            return sq.Literal(expression.value)
+        if isinstance(expression, cy.Aggregate):
+            if expression.argument is None:
+                return sq.Aggregate("Count", None, expression.distinct)
+            argument = self._translate_expression(expression.argument, naming, variables)
+            return sq.Aggregate(expression.function, argument, expression.distinct)
+        if isinstance(expression, cy.BinaryOp):
+            return sq.BinaryOp(
+                expression.op,
+                self._translate_expression(expression.left, naming, variables),
+                self._translate_expression(expression.right, naming, variables),
+            )
+        if isinstance(expression, cy.CastPredicate):
+            return sq.CastPredicate(
+                self._translate_predicate(expression.predicate, naming, variables)
+            )
+        raise TranspileError(
+            f"cannot transpile expression node {type(expression).__name__}"
+        )
+
+    # -- predicates (Figure 22) -------------------------------------------------
+
+    def _translate_predicate(
+        self, predicate: cy.Predicate, naming: Naming, variables: dict[str, str]
+    ) -> sq.Predicate:
+        if isinstance(predicate, cy.BoolLit):
+            return sq.BoolLit(predicate.value)
+        if isinstance(predicate, cy.Comparison):
+            return sq.Comparison(
+                predicate.op,
+                self._translate_expression(predicate.left, naming, variables),
+                self._translate_expression(predicate.right, naming, variables),
+            )
+        if isinstance(predicate, cy.IsNull):
+            return sq.IsNull(
+                self._translate_expression(predicate.operand, naming, variables),
+                predicate.negated,
+            )
+        if isinstance(predicate, cy.InValues):
+            return sq.InValues(
+                self._translate_expression(predicate.operand, naming, variables),
+                predicate.values,
+            )
+        if isinstance(predicate, cy.Exists):
+            return self._translate_exists(predicate, naming, variables)
+        if isinstance(predicate, cy.And):
+            return sq.And(
+                self._translate_predicate(predicate.left, naming, variables),
+                self._translate_predicate(predicate.right, naming, variables),
+            )
+        if isinstance(predicate, cy.Or):
+            return sq.Or(
+                self._translate_predicate(predicate.left, naming, variables),
+                self._translate_predicate(predicate.right, naming, variables),
+            )
+        if isinstance(predicate, cy.Not):
+            return sq.Not(self._translate_predicate(predicate.operand, naming, variables))
+        raise TranspileError(
+            f"cannot transpile predicate node {type(predicate).__name__}"
+        )
+
+    def _translate_exists(
+        self, predicate: cy.Exists, naming: Naming, variables: dict[str, str]
+    ) -> sq.Predicate:
+        """P-Exists, generalised to correlate on all shared variables.
+
+        When only the pattern's head/last node variables are shared with the
+        enclosing clause this is exactly the paper's
+        ``ā ∈ Π_ā(Q)`` with ``ā`` the endpoint primary keys.
+        """
+        inner = self._translate_pattern(predicate.pattern)
+        inner_naming = self._flat_naming(inner.variables)
+        inner_predicate = self._translate_predicate(
+            predicate.predicate, inner_naming, inner.variables
+        )
+        subquery: sq.Query = (
+            sq.Selection(inner.query, inner_predicate)
+            if inner_predicate != sq.TRUE
+            else inner.query
+        )
+        shared = sorted(set(inner.variables) & set(variables))
+        if not shared:
+            return sq.ExistsQuery(subquery)
+        operands: list[sq.Expression] = []
+        columns: list[sq.OutputColumn] = []
+        for variable in shared:
+            pk = self._primary_key_of(inner.variables[variable])
+            operands.append(sq.AttributeRef(naming(variable, pk)))
+            columns.append(
+                sq.OutputColumn(flat(variable, pk), sq.AttributeRef(flat(variable, pk)))
+            )
+        projected = sq.Projection(subquery, tuple(columns))
+        return sq.InQuery(tuple(operands), projected)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flat_naming(self, variables: dict[str, str]) -> Naming:
+        def naming(variable: str, key: str) -> str:
+            if variable not in variables:
+                raise TranspileError(f"unbound variable {variable!r}")
+            return flat(variable, key)
+
+        return naming
+
+    def _attributes_of(self, label: str) -> tuple[str, ...]:
+        """Induced-table attributes of a node/edge label."""
+        kind = self.graph_schema.type_of(label)
+        if isinstance(kind, NodeType):
+            return kind.keys
+        assert isinstance(kind, EdgeType)
+        return kind.keys + (SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE)
+
+    def _primary_key_of(self, label: str) -> str:
+        """Default property key = induced-table primary key for *label*."""
+        return self.graph_schema.type_of(label).default_key
+
+    def _check_property(self, ref: cy.PropertyRef, variables: dict[str, str]) -> None:
+        if ref.variable not in variables:
+            raise TranspileError(f"unbound variable {ref.variable!r} in {ref}")
+        label = variables[ref.variable]
+        declared = self._attributes_of(label)
+        if ref.key not in declared:
+            raise TranspileError(
+                f"{label!r} declares no property key {ref.key!r} (has {declared})"
+            )
+
+    def _fresh_table(self, stem: str) -> str:
+        return f"{stem}{next(self._fresh)}"
+
+    @staticmethod
+    def _has_aggregate(expression: cy.Expression) -> bool:
+        if isinstance(expression, cy.Aggregate):
+            return True
+        if isinstance(expression, cy.BinaryOp):
+            return Transpiler._has_aggregate(expression.left) or Transpiler._has_aggregate(
+                expression.right
+            )
+        return False
+
+
+def _conjoin(predicates: list[sq.Predicate]) -> sq.Predicate:
+    result: sq.Predicate = sq.TRUE
+    for predicate in predicates:
+        result = predicate if result == sq.TRUE else sq.And(result, predicate)
+    return result
+
+
+def transpile(query: cy.Query, graph_schema: GraphSchema, sdt: SdtResult) -> sq.Query:
+    """``Transpile(Q_G, Φ_sdt, Ψ'_R)`` (Algorithm 1, line 3)."""
+    return Transpiler(graph_schema, sdt).translate_query(query)

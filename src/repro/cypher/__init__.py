@@ -1,0 +1,17 @@
+"""Featherweight Cypher: AST, parser, evaluator, analysis (paper Section 3.2)."""
+
+from repro.cypher import ast
+from repro.cypher.parser import parse_cypher
+from repro.cypher.semantics import evaluate_query
+from repro.cypher.analysis import ast_size, collect_variables, has_aggregate
+from repro.cypher.pretty import pretty as pretty_cypher
+
+__all__ = [
+    "ast",
+    "parse_cypher",
+    "evaluate_query",
+    "ast_size",
+    "collect_variables",
+    "has_aggregate",
+    "pretty_cypher",
+]

@@ -1,0 +1,134 @@
+"""Static analysis over Featherweight Cypher ASTs.
+
+``ast_size`` counts AST nodes (the metric of the paper's Table 1);
+``collect_variables`` and ``has_aggregate`` support the transpiler and the
+benchmark infrastructure.
+"""
+
+from __future__ import annotations
+
+from repro.cypher import ast
+
+
+def ast_size(node: object) -> int:
+    """Number of AST nodes in a query/clause/pattern/expression/predicate."""
+    if isinstance(node, ast.Return):
+        return 1 + ast_size(node.clause) + sum(ast_size(e) for e in node.expressions)
+    if isinstance(node, ast.OrderBy):
+        return 1 + ast_size(node.query) + len(node.keys)
+    if isinstance(node, (ast.Union, ast.UnionAll)):
+        return 1 + ast_size(node.left) + ast_size(node.right)
+    if isinstance(node, ast.Match):
+        size = 1 + _pattern_size(node.pattern) + ast_size(node.predicate)
+        if node.previous is not None:
+            size += ast_size(node.previous)
+        return size
+    if isinstance(node, ast.OptMatch):
+        return 1 + ast_size(node.previous) + _pattern_size(node.pattern) + ast_size(node.predicate)
+    if isinstance(node, ast.With):
+        return 1 + ast_size(node.previous) + len(node.old_names)
+    if isinstance(node, ast.PropertyRef):
+        return 2  # variable + key
+    if isinstance(node, (ast.VariableRef, ast.Literal, ast.BoolLit)):
+        return 1
+    if isinstance(node, ast.Aggregate):
+        return 1 + (ast_size(node.argument) if node.argument is not None else 0)
+    if isinstance(node, ast.BinaryOp):
+        return 1 + ast_size(node.left) + ast_size(node.right)
+    if isinstance(node, ast.CastPredicate):
+        return 1 + ast_size(node.predicate)
+    if isinstance(node, ast.Comparison):
+        return 1 + ast_size(node.left) + ast_size(node.right)
+    if isinstance(node, ast.IsNull):
+        return 1 + ast_size(node.operand)
+    if isinstance(node, ast.InValues):
+        return 1 + ast_size(node.operand) + len(node.values)
+    if isinstance(node, ast.Exists):
+        return 1 + _pattern_size(node.pattern) + ast_size(node.predicate)
+    if isinstance(node, (ast.And, ast.Or)):
+        return 1 + ast_size(node.left) + ast_size(node.right)
+    if isinstance(node, ast.Not):
+        return 1 + ast_size(node.operand)
+    raise TypeError(f"not a Cypher AST node: {type(node).__name__}")
+
+
+def _pattern_size(pattern: ast.PathPattern) -> int:
+    """Pattern elements count at token granularity: a node pattern ``(X, l)``
+    is three nodes (tuple, variable, label), an edge pattern ``(X, l, d)``
+    four — matching how the paper's Table 1 sizes weigh pattern-heavy
+    Cypher queries above their SQL counterparts."""
+    size = 0
+    for element in pattern:
+        size += 3 if isinstance(element, ast.NodePattern) else 4
+    return size
+
+
+def collect_variables(clause: ast.Clause) -> dict[str, str]:
+    """All variables in scope after *clause* (variable → label)."""
+    if isinstance(clause, ast.Match):
+        variables: dict[str, str] = {}
+        if clause.previous is not None:
+            variables.update(collect_variables(clause.previous))
+        variables.update({e.variable: e.label for e in clause.pattern})
+        return variables
+    if isinstance(clause, ast.OptMatch):
+        variables = collect_variables(clause.previous)
+        variables.update({e.variable: e.label for e in clause.pattern})
+        return variables
+    if isinstance(clause, ast.With):
+        inner = collect_variables(clause.previous)
+        return {
+            new: inner[old]
+            for old, new in zip(clause.old_names, clause.new_names)
+        }
+    raise TypeError(f"not a Cypher clause: {type(clause).__name__}")
+
+
+def has_aggregate(expression: ast.Expression) -> bool:
+    """``hasAgg(E)`` from the translation rules."""
+    if isinstance(expression, ast.Aggregate):
+        return True
+    if isinstance(expression, ast.BinaryOp):
+        return has_aggregate(expression.left) or has_aggregate(expression.right)
+    return False
+
+
+def query_clause(query: ast.Query) -> ast.Clause:
+    """The innermost clause of a (non-union) query."""
+    if isinstance(query, ast.Return):
+        return query.clause
+    if isinstance(query, ast.OrderBy):
+        return query_clause(query.query)
+    raise TypeError("union queries have no single clause")
+
+
+def uses_optional_match(query: ast.Query) -> bool:
+    """Whether any clause in *query* is an OPTIONAL MATCH."""
+
+    def clause_uses(clause: ast.Clause) -> bool:
+        if isinstance(clause, ast.OptMatch):
+            return True
+        if isinstance(clause, ast.Match):
+            return clause.previous is not None and clause_uses(clause.previous)
+        if isinstance(clause, ast.With):
+            return clause_uses(clause.previous)
+        return False
+
+    if isinstance(query, ast.Return):
+        return clause_uses(query.clause)
+    if isinstance(query, ast.OrderBy):
+        return uses_optional_match(query.query)
+    if isinstance(query, (ast.Union, ast.UnionAll)):
+        return uses_optional_match(query.left) or uses_optional_match(query.right)
+    return False
+
+
+def uses_aggregation(query: ast.Query) -> bool:
+    """Whether the query's RETURN list contains an aggregate."""
+    if isinstance(query, ast.Return):
+        return any(has_aggregate(e) for e in query.expressions)
+    if isinstance(query, ast.OrderBy):
+        return uses_aggregation(query.query)
+    if isinstance(query, (ast.Union, ast.UnionAll)):
+        return uses_aggregation(query.left) or uses_aggregation(query.right)
+    return False

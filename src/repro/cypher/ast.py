@@ -1,0 +1,451 @@
+"""Featherweight Cypher abstract syntax (paper Figure 9).
+
+The grammar::
+
+    Query      Q  ::= R | OrderBy(R, k, b) | Union(Q, Q) | UnionAll(Q, Q)
+    ReturnQ    R  ::= Return(C, E*, k*)
+    Clause     C  ::= Match(PP, phi) | Match(C, PP, phi)
+                    | OptMatch(C, PP, phi) | With(C, X*, X*)
+    PathPatt   PP ::= NP | NP, EP, PP
+    NodePatt   NP ::= (X, l)        EdgePatt EP ::= (X, l, d)
+    Expression E  ::= k | v | Cast(phi) | Agg(E) | E (+) E
+    Predicate phi ::= T | F | E (.) E | IsNull(E) | E in v* | Exists(PP)
+                    | phi and phi | phi or phi | not phi
+
+Design notes:
+
+* Property references are *qualified*: ``m.dname`` is
+  ``PropertyRef("m", "dname")``.  The paper writes bare keys ``k`` but its
+  examples always qualify, and qualification is required once two variables
+  share a label (``c1``/``c2`` in the motivating example).
+* ``Count(*)`` is ``Aggregate("Count", None)``.
+* Directions follow the paper's ``d ∈ {→, ←, ↔}`` as :class:`Direction`.
+
+All nodes are frozen dataclasses so queries hash and compare structurally,
+which the checkers and benchmark infrastructure rely on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from repro.common.values import Value
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+
+
+class Direction(enum.Enum):
+    """Edge-pattern direction ``d ∈ {→, ←, ↔}``."""
+
+    OUT = "->"
+    IN = "<-"
+    BOTH = "--"
+
+
+@dataclass(frozen=True)
+class NodePattern:
+    """``(X, l)``: bind variable *variable* to nodes labelled *label*."""
+
+    variable: str
+    label: str
+
+
+@dataclass(frozen=True)
+class EdgePattern:
+    """``(X, l, d)``: bind *variable* to edges labelled *label*."""
+
+    variable: str
+    label: str
+    direction: Direction
+
+
+#: Alternating node/edge pattern chain of odd length:
+#: ``(NP,)`` or ``(NP, EP, NP, EP, NP, ...)``.
+PathPattern = tuple[Union[NodePattern, EdgePattern], ...]
+
+
+def path_pattern(*elements: NodePattern | EdgePattern) -> PathPattern:
+    """Validate and build a path pattern from alternating node/edge patterns."""
+    if not elements or len(elements) % 2 == 0:
+        raise ValueError("path pattern must alternate nodes and edges, ending on a node")
+    for index, element in enumerate(elements):
+        expected = NodePattern if index % 2 == 0 else EdgePattern
+        if not isinstance(element, expected):
+            raise ValueError(
+                f"path pattern element {index} should be {expected.__name__}, "
+                f"got {type(element).__name__}"
+            )
+    return tuple(elements)
+
+
+def pattern_nodes(pattern: PathPattern) -> tuple[NodePattern, ...]:
+    """The node patterns of *pattern* in order."""
+    return tuple(p for p in pattern if isinstance(p, NodePattern))
+
+
+def pattern_edges(pattern: PathPattern) -> tuple[EdgePattern, ...]:
+    """The edge patterns of *pattern* in order."""
+    return tuple(p for p in pattern if isinstance(p, EdgePattern))
+
+
+def pattern_head(pattern: PathPattern) -> NodePattern:
+    """``head(PP)`` — the first node pattern."""
+    return pattern[0]  # type: ignore[return-value]
+
+
+def pattern_last(pattern: PathPattern) -> NodePattern:
+    """``last(PP)`` — the final node pattern."""
+    return pattern[-1]  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    """``X.k`` — the value of property key *key* on the element bound to *variable*."""
+
+    variable: str
+    key: str
+
+    def __str__(self) -> str:
+        return f"{self.variable}.{self.key}"
+
+
+@dataclass(frozen=True)
+class VariableRef:
+    """``X`` — a bare variable, e.g. in ``Count(n)``.
+
+    Evaluates to the element's default-property-key value (NULL when the
+    variable is an unmatched optional binding), which is how the paper's
+    Example 3.4 reads ``Count(n)`` as ``Count(n.id)``.
+    """
+
+    variable: str
+
+    def __str__(self) -> str:
+        return self.variable
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value ``v``."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``Agg(E)`` with ``Agg ∈ {Count, Avg, Sum, Min, Max}``.
+
+    ``argument is None`` encodes ``Count(*)``.
+    ``distinct`` covers Cypher's ``Count(DISTINCT e)`` used by tutorials.
+    """
+
+    function: str
+    argument: "Expression | None"
+    distinct: bool = False
+
+    VALID = ("Count", "Avg", "Sum", "Min", "Max")
+
+    def __post_init__(self) -> None:
+        if self.function not in self.VALID:
+            raise ValueError(f"unknown aggregate {self.function!r}")
+        if self.argument is None and self.function != "Count":
+            raise ValueError(f"{self.function}(*) is not well-formed")
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.function}({inner})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic ``E ⊕ E`` with ``⊕ ∈ {+, -, *, /, %}``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    VALID = ("+", "-", "*", "/", "%")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class CastPredicate:
+    """``Cast(φ)``: coerce a predicate to 1 / 0 / NULL."""
+
+    predicate: "Predicate"
+
+    def __str__(self) -> str:
+        return f"Cast({self.predicate})"
+
+
+Expression = Union[PropertyRef, VariableRef, Literal, Aggregate, BinaryOp, CastPredicate]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    """``⊤`` or ``⊥``."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``E ⊙ E`` with ``⊙ ∈ {=, <>, <, <=, >, >=}``."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    VALID = ("=", "<>", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``IsNull(E)``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {suffix}"
+
+
+@dataclass(frozen=True)
+class InValues:
+    """``E ∈ v̄`` — membership in a literal list."""
+
+    operand: Expression
+    values: tuple[Value, ...]
+
+    def __str__(self) -> str:
+        return f"{self.operand} IN {list(self.values)!r}"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``Exists(PP)`` — some match of the pattern (satisfying *predicate*)
+    agrees with the current binding on shared variables (paper rule
+    P-Exists; the optional predicate captures inline property constraints
+    such as ``{CID: 1}``)."""
+
+    pattern: PathPattern
+    predicate: "Predicate" = TRUE
+
+    def __str__(self) -> str:
+        return f"EXISTS({_pattern_str(self.pattern)} WHERE {self.predicate})"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+Predicate = Union[BoolLit, Comparison, IsNull, InValues, Exists, And, Or, Not]
+
+
+# ---------------------------------------------------------------------------
+# Clauses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Match:
+    """``Match(PP, φ)`` or ``Match(C, PP, φ)`` when *previous* is set."""
+
+    pattern: PathPattern
+    predicate: Predicate = TRUE
+    previous: "Clause | None" = None
+
+    def __str__(self) -> str:
+        base = f"MATCH {_pattern_str(self.pattern)} WHERE {self.predicate}"
+        return f"{self.previous}\n{base}" if self.previous else base
+
+
+@dataclass(frozen=True)
+class OptMatch:
+    """``OptMatch(C, PP, φ)`` — OPTIONAL MATCH extending a previous clause."""
+
+    previous: "Clause"
+    pattern: PathPattern
+    predicate: Predicate = TRUE
+
+    def __str__(self) -> str:
+        return f"{self.previous}\nOPTIONAL MATCH {_pattern_str(self.pattern)} WHERE {self.predicate}"
+
+
+@dataclass(frozen=True)
+class With:
+    """``With(C, X̄, Ȳ)`` — keep only the listed variables, renamed old→new."""
+
+    previous: "Clause"
+    old_names: tuple[str, ...]
+    new_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.old_names) != len(self.new_names):
+            raise ValueError("With clause needs matching old/new name lists")
+
+    def __str__(self) -> str:
+        items = ", ".join(
+            old if old == new else f"{old} AS {new}"
+            for old, new in zip(self.old_names, self.new_names)
+        )
+        return f"{self.previous}\nWITH {items}"
+
+
+Clause = Union[Match, OptMatch, With]
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Return:
+    """``Return(C, Ē, k̄)`` — shape matched subgraphs into a table."""
+
+    clause: Clause
+    expressions: tuple[Expression, ...]
+    names: tuple[str, ...]
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.expressions) != len(self.names):
+            raise ValueError("Return needs one output name per expression")
+        if not self.expressions:
+            raise ValueError("Return needs at least one expression")
+
+    def __str__(self) -> str:
+        items = ", ".join(
+            f"{expr} AS {name}" for expr, name in zip(self.expressions, self.names)
+        )
+        keyword = "RETURN DISTINCT" if self.distinct else "RETURN"
+        return f"{self.clause}\n{keyword} {items}"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``OrderBy(R, k̄, b̄)`` — sort the rows of a return query."""
+
+    query: "Query"
+    keys: tuple[str, ...]
+    ascending: tuple[bool, ...]
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.ascending):
+            raise ValueError("OrderBy needs one direction per key")
+
+    def __str__(self) -> str:
+        items = ", ".join(
+            f"{key} {'ASC' if asc else 'DESC'}"
+            for key, asc in zip(self.keys, self.ascending)
+        )
+        text = f"{self.query}\nORDER BY {items}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+
+@dataclass(frozen=True)
+class Union:
+    """``Union(Q, Q)`` — duplicate-eliminating union."""
+
+    left: "Query"
+    right: "Query"
+
+    def __str__(self) -> str:
+        return f"{self.left}\nUNION\n{self.right}"
+
+
+@dataclass(frozen=True)
+class UnionAll:
+    """``UnionAll(Q, Q)`` — bag union."""
+
+    left: "Query"
+    right: "Query"
+
+    def __str__(self) -> str:
+        return f"{self.left}\nUNION ALL\n{self.right}"
+
+
+import typing as _typing  # noqa: E402  (the class `Union` shadows typing.Union above)
+
+Query = _typing.Union[Return, OrderBy, Union, UnionAll]
+
+
+def _pattern_str(pattern: PathPattern) -> str:
+    chunks: list[str] = []
+    for element in pattern:
+        if isinstance(element, NodePattern):
+            chunks.append(f"({element.variable}:{element.label})")
+        else:
+            arrow = {
+                Direction.OUT: f"-[{element.variable}:{element.label}]->",
+                Direction.IN: f"<-[{element.variable}:{element.label}]-",
+                Direction.BOTH: f"-[{element.variable}:{element.label}]-",
+            }[element.direction]
+            chunks.append(arrow)
+    return "".join(chunks)

@@ -1,0 +1,154 @@
+"""Tokenizer shared by the Cypher and SQL surface parsers.
+
+Both languages in the supported fragments use the same lexical alphabet:
+identifiers, numbers, single-quoted strings, punctuation, and a handful of
+multi-character operators.  Keywords are recognised case-insensitively at
+parse time (the lexer only produces ``IDENT`` tokens and leaves keyword
+classification to the parsers).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.common.errors import ParseError
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<op><=|>=|<>|!=|<|>|=|\+|-|\*|/|%|\(|\)|\[|\]|\{|\}|,|:|\.|;)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "number" | "string" | "ident" | "op" | "eof"
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "ident" and self.text.upper() in words
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "op" and self.text in ops
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {source[position]!r}",
+                line=line,
+                column=position - line_start + 1,
+            )
+        text = match.group(0)
+        kind = match.lastgroup or "op"
+        if kind not in ("ws", "comment"):
+            tokens.append(Token(kind, text, line, position - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token("eof", "", line, position - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        return self.peek().is_keyword(*words)
+
+    def take_keyword(self, *words: str) -> bool:
+        if self.at_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {token.text or 'end of input'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def at_op(self, *ops: str) -> bool:
+        return self.peek().is_op(*ops)
+
+    def take_op(self, *ops: str) -> bool:
+        if self.at_op(*ops):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> Token:
+        token = self.peek()
+        if not token.is_op(op):
+            raise ParseError(
+                f"expected {op!r}, found {token.text or 'end of input'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def expect_ident(self, what: str = "identifier") -> Token:
+        token = self.peek()
+        if token.kind != "ident":
+            raise ParseError(
+                f"expected {what}, found {token.text or 'end of input'!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "eof" or self.peek().is_op(";")
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, line=token.line, column=token.column)
+
+
+def string_value(token: Token) -> str:
+    """Strip quotes and unescape a string token."""
+    body = token.text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def number_value(token: Token):
+    """Convert a number token to int or float."""
+    if "." in token.text:
+        return float(token.text)
+    return int(token.text)

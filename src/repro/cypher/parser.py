@@ -1,0 +1,632 @@
+"""Recursive-descent parser for the Featherweight Cypher surface syntax.
+
+Accepted shape (case-insensitive keywords)::
+
+    MATCH (c1:CONCEPT {CID: 1})-[r1:CS]->(p1:PA)-[r2:SP]->(s:SENTENCE)
+    WITH s
+    MATCH (s:SENTENCE)<-[r3:SP]-(p2:PA)<-[r4:CS]-(c2:CONCEPT)
+    RETURN c2.CID, Count(*)
+
+Sugar handled by the parser (desugared into the Figure-9 core):
+
+* inline property maps ``{CID: 1}`` become equality conjuncts in ``WHERE``;
+* comma-separated patterns in one ``MATCH`` become nested ``Match`` clauses;
+* anonymous node/edge variables receive fresh names ``_a1, _a2, ...``;
+* node patterns without labels are inferred from adjacent edge types when a
+  graph schema is supplied (the paper's Appendix C example needs this);
+* ``EXISTS { MATCH ... }`` and ``EXISTS(...)`` both parse to ``Exists``.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.common.errors import ParseError
+from repro.common.values import NULL, Value
+from repro.cypher import ast
+from repro.cypher.lexer import Token, TokenStream, number_value, string_value, tokenize
+from repro.graph.schema import GraphSchema
+
+_AGGREGATES = {"COUNT": "Count", "SUM": "Sum", "AVG": "Avg", "MIN": "Min", "MAX": "Max"}
+
+_KEYWORDS = {
+    "MATCH", "OPTIONAL", "WHERE", "WITH", "AS", "RETURN", "DISTINCT",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "UNION", "ALL", "AND", "OR",
+    "NOT", "IN", "IS", "NULL", "TRUE", "FALSE", "EXISTS",
+}
+
+
+def parse_cypher(source: str, schema: GraphSchema | None = None) -> ast.Query:
+    """Parse Cypher text into a Featherweight Cypher AST."""
+    stream = TokenStream(tokenize(source))
+    parser = _Parser(stream, schema)
+    query = parser.parse_query()
+    if not stream.at_end():
+        raise stream.error(f"unexpected trailing input {stream.peek().text!r}")
+    return query
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream, schema: GraphSchema | None) -> None:
+        self.stream = stream
+        self.schema = schema
+        self._anon = count(1)
+
+    # -- queries -----------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        query: ast.Query = self._parse_statement()
+        while self.stream.take_keyword("UNION"):
+            bag = self.stream.take_keyword("ALL")
+            right = self._parse_statement()
+            query = ast.UnionAll(query, right) if bag else ast.Union(query, right)
+        return query
+
+    def _parse_statement(self) -> ast.Query:
+        clause = self._parse_clauses()
+        returned = self._parse_return(clause)
+        if self.stream.take_keyword("ORDER"):
+            self.stream.expect_keyword("BY")
+            keys, ascending = self._parse_order_items(returned)
+            limit = None
+            if self.stream.take_keyword("LIMIT"):
+                limit = int(number_value(self._expect_number()))
+            return ast.OrderBy(returned, keys, ascending, limit)
+        if self.stream.take_keyword("LIMIT"):
+            limit = int(number_value(self._expect_number()))
+            return ast.OrderBy(returned, (), (), limit)
+        return returned
+
+    def _expect_number(self) -> Token:
+        token = self.stream.peek()
+        if token.kind != "number":
+            raise self.stream.error("expected a number")
+        return self.stream.advance()
+
+    def _parse_order_items(self, returned: ast.Return) -> tuple[tuple[str, ...], tuple[bool, ...]]:
+        keys: list[str] = []
+        ascending: list[bool] = []
+        while True:
+            key = self._resolve_order_key(returned)
+            direction = True
+            if self.stream.take_keyword("DESC"):
+                direction = False
+            else:
+                self.stream.take_keyword("ASC")
+            keys.append(key)
+            ascending.append(direction)
+            if not self.stream.take_op(","):
+                break
+        return tuple(keys), tuple(ascending)
+
+    def _resolve_order_key(self, returned: ast.Return) -> str:
+        """An ORDER BY item must name an output column (alias or expression)."""
+        token = self.stream.peek()
+        if (
+            token.kind == "ident"
+            and token.text.upper() not in _KEYWORDS
+            and token.text.upper() not in _AGGREGATES
+            and not self.stream.peek(1).is_op(".")
+        ):
+            self.stream.advance()
+            if token.text in returned.names:
+                return token.text
+            raise self.stream.error(
+                f"ORDER BY key {token.text!r} does not name a RETURN column"
+            )
+        expression = self._parse_expression(allow_aggregates=True)
+        from repro.cypher.pretty import _expression as render
+
+        rendered = render(expression)
+        if isinstance(expression, ast.PropertyRef):
+            bare = f"{expression.variable}.{expression.key}"
+            for name in returned.names:
+                if name in (bare, expression.key):
+                    return name
+        for expr, name in zip(returned.expressions, returned.names):
+            if render(expr) == rendered:
+                return name
+        if rendered in returned.names:
+            return rendered
+        raise self.stream.error(
+            f"ORDER BY key {rendered!r} does not name a RETURN column"
+        )
+
+    # -- clauses -----------------------------------------------------------
+
+    def _parse_clauses(self) -> ast.Clause:
+        clause: ast.Clause | None = None
+        while True:
+            if self.stream.take_keyword("MATCH"):
+                clause = self._parse_match(clause, optional=False)
+            elif self.stream.at_keyword("OPTIONAL"):
+                self.stream.advance()
+                self.stream.expect_keyword("MATCH")
+                if clause is None:
+                    raise self.stream.error("OPTIONAL MATCH cannot open a query")
+                clause = self._parse_match(clause, optional=True)
+            elif self.stream.at_keyword("WITH"):
+                self.stream.advance()
+                if clause is None:
+                    raise self.stream.error("WITH cannot open a query")
+                clause = self._parse_with(clause)
+            else:
+                break
+        if clause is None:
+            raise self.stream.error("expected MATCH")
+        return clause
+
+    def _parse_match(self, previous: ast.Clause | None, optional: bool) -> ast.Clause:
+        patterns: list[tuple[ast.PathPattern, ast.Predicate]] = []
+        while True:
+            pattern, inline = self._parse_path_pattern()
+            patterns.append((pattern, inline))
+            if not self.stream.take_op(","):
+                break
+        where: ast.Predicate = ast.TRUE
+        if self.stream.take_keyword("WHERE"):
+            where = self._parse_predicate()
+        clause = previous
+        for index, (pattern, inline) in enumerate(patterns):
+            last = index == len(patterns) - 1
+            predicate = _conjoin(inline, where if last else ast.TRUE)
+            if optional:
+                if clause is None:  # pragma: no cover - guarded by caller
+                    raise self.stream.error("OPTIONAL MATCH cannot open a query")
+                clause = ast.OptMatch(clause, pattern, predicate)
+            elif clause is None:
+                clause = ast.Match(pattern, predicate)
+            else:
+                clause = ast.Match(pattern, predicate, previous=clause)
+        assert clause is not None
+        return clause
+
+    def _parse_with(self, previous: ast.Clause) -> ast.Clause:
+        old_names: list[str] = []
+        new_names: list[str] = []
+        while True:
+            token = self.stream.expect_ident("variable in WITH")
+            if token.text.upper() in _KEYWORDS or self.stream.at_op("."):
+                raise self.stream.error(
+                    "featherweight WITH carries only bare variables "
+                    "(expressions in WITH are outside the supported fragment)"
+                )
+            old = token.text
+            new = old
+            if self.stream.take_keyword("AS"):
+                new = self.stream.expect_ident("new variable name").text
+            old_names.append(old)
+            new_names.append(new)
+            if not self.stream.take_op(","):
+                break
+        return ast.With(previous, tuple(old_names), tuple(new_names))
+
+    # -- patterns ----------------------------------------------------------
+
+    def _parse_path_pattern(self) -> tuple[ast.PathPattern, ast.Predicate]:
+        elements: list[ast.NodePattern | ast.EdgePattern] = []
+        constraints: list[ast.Predicate] = []
+        node, node_constraints = self._parse_node_pattern()
+        elements.append(node)
+        constraints.extend(node_constraints)
+        while self.stream.at_op("-", "<"):
+            edge = self._parse_edge_pattern()
+            next_node, node_constraints = self._parse_node_pattern()
+            elements.append(edge)
+            elements.append(next_node)
+            constraints.extend(node_constraints)
+        resolved = self._infer_labels(elements)
+        # Inline constraints were parsed before inference; rebuild them now
+        # that every node variable has a label.
+        return ast.path_pattern(*resolved), _conjoin_all(constraints)
+
+    def _parse_node_pattern(self) -> tuple[ast.NodePattern, list[ast.Predicate]]:
+        self.stream.expect_op("(")
+        variable = None
+        label = ""
+        if self.stream.peek().kind == "ident" and not self.stream.at_op(":"):
+            variable = self.stream.advance().text
+        if self.stream.take_op(":"):
+            label = self.stream.expect_ident("node label").text
+        if variable is None:
+            variable = f"_a{next(self._anon)}"
+        constraints = self._parse_property_map(variable)
+        self.stream.expect_op(")")
+        return ast.NodePattern(variable, label), constraints
+
+    def _parse_edge_pattern(self) -> ast.EdgePattern:
+        incoming = False
+        if self.stream.take_op("<"):
+            incoming = True
+        self.stream.expect_op("-")
+        variable = None
+        label = ""
+        if self.stream.take_op("["):
+            if self.stream.peek().kind == "ident" and not self.stream.at_op(":"):
+                variable = self.stream.advance().text
+            if self.stream.take_op(":"):
+                label = self.stream.expect_ident("edge label").text
+            self.stream.expect_op("]")
+        self.stream.expect_op("-")
+        outgoing = self.stream.take_op(">")
+        if incoming and outgoing:
+            raise self.stream.error("edge pattern cannot point both ways")
+        if variable is None:
+            variable = f"_a{next(self._anon)}"
+        if incoming:
+            direction = ast.Direction.IN
+        elif outgoing:
+            direction = ast.Direction.OUT
+        else:
+            direction = ast.Direction.BOTH
+        return ast.EdgePattern(variable, label, direction)
+
+    def _parse_property_map(self, variable: str) -> list[ast.Predicate]:
+        constraints: list[ast.Predicate] = []
+        if not self.stream.take_op("{"):
+            return constraints
+        while True:
+            key = self.stream.expect_ident("property key").text
+            self.stream.expect_op(":")
+            value = self._parse_literal_value()
+            constraints.append(
+                ast.Comparison("=", ast.PropertyRef(variable, key), ast.Literal(value))
+            )
+            if not self.stream.take_op(","):
+                break
+        self.stream.expect_op("}")
+        return constraints
+
+    def _parse_literal_value(self) -> Value:
+        token = self.stream.peek()
+        if token.kind == "number":
+            self.stream.advance()
+            return number_value(token)
+        if token.kind == "string":
+            self.stream.advance()
+            return string_value(token)
+        if token.is_keyword("TRUE"):
+            self.stream.advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self.stream.advance()
+            return False
+        if token.is_keyword("NULL"):
+            self.stream.advance()
+            return NULL
+        if token.is_op("-"):
+            self.stream.advance()
+            number = self._expect_number()
+            return -number_value(number)
+        raise self.stream.error(f"expected a literal, found {token.text!r}")
+
+    def _infer_labels(
+        self, elements: list[ast.NodePattern | ast.EdgePattern]
+    ) -> list[ast.NodePattern | ast.EdgePattern]:
+        """Fill in missing node/edge labels from the schema when possible."""
+        resolved = list(elements)
+        changed = True
+        while changed:
+            changed = False
+            for index, element in enumerate(resolved):
+                if element.label:
+                    continue
+                if isinstance(element, ast.NodePattern):
+                    label = self._infer_node_label(resolved, index)
+                else:
+                    label = self._infer_edge_label(resolved, index)
+                if label:
+                    if isinstance(element, ast.NodePattern):
+                        resolved[index] = ast.NodePattern(element.variable, label)
+                    else:
+                        resolved[index] = ast.EdgePattern(
+                            element.variable, label, element.direction
+                        )
+                    changed = True
+        for element in resolved:
+            if not element.label:
+                raise self.stream.error(
+                    f"cannot infer a label for pattern variable {element.variable!r}; "
+                    "annotate it or provide a schema"
+                )
+        return resolved
+
+    def _infer_node_label(
+        self, elements: list[ast.NodePattern | ast.EdgePattern], index: int
+    ) -> str:
+        if self.schema is None:
+            return ""
+        # Same variable labelled elsewhere in the pattern?
+        variable = elements[index].variable
+        for other in elements:
+            if (
+                isinstance(other, ast.NodePattern)
+                and other.variable == variable
+                and other.label
+            ):
+                return other.label
+        for edge_index in (index - 1, index + 1):
+            if not 0 <= edge_index < len(elements):
+                continue
+            edge = elements[edge_index]
+            if not isinstance(edge, ast.EdgePattern) or not edge.label:
+                continue
+            edge_type = self.schema.edge_type(edge.label)
+            left_of_edge = edge_index == index + 1
+            if edge.direction is ast.Direction.OUT:
+                return edge_type.source if left_of_edge else edge_type.target
+            if edge.direction is ast.Direction.IN:
+                return edge_type.target if left_of_edge else edge_type.source
+        return ""
+
+    def _infer_edge_label(
+        self, elements: list[ast.NodePattern | ast.EdgePattern], index: int
+    ) -> str:
+        if self.schema is None:
+            return ""
+        left = elements[index - 1]
+        right = elements[index + 1]
+        if not (isinstance(left, ast.NodePattern) and isinstance(right, ast.NodePattern)):
+            return ""
+        if not left.label or not right.label:
+            return ""
+        edge = elements[index]
+        assert isinstance(edge, ast.EdgePattern)
+        if edge.direction is ast.Direction.OUT:
+            candidates = list(self.schema.edges_between(left.label, right.label))
+        elif edge.direction is ast.Direction.IN:
+            candidates = list(self.schema.edges_between(right.label, left.label))
+        else:
+            candidates = list(self.schema.edges_between(left.label, right.label))
+            candidates += [
+                e
+                for e in self.schema.edges_between(right.label, left.label)
+                if e not in candidates
+            ]
+        if len(candidates) == 1:
+            return candidates[0].label
+        return ""
+
+    # -- RETURN ---------------------------------------------------------------
+
+    def _parse_return(self, clause: ast.Clause) -> ast.Return:
+        self.stream.expect_keyword("RETURN")
+        distinct = self.stream.take_keyword("DISTINCT")
+        expressions: list[ast.Expression] = []
+        names: list[str] = []
+        from repro.cypher.pretty import _expression as render
+
+        while True:
+            expression = self._parse_expression(allow_aggregates=True)
+            name = render(expression)
+            if self.stream.take_keyword("AS"):
+                name = self.stream.expect_ident("output name").text
+            expressions.append(expression)
+            names.append(name)
+            if not self.stream.take_op(","):
+                break
+        return ast.Return(clause, tuple(expressions), tuple(names), distinct)
+
+    # -- predicates --------------------------------------------------------
+
+    def _parse_predicate(self) -> ast.Predicate:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Predicate:
+        left = self._parse_and()
+        while self.stream.take_keyword("OR"):
+            left = ast.Or(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> ast.Predicate:
+        left = self._parse_not()
+        while self.stream.take_keyword("AND"):
+            left = ast.And(left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> ast.Predicate:
+        if self.stream.take_keyword("NOT"):
+            return ast.Not(self._parse_not())
+        return self._parse_atom_predicate()
+
+    def _parse_atom_predicate(self) -> ast.Predicate:
+        if self.stream.at_keyword("EXISTS"):
+            return self._parse_exists()
+        if self.stream.at_keyword("TRUE"):
+            self.stream.advance()
+            return ast.TRUE
+        if self.stream.at_keyword("FALSE"):
+            self.stream.advance()
+            return ast.FALSE
+        if self.stream.at_op("(") and self._parenthesised_predicate_ahead():
+            self.stream.expect_op("(")
+            inner = self._parse_predicate()
+            self.stream.expect_op(")")
+            return inner
+        left = self._parse_expression(allow_aggregates=False)
+        return self._parse_predicate_tail(left)
+
+    def _parse_predicate_tail(self, left: ast.Expression) -> ast.Predicate:
+        token = self.stream.peek()
+        if token.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+            self.stream.advance()
+            op = "<>" if token.text == "!=" else token.text
+            right = self._parse_expression(allow_aggregates=False)
+            return ast.Comparison(op, left, right)
+        if token.is_keyword("IS"):
+            self.stream.advance()
+            negated = self.stream.take_keyword("NOT")
+            self.stream.expect_keyword("NULL")
+            return ast.IsNull(left, negated)
+        if token.is_keyword("IN"):
+            self.stream.advance()
+            return ast.InValues(left, self._parse_value_list())
+        if token.is_keyword("NOT"):
+            self.stream.advance()
+            self.stream.expect_keyword("IN")
+            return ast.Not(ast.InValues(left, self._parse_value_list()))
+        raise self.stream.error("expected a comparison, IS NULL, or IN")
+
+    def _parse_value_list(self) -> tuple[Value, ...]:
+        open_bracket = self.stream.take_op("[")
+        if not open_bracket:
+            self.stream.expect_op("(")
+        values = [self._parse_literal_value()]
+        while self.stream.take_op(","):
+            values.append(self._parse_literal_value())
+        self.stream.expect_op("]" if open_bracket else ")")
+        return tuple(values)
+
+    def _parse_exists(self) -> ast.Predicate:
+        self.stream.expect_keyword("EXISTS")
+        if self.stream.take_op("{"):
+            self.stream.take_keyword("MATCH")
+            pattern, inline = self._parse_path_pattern()
+            predicate: ast.Predicate = inline
+            if self.stream.take_keyword("WHERE"):
+                predicate = _conjoin(predicate, self._parse_predicate())
+            self.stream.expect_op("}")
+            return ast.Exists(pattern, predicate)
+        self.stream.expect_op("(")
+        pattern, inline = self._parse_path_pattern()
+        self.stream.expect_op(")")
+        return ast.Exists(pattern, inline)
+
+    def _parenthesised_predicate_ahead(self) -> bool:
+        """Disambiguate ``(a.x + 1) > 2`` from ``(NOT p OR q)``.
+
+        Scan ahead for a boolean keyword before the matching close paren at
+        depth 1; comparisons inside also mark it as a predicate.
+        """
+        depth = 0
+        offset = 0
+        while True:
+            token = self.stream.peek(offset)
+            if token.kind == "eof":
+                return False
+            if token.is_op("("):
+                depth += 1
+            elif token.is_op(")"):
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1 and (
+                token.is_keyword("AND", "OR", "NOT", "IN", "IS", "EXISTS")
+                or token.is_op("=", "<>", "!=", "<", "<=", ">", ">=")
+            ):
+                return True
+            offset += 1
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self, allow_aggregates: bool) -> ast.Expression:
+        return self._parse_additive(allow_aggregates)
+
+    def _parse_additive(self, allow_aggregates: bool) -> ast.Expression:
+        left = self._parse_multiplicative(allow_aggregates)
+        while self.stream.at_op("+", "-"):
+            op = self.stream.advance().text
+            right = self._parse_multiplicative(allow_aggregates)
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_multiplicative(self, allow_aggregates: bool) -> ast.Expression:
+        left = self._parse_unary(allow_aggregates)
+        while self.stream.at_op("*", "/", "%"):
+            op = self.stream.advance().text
+            right = self._parse_unary(allow_aggregates)
+            left = ast.BinaryOp(op, left, right)
+        return left
+
+    def _parse_unary(self, allow_aggregates: bool) -> ast.Expression:
+        if self.stream.at_op("-"):
+            self.stream.advance()
+            operand = self._parse_unary(allow_aggregates)
+            if isinstance(operand, ast.Literal) and isinstance(operand.value, (int, float)):
+                return ast.Literal(-operand.value)
+            return ast.BinaryOp("-", ast.Literal(0), operand)
+        return self._parse_primary(allow_aggregates)
+
+    def _parse_primary(self, allow_aggregates: bool) -> ast.Expression:
+        token = self.stream.peek()
+        if token.kind == "number":
+            self.stream.advance()
+            return ast.Literal(number_value(token))
+        if token.kind == "string":
+            self.stream.advance()
+            return ast.Literal(string_value(token))
+        if token.is_keyword("NULL"):
+            self.stream.advance()
+            return ast.Literal(NULL)
+        if token.is_keyword("TRUE"):
+            self.stream.advance()
+            return ast.Literal(True)
+        if token.is_keyword("FALSE"):
+            self.stream.advance()
+            return ast.Literal(False)
+        if token.kind == "ident" and token.text.upper() in _AGGREGATES:
+            return self._parse_aggregate(allow_aggregates)
+        if token.kind == "ident":
+            self.stream.advance()
+            if self.stream.take_op("."):
+                key = self.stream.expect_ident("property key").text
+                return ast.PropertyRef(token.text, key)
+            raise self.stream.error(
+                f"bare variable {token.text!r} in expression position; "
+                "reference a property like {token.text}.key"
+            )
+        if token.is_op("("):
+            self.stream.advance()
+            inner = self._parse_expression(allow_aggregates)
+            self.stream.expect_op(")")
+            return inner
+        raise self.stream.error(f"expected an expression, found {token.text!r}")
+
+    def _parse_aggregate(self, allow_aggregates: bool) -> ast.Expression:
+        token = self.stream.advance()
+        function = _AGGREGATES[token.text.upper()]
+        if not self.stream.at_op("("):
+            raise self.stream.error(f"{token.text} must be called like a function")
+        if not allow_aggregates:
+            raise self.stream.error("aggregates are not allowed here")
+        self.stream.expect_op("(")
+        distinct = self.stream.take_keyword("DISTINCT")
+        if self.stream.take_op("*"):
+            self.stream.expect_op(")")
+            return ast.Aggregate("Count", None, distinct)
+        token = self.stream.peek()
+        if (
+            token.kind == "ident"
+            and token.text.upper() not in _KEYWORDS
+            and token.text.upper() not in _AGGREGATES
+            and not self.stream.peek(1).is_op(".")
+            and self.stream.peek(1).is_op(")")
+        ):
+            # ``Count(n)`` — a bare variable aggregates the element's
+            # identity (its default property key), NULL for unmatched
+            # optional bindings.
+            self.stream.advance()
+            self.stream.expect_op(")")
+            if function != "Count":
+                raise self.stream.error(
+                    f"{function} needs a property expression argument"
+                )
+            return ast.Aggregate("Count", ast.VariableRef(token.text), distinct)
+        argument = self._parse_expression(allow_aggregates=False)
+        self.stream.expect_op(")")
+        return ast.Aggregate(function, argument, distinct)
+
+
+def _conjoin(left: ast.Predicate, right: ast.Predicate) -> ast.Predicate:
+    if left == ast.TRUE:
+        return right
+    if right == ast.TRUE:
+        return left
+    return ast.And(left, right)
+
+
+def _conjoin_all(predicates: list[ast.Predicate]) -> ast.Predicate:
+    result: ast.Predicate = ast.TRUE
+    for predicate in predicates:
+        result = _conjoin(result, predicate)
+    return result

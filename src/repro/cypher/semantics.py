@@ -1,0 +1,500 @@
+"""Reference semantics for Featherweight Cypher (paper Appendix A).
+
+A query maps a property graph to a table.  Clauses produce lists of
+*bindings* — finite maps from pattern variables to graph elements (or NULL
+for unmatched optional parts).  A binding is the executable form of the
+paper's "subgraph with variable-indexed property map": the paper's
+``(N, E, P, T)`` subgraphs key their property map by ``(X, k)`` pairs, which
+is exactly a variable binding.
+
+Two places where this implementation resolves ambiguities in the paper's
+formalization (both resolved in favour of the SQL translation, whose
+soundness theorem fixes the intended meaning — and both matching Neo4j):
+
+* ``OPTIONAL MATCH`` whose pattern shares no variable with the current
+  binding produces a cross product with the pattern's matches (the SQL
+  left-outer-join behaviour) rather than always nullifying.
+* ``EXISTS`` correlates the pattern with the enclosing binding on **shared
+  variables** (by element identity) rather than on a key-based lookup of the
+  head/last node's default property key.  When only the head/last variables
+  are shared this coincides with rule P-Exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common import arithmetic
+from repro.common.aggregates import combine, count_rows
+from repro.common.errors import SemanticsError
+from repro.common.values import (
+    NULL,
+    Value,
+    is_null,
+    sort_key,
+    sql_and,
+    sql_not,
+    sql_or,
+    value_eq,
+    value_lt,
+)
+from repro.cypher import ast
+from repro.graph.instance import Edge, Node, PropertyGraph
+from repro.relational.instance import Row, Table
+
+Element = Node | Edge
+
+
+@dataclass(frozen=True)
+class Binding:
+    """One match result: variable → element (or NULL), variable → label."""
+
+    elements: tuple[tuple[str, Element | None], ...]
+    labels: tuple[tuple[str, str], ...]
+
+    @classmethod
+    def of(cls, elements: dict[str, Element | None], labels: dict[str, str]) -> "Binding":
+        return cls(tuple(sorted(elements.items(), key=lambda kv: kv[0])),
+                   tuple(sorted(labels.items(), key=lambda kv: kv[0])))
+
+    @property
+    def element_map(self) -> dict[str, Element | None]:
+        return dict(self.elements)
+
+    @property
+    def label_map(self) -> dict[str, str]:
+        return dict(self.labels)
+
+    def variables(self) -> set[str]:
+        return {name for name, _ in self.elements}
+
+    def get(self, variable: str) -> Element | None:
+        for name, element in self.elements:
+            if name == variable:
+                return element
+        raise SemanticsError(f"unbound pattern variable {variable!r}")
+
+    def has(self, variable: str) -> bool:
+        return any(name == variable for name, _ in self.elements)
+
+
+def merge_bindings(left: Binding, right: Binding) -> Binding | None:
+    """``merge(g1, g2)`` — union, or ``None`` if shared variables disagree.
+
+    Agreement is element identity (uid); a NULL binding only agrees with
+    another NULL binding of the same variable.
+    """
+    left_map = left.element_map
+    merged_elements = dict(left_map)
+    merged_labels = left.label_map
+    for name, element in right.elements:
+        if name in left_map:
+            existing = left_map[name]
+            if existing is None or element is None:
+                if existing is not element:
+                    return None
+            elif existing.uid != element.uid:
+                return None
+        else:
+            merged_elements[name] = element
+    merged_labels.update(right.label_map)
+    return Binding.of(merged_elements, merged_labels)
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_query(query: ast.Query, graph: PropertyGraph) -> Table:
+    """``⟦Q⟧_G`` — evaluate a Featherweight Cypher query to a table."""
+    if isinstance(query, ast.Return):
+        return _eval_return(query, graph)
+    if isinstance(query, ast.OrderBy):
+        return _eval_order_by(query, graph)
+    if isinstance(query, ast.Union):
+        left = evaluate_query(query.left, graph)
+        right = evaluate_query(query.right, graph)
+        _check_union_arity(left, right)
+        return Table(left.attributes, _dedup_rows(list(left.rows) + list(right.rows)))
+    if isinstance(query, ast.UnionAll):
+        left = evaluate_query(query.left, graph)
+        right = evaluate_query(query.right, graph)
+        _check_union_arity(left, right)
+        return Table(left.attributes, list(left.rows) + list(right.rows))
+    raise SemanticsError(f"cannot evaluate query node {type(query).__name__}")
+
+
+def _check_union_arity(left: Table, right: Table) -> None:
+    if len(left.attributes) != len(right.attributes):
+        raise SemanticsError(
+            f"union arity mismatch: {len(left.attributes)} vs {len(right.attributes)}"
+        )
+
+
+def _eval_return(query: ast.Return, graph: PropertyGraph) -> Table:
+    bindings = evaluate_clause(query.clause, graph)
+    attributes = tuple(query.names)
+    if not any(_has_aggregate(e) for e in query.expressions):
+        rows = [
+            tuple(eval_expression(expr, graph, [binding]) for expr in query.expressions)
+            for binding in bindings
+        ]
+    else:
+        rows = _eval_aggregated_return(query, graph, bindings)
+    if query.distinct:
+        rows = _dedup_rows(rows)
+    return Table(attributes, rows)
+
+
+def _eval_aggregated_return(
+    query: ast.Return, graph: PropertyGraph, bindings: list[Binding]
+) -> list[Row]:
+    """Grouping per Appendix A: group by the non-aggregate expressions."""
+    grouping = [e for e in query.expressions if not _has_aggregate(e)]
+    groups: dict[tuple, list[Binding]] = {}
+    order: list[tuple] = []
+    for binding in bindings:
+        key = tuple(eval_expression(expr, graph, [binding]) for expr in grouping)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(binding)
+    rows: list[Row] = []
+    for key in order:
+        group = groups[key]
+        rows.append(
+            tuple(eval_expression(expr, graph, group) for expr in query.expressions)
+        )
+    return rows
+
+
+def _eval_order_by(query: ast.OrderBy, graph: PropertyGraph) -> Table:
+    inner = evaluate_query(query.query, graph)
+    decorated = []
+    for row in inner:
+        keys = []
+        for name, ascending in zip(query.keys, query.ascending):
+            value = inner.value(row, name)
+            keys.append(_directional_key(value, ascending))
+        decorated.append((tuple(keys), row))
+    decorated.sort(key=lambda pair: pair[0])
+    rows = [row for _, row in decorated]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return Table(inner.attributes, rows, ordered=True)
+
+
+class _Descending:
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.key == other.key
+
+
+def _directional_key(value: Value, ascending: bool):
+    key = sort_key(value)
+    return key if ascending else _Descending(key)
+
+
+def _dedup_rows(rows: list[Row]) -> list[Row]:
+    seen: set[Row] = set()
+    out: list[Row] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Clause evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_clause(clause: ast.Clause, graph: PropertyGraph) -> list[Binding]:
+    """``⟦C⟧_G`` — a clause maps the graph to a list of bindings."""
+    if isinstance(clause, ast.Match):
+        return _eval_match(clause, graph)
+    if isinstance(clause, ast.OptMatch):
+        return _eval_opt_match(clause, graph)
+    if isinstance(clause, ast.With):
+        return _eval_with(clause, graph)
+    raise SemanticsError(f"cannot evaluate clause node {type(clause).__name__}")
+
+
+def _eval_match(clause: ast.Match, graph: PropertyGraph) -> list[Binding]:
+    pattern_matches = match_pattern(clause.pattern, graph)
+    if clause.previous is None:
+        candidates = pattern_matches
+    else:
+        previous = evaluate_clause(clause.previous, graph)
+        candidates = []
+        for left in previous:
+            for right in pattern_matches:
+                merged = merge_bindings(left, right)
+                if merged is not None:
+                    candidates.append(merged)
+    return [
+        binding
+        for binding in candidates
+        if eval_predicate(clause.predicate, graph, [binding]) is True
+    ]
+
+
+def _eval_opt_match(clause: ast.OptMatch, graph: PropertyGraph) -> list[Binding]:
+    previous = evaluate_clause(clause.previous, graph)
+    pattern_matches = match_pattern(clause.pattern, graph)
+    pattern_vars = _pattern_variables(clause.pattern)
+    results: list[Binding] = []
+    for left in previous:
+        matched: list[Binding] = []
+        for right in pattern_matches:
+            merged = merge_bindings(left, right)
+            if merged is not None and eval_predicate(clause.predicate, graph, [merged]) is True:
+                matched.append(merged)
+        if matched:
+            results.extend(matched)
+        else:
+            nullified_elements = left.element_map
+            nullified_labels = left.label_map
+            for variable, label in pattern_vars.items():
+                if variable not in nullified_elements:
+                    nullified_elements[variable] = None
+                    nullified_labels[variable] = label
+            results.append(Binding.of(nullified_elements, nullified_labels))
+    return results
+
+
+def _eval_with(clause: ast.With, graph: PropertyGraph) -> list[Binding]:
+    previous = evaluate_clause(clause.previous, graph)
+    results = []
+    for binding in previous:
+        elements: dict[str, Element | None] = {}
+        labels: dict[str, str] = {}
+        label_map = binding.label_map
+        for old, new in zip(clause.old_names, clause.new_names):
+            elements[new] = binding.get(old)
+            labels[new] = label_map[old]
+        results.append(Binding.of(elements, labels))
+    return results
+
+
+def _pattern_variables(pattern: ast.PathPattern) -> dict[str, str]:
+    """Variable → label for every node/edge pattern in *pattern*."""
+    return {element.variable: element.label for element in pattern}
+
+
+# ---------------------------------------------------------------------------
+# Pattern matching
+# ---------------------------------------------------------------------------
+
+
+def match_pattern(pattern: ast.PathPattern, graph: PropertyGraph) -> list[Binding]:
+    """``⟦PP⟧_G`` — all bindings of the pattern's variables."""
+    if len(pattern) == 1:
+        node_pattern = pattern[0]
+        assert isinstance(node_pattern, ast.NodePattern)
+        return [
+            Binding.of({node_pattern.variable: node}, {node_pattern.variable: node_pattern.label})
+            for node in graph.nodes_with_label(node_pattern.label)
+        ]
+    first, edge, *rest = pattern
+    assert isinstance(first, ast.NodePattern) and isinstance(edge, ast.EdgePattern)
+    tail = tuple(rest)
+    tail_matches = match_pattern(tail, graph)
+    connector = tail[0]
+    assert isinstance(connector, ast.NodePattern)
+    results: list[Binding] = []
+    for tail_binding in tail_matches:
+        for step in _match_step(first, edge, connector, graph):
+            merged = merge_bindings(step, tail_binding)
+            if merged is not None:
+                results.append(merged)
+    return results
+
+
+def _match_step(
+    left: ast.NodePattern,
+    edge: ast.EdgePattern,
+    right: ast.NodePattern,
+    graph: PropertyGraph,
+) -> list[Binding]:
+    """``Subgraphs(G, [NP1, EP, NP2])`` — single-edge matches."""
+    results: list[Binding] = []
+    for candidate in graph.edges_with_label(edge.label):
+        source = graph.source_of(candidate)
+        target = graph.target_of(candidate)
+        orientations: list[tuple[Node, Node]] = []
+        if edge.direction in (ast.Direction.OUT, ast.Direction.BOTH):
+            orientations.append((source, target))
+        if edge.direction in (ast.Direction.IN, ast.Direction.BOTH):
+            orientations.append((target, source))
+        for left_node, right_node in orientations:
+            if left_node.label != left.label or right_node.label != right.label:
+                continue
+            binding = Binding.of(
+                {
+                    left.variable: left_node,
+                    edge.variable: candidate,
+                    right.variable: right_node,
+                },
+                {
+                    left.variable: left.label,
+                    edge.variable: edge.label,
+                    right.variable: right.label,
+                },
+            )
+            if binding not in results:
+                results.append(binding)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def eval_expression(
+    expression: ast.Expression, graph: PropertyGraph, group: list[Binding]
+) -> Value:
+    """``⟦E⟧_{G, gs}`` — evaluate over a group of bindings.
+
+    Non-aggregate expressions read the head of the group (the paper
+    guarantees singleton groups in non-aggregate position).
+    """
+    if isinstance(expression, ast.PropertyRef):
+        element = group[0].get(expression.variable)
+        if element is None:
+            return NULL
+        return element.value(expression.key)
+    if isinstance(expression, ast.VariableRef):
+        element = group[0].get(expression.variable)
+        if element is None:
+            return NULL
+        default_key = graph.type_of(element).default_key
+        return element.value(default_key)
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Aggregate):
+        return _eval_aggregate(expression, graph, group)
+    if isinstance(expression, ast.BinaryOp):
+        left = eval_expression(expression.left, graph, group)
+        right = eval_expression(expression.right, graph, group)
+        return arithmetic.apply_binary(expression.op, left, right)
+    if isinstance(expression, ast.CastPredicate):
+        verdict = eval_predicate(expression.predicate, graph, group)
+        if is_null(verdict):
+            return NULL
+        return 1 if verdict else 0
+    raise SemanticsError(f"cannot evaluate expression node {type(expression).__name__}")
+
+
+def _eval_aggregate(
+    aggregate: ast.Aggregate, graph: PropertyGraph, group: list[Binding]
+) -> Value:
+    if aggregate.argument is None:
+        return count_rows(len(group))
+    values = [
+        eval_expression(aggregate.argument, graph, [binding]) for binding in group
+    ]
+    return combine(aggregate.function, values, aggregate.distinct)
+
+
+def _has_aggregate(expression: ast.Expression) -> bool:
+    if isinstance(expression, ast.Aggregate):
+        return True
+    if isinstance(expression, ast.BinaryOp):
+        return _has_aggregate(expression.left) or _has_aggregate(expression.right)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation (3VL)
+# ---------------------------------------------------------------------------
+
+
+def eval_predicate(
+    predicate: ast.Predicate, graph: PropertyGraph, group: list[Binding]
+):
+    """``⟦φ⟧_{G, gs}`` — three-valued predicate evaluation."""
+    if isinstance(predicate, ast.BoolLit):
+        return predicate.value
+    if isinstance(predicate, ast.Comparison):
+        left = eval_expression(predicate.left, graph, group)
+        right = eval_expression(predicate.right, graph, group)
+        return _compare(predicate.op, left, right)
+    if isinstance(predicate, ast.IsNull):
+        value = eval_expression(predicate.operand, graph, group)
+        verdict = is_null(value)
+        return (not verdict) if predicate.negated else verdict
+    if isinstance(predicate, ast.InValues):
+        operand = eval_expression(predicate.operand, graph, group)
+        verdict = False
+        for candidate in predicate.values:
+            verdict = sql_or(verdict, value_eq(operand, candidate))
+        return verdict
+    if isinstance(predicate, ast.Exists):
+        return _eval_exists(predicate, graph, group)
+    if isinstance(predicate, ast.And):
+        return sql_and(
+            eval_predicate(predicate.left, graph, group),
+            eval_predicate(predicate.right, graph, group),
+        )
+    if isinstance(predicate, ast.Or):
+        return sql_or(
+            eval_predicate(predicate.left, graph, group),
+            eval_predicate(predicate.right, graph, group),
+        )
+    if isinstance(predicate, ast.Not):
+        return sql_not(eval_predicate(predicate.operand, graph, group))
+    raise SemanticsError(f"cannot evaluate predicate node {type(predicate).__name__}")
+
+
+def _eval_exists(predicate: ast.Exists, graph: PropertyGraph, group: list[Binding]) -> bool:
+    """``Exists(PP)``: some pattern match agrees with the current binding on
+    every shared variable (by element identity)."""
+    outer = group[0]
+    shared = [
+        element.variable
+        for element in predicate.pattern
+        if outer.has(element.variable)
+    ]
+    for match in match_pattern(predicate.pattern, graph):
+        if eval_predicate(predicate.predicate, graph, [match]) is not True:
+            continue
+        agrees = True
+        for variable in shared:
+            outer_element = outer.get(variable)
+            inner_element = match.get(variable)
+            if outer_element is None or inner_element is None:
+                agrees = outer_element is inner_element
+            else:
+                agrees = outer_element.uid == inner_element.uid
+            if not agrees:
+                break
+        if agrees:
+            return True
+    return False
+
+
+def _compare(op: str, left: Value, right: Value):
+    if op == "=":
+        return value_eq(left, right)
+    if op == "<>":
+        return sql_not(value_eq(left, right))
+    if op == "<":
+        return value_lt(left, right)
+    if op == ">":
+        return value_lt(right, left)
+    if op == "<=":
+        return sql_or(value_lt(left, right), value_eq(left, right))
+    if op == ">=":
+        return sql_or(value_lt(right, left), value_eq(left, right))
+    raise SemanticsError(f"unknown comparison operator {op!r}")

@@ -1,0 +1,20 @@
+"""Property-graph data model (paper Section 3.1).
+
+A graph database schema is a pair of node types and edge types
+(Definition 3.2); an instance is a property graph whose nodes and edges carry
+label-typed property maps (Definition 3.3).
+"""
+
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.graph.instance import Edge, Node, PropertyGraph
+from repro.graph.builder import GraphBuilder
+
+__all__ = [
+    "EdgeType",
+    "GraphSchema",
+    "NodeType",
+    "Edge",
+    "Node",
+    "PropertyGraph",
+    "GraphBuilder",
+]

@@ -1,0 +1,75 @@
+"""Fluent construction of property-graph instances.
+
+:class:`GraphBuilder` is the mutation-friendly front door to
+:class:`~repro.graph.instance.PropertyGraph`: tests, examples, and the
+counterexample lifter all assemble graphs through it and then call
+:meth:`GraphBuilder.build` to obtain a validated, effectively immutable
+instance.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import SchemaError
+from repro.common.values import Value
+from repro.graph.instance import Edge, Node, PropertyGraph
+from repro.graph.schema import GraphSchema
+
+
+class GraphBuilder:
+    """Accumulates nodes and edges, then validates into a property graph.
+
+    Example::
+
+        builder = GraphBuilder(schema)
+        alice = builder.add_node("EMP", id=1, name="A")
+        dept = builder.add_node("DEPT", dnum=1, dname="CS")
+        builder.add_edge("WORK_AT", alice, dept, wid=10)
+        graph = builder.build()
+    """
+
+    def __init__(self, schema: GraphSchema) -> None:
+        self.schema = schema
+        self._nodes: list[Node] = []
+        self._edges: list[Edge] = []
+
+    def add_node(self, label: str, **properties: Value) -> Node:
+        """Create a node of type *label* with the given property values.
+
+        Property keys must all be declared by the node type; the default
+        property key must be present.
+        """
+        node_type = self.schema.node_type(label)
+        self._require_keys(label, node_type.keys, properties)
+        ordered = {key: properties[key] for key in node_type.keys if key in properties}
+        node = Node.of(label, ordered)
+        self._nodes.append(node)
+        return node
+
+    def add_edge(self, label: str, source: Node, target: Node, **properties: Value) -> Edge:
+        """Create an edge of type *label* between two previously added nodes."""
+        edge_type = self.schema.edge_type(label)
+        self._require_keys(label, edge_type.keys, properties)
+        if source not in self._nodes:
+            raise SchemaError("edge source must be added to the builder first")
+        if target not in self._nodes:
+            raise SchemaError("edge target must be added to the builder first")
+        ordered = {key: properties[key] for key in edge_type.keys if key in properties}
+        edge = Edge.of(label, source, target, ordered)
+        self._edges.append(edge)
+        return edge
+
+    def build(self, validate: bool = True) -> PropertyGraph:
+        """Freeze the accumulated elements into a :class:`PropertyGraph`."""
+        graph = PropertyGraph(self.schema, self._nodes, self._edges)
+        if validate:
+            graph.validate()
+        return graph
+
+    @staticmethod
+    def _require_keys(label: str, declared: tuple[str, ...], given: dict[str, Value]) -> None:
+        unknown = set(given) - set(declared)
+        if unknown:
+            raise SchemaError(f"{label!r} does not declare property keys {sorted(unknown)}")
+        default = declared[0]
+        if default not in given:
+            raise SchemaError(f"{label!r} element must set its default key {default!r}")

@@ -1,0 +1,60 @@
+"""Textual surface syntax for graph schemas.
+
+The CLI and examples describe graph schemas in a small declaration
+language::
+
+    node EMP(id, name)
+    node DEPT(dnum, dname)
+    edge WORK_AT(wid): EMP -> DEPT
+
+One declaration per line; ``#`` and ``--`` start comments.  The first
+property key of each declaration is the default (identity) key, as in
+Definition 3.1.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+
+_NODE = re.compile(r"^node\s+(\w+)\s*\(([^)]*)\)\s*$", re.IGNORECASE)
+_EDGE = re.compile(
+    r"^edge\s+(\w+)\s*\(([^)]*)\)\s*:\s*(\w+)\s*->\s*(\w+)\s*$", re.IGNORECASE
+)
+
+
+def parse_graph_schema(text: str) -> GraphSchema:
+    """Parse a graph schema from its declaration syntax."""
+    nodes: list[NodeType] = []
+    edges: list[EdgeType] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#")[0].split("--")[0].strip()
+        if not line:
+            continue
+        node_match = _NODE.match(line)
+        if node_match:
+            label, keys = node_match.groups()
+            nodes.append(NodeType(label, _split_keys(keys, line_number)))
+            continue
+        edge_match = _EDGE.match(line)
+        if edge_match:
+            label, keys, source, target = edge_match.groups()
+            edges.append(
+                EdgeType(label, source, target, _split_keys(keys, line_number))
+            )
+            continue
+        raise ParseError(
+            f"cannot parse schema declaration {line!r}", line=line_number
+        )
+    if not nodes:
+        raise ParseError("schema declares no node types")
+    return GraphSchema.of(nodes, edges)
+
+
+def _split_keys(keys: str, line_number: int) -> tuple[str, ...]:
+    parts = tuple(part.strip() for part in keys.split(",") if part.strip())
+    if not parts:
+        raise ParseError("type needs at least one property key", line=line_number)
+    return parts

@@ -1,0 +1,37 @@
+"""Relational data model (paper Section 3.3).
+
+Schemas map relation names to attribute lists and carry integrity
+constraints (primary key, foreign key, not-null).  Instances are bags of
+named tuples; :func:`tables_equivalent` implements Definition 4.4 — table
+equivalence modulo a bijective column renaming, respecting multiplicities.
+"""
+
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    NotNull,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+from repro.relational.instance import (
+    Database,
+    Row,
+    Table,
+    tables_equivalent,
+    tables_equivalent_ordered,
+)
+
+__all__ = [
+    "ForeignKey",
+    "IntegrityConstraints",
+    "NotNull",
+    "PrimaryKey",
+    "Relation",
+    "RelationalSchema",
+    "Database",
+    "Row",
+    "Table",
+    "tables_equivalent",
+    "tables_equivalent_ordered",
+]

@@ -1,0 +1,73 @@
+"""Textual surface syntax for relational schemas.
+
+Used by the CLI::
+
+    table emp(eid, ename, deptno)
+    table dept(dno, dname)
+    pk emp.eid
+    pk dept.dno
+    fk emp.deptno -> dept.dno
+    notnull emp.deptno
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    NotNull,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+
+_TABLE = re.compile(r"^table\s+(\w+)\s*\(([^)]*)\)\s*$", re.IGNORECASE)
+_PK = re.compile(r"^pk\s+(\w+)\.(\w+)\s*$", re.IGNORECASE)
+_FK = re.compile(r"^fk\s+(\w+)\.(\w+)\s*->\s*(\w+)\.(\w+)\s*$", re.IGNORECASE)
+_NOT_NULL = re.compile(r"^notnull\s+(\w+)\.(\w+)\s*$", re.IGNORECASE)
+
+
+def parse_relational_schema(text: str) -> RelationalSchema:
+    """Parse a relational schema from its declaration syntax."""
+    relations: list[Relation] = []
+    primary_keys: list[PrimaryKey] = []
+    foreign_keys: list[ForeignKey] = []
+    not_nulls: list[NotNull] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#")[0].split("--")[0].strip()
+        if not line:
+            continue
+        table = _TABLE.match(line)
+        if table:
+            name, attributes = table.groups()
+            parts = tuple(p.strip() for p in attributes.split(",") if p.strip())
+            if not parts:
+                raise ParseError("table needs attributes", line=line_number)
+            relations.append(Relation(name, parts))
+            continue
+        pk = _PK.match(line)
+        if pk:
+            primary_keys.append(PrimaryKey(*pk.groups()))
+            continue
+        fk = _FK.match(line)
+        if fk:
+            foreign_keys.append(ForeignKey(*fk.groups()))
+            continue
+        not_null = _NOT_NULL.match(line)
+        if not_null:
+            not_nulls.append(NotNull(*not_null.groups()))
+            continue
+        raise ParseError(
+            f"cannot parse schema declaration {line!r}", line=line_number
+        )
+    if not relations:
+        raise ParseError("schema declares no tables")
+    return RelationalSchema.of(
+        relations,
+        IntegrityConstraints(
+            tuple(primary_keys), tuple(foreign_keys), tuple(not_nulls)
+        ),
+    )

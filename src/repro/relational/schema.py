@@ -1,0 +1,162 @@
+"""Relational schemas and integrity constraints (paper Definition 3.5).
+
+A relational schema is ``Ψ_R = (S, ξ)`` where ``S`` maps relation names to
+attribute lists and ``ξ`` is a conjunction of atomic constraints:
+
+* ``PK(R) = a`` — primary key,
+* ``FK(R.a) = R'.a'`` — foreign key (value inclusion),
+* ``NotNull(R, a)`` — non-null attribute.
+
+Attribute names are assumed unique across the schema (as in the paper); this
+lets unqualified attribute references in queries resolve unambiguously.  The
+induced relational schema produced by ``InferSDT`` introduces ``SRC``/``TGT``
+foreign keys per edge table, so those names are suffixed with the relation
+name when needed to preserve uniqueness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.common.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class PrimaryKey:
+    """``PK(relation) = attribute``: no two rows agree on *attribute*."""
+
+    relation: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"PK({self.relation}) = {self.attribute}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``FK(relation.attribute) = referenced.referenced_attribute``."""
+
+    relation: str
+    attribute: str
+    referenced: str
+    referenced_attribute: str
+
+    def __str__(self) -> str:
+        return (
+            f"FK({self.relation}.{self.attribute}) = "
+            f"{self.referenced}.{self.referenced_attribute}"
+        )
+
+
+@dataclass(frozen=True)
+class NotNull:
+    """``NotNull(relation, attribute)``: the attribute never holds NULL."""
+
+    relation: str
+    attribute: str
+
+    def __str__(self) -> str:
+        return f"NotNull({self.relation}, {self.attribute})"
+
+
+@dataclass(frozen=True)
+class IntegrityConstraints:
+    """The conjunction ``ξ`` of atomic integrity constraints."""
+
+    primary_keys: tuple[PrimaryKey, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    not_nulls: tuple[NotNull, ...] = ()
+
+    def primary_key_of(self, relation: str) -> str | None:
+        """The primary-key attribute of *relation*, or ``None``."""
+        for constraint in self.primary_keys:
+            if constraint.relation == relation:
+                return constraint.attribute
+        return None
+
+    def foreign_keys_of(self, relation: str) -> tuple[ForeignKey, ...]:
+        return tuple(fk for fk in self.foreign_keys if fk.relation == relation)
+
+    def merge(self, other: "IntegrityConstraints") -> "IntegrityConstraints":
+        """Conjunction of two constraint sets (rule ``Set`` in Fig. 13)."""
+        return IntegrityConstraints(
+            self.primary_keys + other.primary_keys,
+            self.foreign_keys + other.foreign_keys,
+            self.not_nulls + other.not_nulls,
+        )
+
+    def __str__(self) -> str:
+        parts = [str(c) for c in (*self.primary_keys, *self.foreign_keys, *self.not_nulls)]
+        return " AND ".join(parts) if parts else "TRUE"
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A relation name with its ordered attribute list."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation needs a non-empty name")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(f"relation {self.name!r} has duplicate attributes")
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class RelationalSchema:
+    """``Ψ_R = (S, ξ)`` (Definition 3.5)."""
+
+    relations: tuple[Relation, ...]
+    constraints: IntegrityConstraints = field(default_factory=IntegrityConstraints)
+
+    def __post_init__(self) -> None:
+        names = [r.name for r in self.relations]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate relation names: {sorted(duplicates)}")
+
+    @classmethod
+    def of(
+        cls,
+        relations: Iterable[Relation],
+        constraints: IntegrityConstraints | None = None,
+    ) -> "RelationalSchema":
+        return cls(tuple(relations), constraints or IntegrityConstraints())
+
+    # -- lookups -----------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        for rel in self.relations:
+            if rel.name == name:
+                return rel
+        raise SchemaError(f"unknown relation {name!r}")
+
+    def has_relation(self, name: str) -> bool:
+        return any(rel.name == name for rel in self.relations)
+
+    def primary_key_of(self, name: str) -> str:
+        """Primary key of *name*; defaults to the first attribute."""
+        declared = self.constraints.primary_key_of(name)
+        if declared is not None:
+            return declared
+        return self.relation(name).attributes[0]
+
+    def merge(self, other: "RelationalSchema") -> "RelationalSchema":
+        """Disjoint union of two schemas (rule ``Set`` in Fig. 13)."""
+        return RelationalSchema(
+            self.relations + other.relations,
+            self.constraints.merge(other.constraints),
+        )
+
+    def __str__(self) -> str:
+        lines = ["relational schema:"]
+        lines.extend(f"  {relation}" for relation in self.relations)
+        if self.constraints.primary_keys or self.constraints.foreign_keys:
+            lines.append(f"  with {self.constraints}")
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Featherweight SQL: AST, parser, bag-semantics evaluator, rendering."""
+
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+from repro.sql.semantics import evaluate_query
+from repro.sql.analysis import ast_size, referenced_relations, uses_aggregation, uses_outer_join
+from repro.sql.pretty import to_cte_sql, to_sql_text
+from repro.sql.optimize import optimize
+
+__all__ = [
+    "ast",
+    "parse_sql",
+    "evaluate_query",
+    "ast_size",
+    "referenced_relations",
+    "uses_aggregation",
+    "uses_outer_join",
+    "to_cte_sql",
+    "to_sql_text",
+    "optimize",
+]

@@ -1,0 +1,376 @@
+"""Featherweight SQL abstract syntax (paper Figure 10).
+
+The grammar::
+
+    Query  Q ::= R | Pi_L(Q) | sigma_phi(Q) | rho_R(Q) | Q u Q | Q U+ Q | Q (x) Q
+               | GroupBy(Q, E*, L, phi) | With(Q, R, Q) | OrderBy(Q, a, b)
+    AttrList L ::= E | rho_a(E) | L, L
+    AttrExpr E ::= a | v | Cast(phi) | Agg(E) | E (+) E
+    Predicate phi ::= b | E (.) E | IsNull(E) | E in v* | E in Q
+               | phi and phi | phi or phi | not phi
+    JoinOp  (x) ::= cross | inner | left | right | full
+
+Attribute naming convention: relation scans produce unqualified attributes;
+``rho_T(Q)`` re-qualifies every output attribute to ``T.<flattened local
+name>`` (dots in the old name become underscores).  References resolve by
+exact match first, then by unique local-name match — mirroring SQL name
+resolution while keeping the algebra purely positional-free.
+
+All nodes are frozen dataclasses; attribute lists and predicates reuse the
+same 3VL value domain as the Cypher side.
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+from dataclasses import dataclass
+
+from repro.common.values import Value
+
+# ---------------------------------------------------------------------------
+# Attribute expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeRef:
+    """``a`` — a (possibly qualified) attribute reference like ``c2.CID``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def local_name(self) -> str:
+        """The unqualified trailing component of the reference."""
+        return self.name.rsplit(".", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant value ``v``."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``Agg(E)``; ``argument is None`` encodes ``Count(*)``."""
+
+    function: str
+    argument: "Expression | None"
+    distinct: bool = False
+
+    VALID = ("Count", "Avg", "Sum", "Min", "Max")
+
+    def __post_init__(self) -> None:
+        if self.function not in self.VALID:
+            raise ValueError(f"unknown aggregate {self.function!r}")
+        if self.argument is None and self.function != "Count":
+            raise ValueError(f"{self.function}(*) is not well-formed")
+
+    def __str__(self) -> str:
+        inner = "*" if self.argument is None else str(self.argument)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.function}({inner})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic ``E ⊕ E``."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    VALID = ("+", "-", "*", "/", "%")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class CastPredicate:
+    """``Cast(φ)`` — predicate as 1 / 0 / NULL."""
+
+    predicate: "Predicate"
+
+    def __str__(self) -> str:
+        return f"Cast({self.predicate})"
+
+
+Expression = typing.Union[AttributeRef, Literal, Aggregate, BinaryOp, CastPredicate]
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """``ρ_a(E)`` — one projection-list entry with its output name."""
+
+    alias: str
+    expression: Expression
+
+    def __str__(self) -> str:
+        return f"{self.expression} AS {self.alias}"
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    op: str
+    left: Expression
+    right: Expression
+
+    VALID = ("=", "<>", "<", "<=", ">", ">=")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    operand: Expression
+    negated: bool = False
+
+    def __str__(self) -> str:
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.operand} {suffix}"
+
+
+@dataclass(frozen=True)
+class InValues:
+    """``E ∈ v̄``."""
+
+    operand: Expression
+    values: tuple[Value, ...]
+
+    def __str__(self) -> str:
+        return f"{self.operand} IN {list(self.values)!r}"
+
+
+@dataclass(frozen=True)
+class InQuery:
+    """``Ē ∈ Q`` — (tuple) membership in a subquery's result bag.
+
+    The paper's rule P-Exists produces a two-attribute membership test, so
+    the left side is a tuple of expressions matched positionally against the
+    subquery's output columns.
+    """
+
+    operands: tuple[Expression, ...]
+    query: "Query"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        left = ", ".join(str(e) for e in self.operands)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({left}) {keyword} (<subquery>)"
+
+
+@dataclass(frozen=True)
+class ExistsQuery:
+    """``EXISTS (Q)`` — non-emptiness of a (possibly correlated) subquery."""
+
+    query: "Query"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        keyword = "NOT EXISTS" if self.negated else "EXISTS"
+        return f"{keyword} (<subquery>)"
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} AND {self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Predicate"
+    right: "Predicate"
+
+    def __str__(self) -> str:
+        return f"({self.left} OR {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+Predicate = typing.Union[
+    BoolLit, Comparison, IsNull, InValues, InQuery, ExistsQuery, And, Or, Not
+]
+
+TRUE = BoolLit(True)
+FALSE = BoolLit(False)
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+class JoinKind(enum.Enum):
+    """``⊗ ::= × | ⋈ | ⟕ | ⟖ | ⟗``."""
+
+    CROSS = "CROSS"
+    INNER = "INNER"
+    LEFT = "LEFT"
+    RIGHT = "RIGHT"
+    FULL = "FULL"
+
+
+@dataclass(frozen=True)
+class Relation:
+    """``R`` — a base-relation scan."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Projection:
+    """``Π_L(Q)``."""
+
+    query: "Query"
+    columns: tuple[OutputColumn, ...]
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("projection needs at least one output column")
+
+
+@dataclass(frozen=True)
+class Selection:
+    """``σ_φ(Q)``."""
+
+    query: "Query"
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class Renaming:
+    """``ρ_T(Q)`` — re-qualify every output attribute under prefix *name*."""
+
+    name: str
+    query: "Query"
+
+
+@dataclass(frozen=True)
+class Join:
+    """``Q ⊗_φ Q``; the predicate is ignored for cross joins."""
+
+    kind: JoinKind
+    left: "Query"
+    right: "Query"
+    predicate: Predicate = TRUE
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    """``Q ∪ Q`` (set) or ``Q ⊎ Q`` (bag) depending on *all*."""
+
+    left: "Query"
+    right: "Query"
+    all: bool = False
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """``GroupBy(Q, Ē, L, φ)`` — group, aggregate, and filter with HAVING.
+
+    Grouping by the empty key list partitions each row into the single
+    group of its (empty) key tuple; on empty input there are **no** groups,
+    matching the paper's Cypher aggregation semantics (Appendix A) rather
+    than SQL's one-row global aggregate.  This keeps the two reference
+    evaluators aligned, which is what equivalence checking requires.
+    """
+
+    query: "Query"
+    keys: tuple[Expression, ...]
+    columns: tuple[OutputColumn, ...]
+    having: Predicate = TRUE
+
+
+@dataclass(frozen=True)
+class WithQuery:
+    """``With(Q1, R, Q2)`` — bind *name* to ``Q1`` while evaluating ``Q2``."""
+
+    name: str
+    definition: "Query"
+    body: "Query"
+
+
+@dataclass(frozen=True)
+class OrderBy:
+    """``OrderBy(Q, ā, b̄)`` — sort; output is order-sensitive (Def 4.4 fn. 4)."""
+
+    query: "Query"
+    keys: tuple[Expression, ...]
+    ascending: tuple[bool, ...]
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.keys) != len(self.ascending):
+            raise ValueError("OrderBy needs one direction per key")
+
+
+Query = typing.Union[
+    Relation,
+    Projection,
+    Selection,
+    Renaming,
+    Join,
+    UnionOp,
+    GroupBy,
+    WithQuery,
+    OrderBy,
+]
+
+
+def flatten_attribute(name: str) -> str:
+    """Flatten a qualified attribute into a legal local name (``a.b`` → ``a_b``)."""
+    return name.replace(".", "_")
+
+
+def columns_of(expressions: typing.Iterable[Expression], names: typing.Iterable[str]) -> tuple[OutputColumn, ...]:
+    """Zip expressions and aliases into projection columns."""
+    return tuple(OutputColumn(alias, expr) for alias, expr in zip(names, expressions))

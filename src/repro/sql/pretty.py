@@ -1,0 +1,586 @@
+"""Rendering Featherweight SQL algebra to executable SQL text (SQLite).
+
+The transpiler produces nested relational algebra; this module lowers it to
+a SQL string SQLite accepts, used by the execution benchmark (paper
+Section 6.3 / Table 4) and by the examples for display.
+
+Column naming mirrors the reference evaluator exactly: qualified attribute
+names like ``T1.c1_CID`` become *quoted identifiers* (``"T1.c1_CID"``), so
+any attribute the evaluator can resolve has a well-defined rendering.  Each
+operator becomes one ``SELECT`` layer over aliased subqueries.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.common.errors import SemanticsError
+from repro.common.values import is_null
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast
+
+
+def to_sql_text(
+    query: ast.Query, schema: RelationalSchema, optimized: bool = True
+) -> str:
+    """Render *query* over *schema* as a single SQLite SELECT statement.
+
+    With ``optimized`` (the default) the algebra is first simplified by
+    :mod:`repro.sql.optimize`, collapsing the transpiler's one-node-per-rule
+    nesting into compact SQL.
+    """
+    if optimized:
+        from repro.sql.optimize import optimize
+
+        query = optimize(query)
+    renderer = _Renderer(schema)
+    rendered = renderer.render(query, {})
+    return rendered.text
+
+
+def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
+    """Render with the paper's Figure-7 presentation: one CTE per renamed
+    intermediate result (``WITH T1 AS (...), T2 AS (...) SELECT ...``).
+
+    The transpiler's C-Match2/C-OptMatch rules wrap each clause side in a
+    renaming ``ρ_T1``/``ρ_T2``; those become the CTEs, exactly as the paper
+    displays its running example.  Purely a presentation alternative to
+    :func:`to_sql_text` — both render the same algebra.
+    """
+    from repro.relational.schema import Relation
+    from repro.sql.optimize import optimize
+
+    query = optimize(query)
+    cte_definitions: list[tuple[str, str, tuple[str, ...]]] = []
+    extended_relations = list(schema.relations)
+    used_names: set[str] = {relation.name for relation in schema.relations}
+
+    def hoist_operand(node: ast.Query) -> ast.Query:
+        """Turn a composite join operand into a CTE reference.
+
+        Join trees over (renamed) base relations flatten into FROM lists,
+        so only genuinely composite operands — projections, aggregations,
+        unions — become CTEs, mirroring the paper's Figure-7 granularity.
+        """
+        if isinstance(node, (ast.Relation, ast.Join, ast.Selection)):
+            return node
+        if isinstance(node, ast.Renaming) and isinstance(node.query, ast.Relation):
+            return node
+        cte_name = _fresh_cte_name(f"T{len(cte_definitions) + 1}", used_names)
+        used_names.add(cte_name)
+        current_schema = RelationalSchema.of(extended_relations, schema.constraints)
+        rendered = _Renderer(current_schema).render(node, {})
+        columns = tuple(rendered.columns)
+        extended_relations.append(Relation(cte_name, columns))
+        cte_definitions.append((cte_name, rendered.text, columns))
+        return ast.Relation(cte_name)
+
+    def hoist(node: ast.Query) -> ast.Query:
+        node = _hoist_children(node, hoist)
+        if isinstance(node, ast.Join):
+            return ast.Join(
+                node.kind,
+                hoist_operand(node.left),
+                hoist_operand(node.right),
+                node.predicate,
+            )
+        if isinstance(node, ast.Renaming) and not isinstance(node.query, ast.Relation):
+            cte_name = _fresh_cte_name(node.name, used_names)
+            used_names.add(cte_name)
+            current_schema = RelationalSchema.of(extended_relations, schema.constraints)
+            rendered = _Renderer(current_schema).render(node.query, {})
+            columns = tuple(rendered.columns)
+            extended_relations.append(Relation(cte_name, columns))
+            cte_definitions.append((cte_name, rendered.text, columns))
+            return ast.Renaming(node.name, ast.Relation(cte_name))
+        return node
+
+    hoisted = hoist(query)
+    final_schema = RelationalSchema.of(extended_relations, schema.constraints)
+    body = _Renderer(final_schema).render(hoisted, {}).text
+    if not cte_definitions:
+        return body
+    clauses = ",\n".join(
+        f"{_quote(name)} AS ({text})" for name, text, _ in cte_definitions
+    )
+    return f"WITH {clauses}\n{body}"
+
+
+def _fresh_cte_name(stem: str, used: set[str]) -> str:
+    candidate = stem
+    suffix = 0
+    while candidate in used:
+        suffix += 1
+        candidate = f"{stem}_{suffix}"
+    return candidate
+
+
+def _hoist_children(node: ast.Query, hoist) -> ast.Query:
+    if isinstance(node, ast.Projection):
+        return ast.Projection(hoist(node.query), node.columns, node.distinct)
+    if isinstance(node, ast.Selection):
+        return ast.Selection(hoist(node.query), node.predicate)
+    if isinstance(node, ast.Renaming):
+        return ast.Renaming(node.name, hoist(node.query))
+    if isinstance(node, ast.Join):
+        return ast.Join(node.kind, hoist(node.left), hoist(node.right), node.predicate)
+    if isinstance(node, ast.UnionOp):
+        return ast.UnionOp(hoist(node.left), hoist(node.right), node.all)
+    if isinstance(node, ast.GroupBy):
+        return ast.GroupBy(hoist(node.query), node.keys, node.columns, node.having)
+    if isinstance(node, ast.WithQuery):
+        return ast.WithQuery(node.name, hoist(node.definition), hoist(node.body))
+    if isinstance(node, ast.OrderBy):
+        return ast.OrderBy(hoist(node.query), node.keys, node.ascending, node.limit)
+    return node
+
+
+def create_table_ddl(schema: RelationalSchema) -> list[str]:
+    """``CREATE TABLE`` statements for every relation of *schema*."""
+    statements = []
+    for relation in schema.relations:
+        columns = ", ".join(_quote(a) for a in relation.attributes)
+        statements.append(f'CREATE TABLE {_quote(relation.name)} ({columns})')
+    return statements
+
+
+class _Rendered:
+    """A rendered subquery: its SQL text and output column names."""
+
+    __slots__ = ("text", "columns")
+
+    def __init__(self, text: str, columns: list[str]) -> None:
+        self.text = text
+        self.columns = columns
+
+
+class _FromScope:
+    """Scope over a flattened FROM clause: column → rendered fragment."""
+
+    def __init__(self, fragments: dict[str, str]) -> None:
+        self.fragments = fragments
+        self.columns = list(fragments)
+
+    def resolve(self, name: str) -> str:
+        if name in self.fragments:
+            return self.fragments[name]
+        local_matches = [
+            c for c in self.fragments if c.rsplit(".", 1)[-1] == name
+        ]
+        if len(local_matches) == 1:
+            return self.fragments[local_matches[0]]
+        if len(local_matches) > 1:
+            raise SemanticsError(f"ambiguous attribute reference {name!r}")
+        raise SemanticsError(f"unknown attribute reference {name!r}")
+
+
+class _Source:
+    """A flattened FROM clause with its column scope."""
+
+    __slots__ = ("from_sql", "scope")
+
+    def __init__(self, from_sql: str, scope: _FromScope) -> None:
+        self.from_sql = from_sql
+        self.scope = scope
+
+    @property
+    def columns(self) -> list[str]:
+        return self.scope.columns
+
+    def select_all(self) -> str:
+        return ", ".join(
+            f"{fragment} AS {_quote(column)}"
+            for column, fragment in self.scope.fragments.items()
+        )
+
+
+class _Renderer:
+    def __init__(self, schema: RelationalSchema) -> None:
+        self.schema = schema
+        self._alias = count(1)
+        #: Enclosing row scopes for correlated subqueries (innermost last).
+        self._outer: list["_Scope"] = []
+
+    def _fresh(self) -> str:
+        return f"sub{next(self._alias)}"
+
+    def _resolve(self, name: str, scope) -> str:
+        """Resolve against *scope*, falling back to enclosing scopes."""
+        candidates = [scope] + list(reversed(self._outer))
+        for candidate in candidates:
+            try:
+                return candidate.resolve(name)
+            except SemanticsError as error:
+                if "ambiguous" in str(error):
+                    raise
+        raise SemanticsError(f"unknown attribute reference {name!r}")
+
+    # -- flattened FROM clauses ----------------------------------------------
+
+    def _as_source(self, query: ast.Query, ctes: dict[str, _Rendered]) -> "_Source | None":
+        """Flatten *query* into a FROM clause when it is a join tree over
+        (renamed) base relations; ``None`` when a subselect is required."""
+        if isinstance(query, ast.Relation) and query.name not in ctes:
+            relation = self.schema.relation(query.name)
+            fragments = {
+                attribute: f"{_quote(query.name)}.{_quote(attribute)}"
+                for attribute in relation.attributes
+            }
+            return _Source(_quote(query.name), _FromScope(fragments))
+        if isinstance(query, ast.Renaming) and isinstance(query.query, ast.Relation):
+            if query.query.name in ctes:
+                return None
+            relation = self.schema.relation(query.query.name)
+            fragments = {
+                f"{query.name}.{attribute}": f"{_quote(query.name)}.{_quote(attribute)}"
+                for attribute in relation.attributes
+            }
+            from_sql = f"{_quote(query.query.name)} AS {_quote(query.name)}"
+            return _Source(from_sql, _FromScope(fragments))
+        if isinstance(query, ast.Join) and query.kind in (
+            ast.JoinKind.CROSS,
+            ast.JoinKind.INNER,
+            ast.JoinKind.LEFT,
+        ):
+            left = self._as_source(query.left, ctes)
+            if left is None:
+                return None
+            right = self._as_source(query.right, ctes)
+            if right is None:
+                return None
+            overlap = set(left.scope.fragments) & set(right.scope.fragments)
+            if overlap:
+                return None
+            fragments = dict(left.scope.fragments)
+            fragments.update(right.scope.fragments)
+            scope = _FromScope(fragments)
+            if query.kind is ast.JoinKind.CROSS:
+                from_sql = f"{left.from_sql} CROSS JOIN {right.from_sql}"
+            else:
+                keyword = "JOIN" if query.kind is ast.JoinKind.INNER else "LEFT JOIN"
+                predicate = self._predicate(query.predicate, scope, ctes)
+                from_sql = f"{left.from_sql} {keyword} {right.from_sql} ON {predicate}"
+            return _Source(from_sql, scope)
+        return None
+
+    def _source_of(self, query: ast.Query, ctes: dict[str, _Rendered]) -> "_Source":
+        """A source for any query: flattened when possible, else a subselect."""
+        source = self._as_source(query, ctes)
+        if source is not None:
+            return source
+        rendered = self.render(query, ctes)
+        alias = self._fresh()
+        fragments = {
+            column: f"{alias}.{_quote(column)}" for column in rendered.columns
+        }
+        return _Source(f"({rendered.text}) AS {alias}", _FromScope(fragments))
+
+    def _split_selection(
+        self, query: ast.Query, ctes: dict[str, _Rendered]
+    ) -> tuple["_Source", str]:
+        """Source plus rendered WHERE text ("" when no selection applies)."""
+        if isinstance(query, ast.Selection):
+            source = self._source_of(query.query, ctes)
+            predicate = self._predicate(query.predicate, source.scope, ctes)
+            return source, predicate
+        return self._source_of(query, ctes), ""
+
+    # -- queries -----------------------------------------------------------
+
+    def render(self, query: ast.Query, ctes: dict[str, _Rendered]) -> _Rendered:
+        if isinstance(query, ast.Relation):
+            return self._render_relation(query, ctes)
+        if isinstance(query, ast.Projection):
+            return self._render_projection(query, ctes)
+        if isinstance(query, ast.Selection):
+            return self._render_selection(query, ctes)
+        if isinstance(query, ast.Renaming):
+            return self._render_renaming(query, ctes)
+        if isinstance(query, ast.Join):
+            return self._render_join(query, ctes)
+        if isinstance(query, ast.UnionOp):
+            return self._render_union(query, ctes)
+        if isinstance(query, ast.GroupBy):
+            return self._render_group_by(query, ctes)
+        if isinstance(query, ast.WithQuery):
+            definition = self.render(query.definition, ctes)
+            extended = dict(ctes)
+            extended[query.name] = definition
+            return self.render(query.body, extended)
+        if isinstance(query, ast.OrderBy):
+            return self._render_order_by(query, ctes)
+        raise SemanticsError(f"cannot render query node {type(query).__name__}")
+
+    def _render_relation(self, query: ast.Relation, ctes: dict[str, _Rendered]) -> _Rendered:
+        cte = ctes.get(query.name)
+        if cte is not None:
+            return cte
+        relation = self.schema.relation(query.name)
+        columns = list(relation.attributes)
+        select = ", ".join(f"{_quote(a)}" for a in columns)
+        return _Rendered(f"SELECT {select} FROM {_quote(query.name)}", columns)
+
+    def _render_projection(self, query: ast.Projection, ctes: dict[str, _Rendered]) -> _Rendered:
+        source, where = self._split_selection(query.query, ctes)
+        parts = [
+            f"{self._expression(c.expression, source.scope)} AS {_quote(c.alias)}"
+            for c in query.columns
+        ]
+        keyword = "SELECT DISTINCT" if query.distinct else "SELECT"
+        text = f"{keyword} {', '.join(parts)} FROM {source.from_sql}"
+        if where:
+            text += f" WHERE {where}"
+        return _Rendered(text, [c.alias for c in query.columns])
+
+    def _render_selection(self, query: ast.Selection, ctes: dict[str, _Rendered]) -> _Rendered:
+        source = self._source_of(query.query, ctes)
+        predicate = self._predicate(query.predicate, source.scope, ctes)
+        text = (
+            f"SELECT {source.select_all()} FROM {source.from_sql} WHERE {predicate}"
+        )
+        return _Rendered(text, source.columns)
+
+    def _render_renaming(self, query: ast.Renaming, ctes: dict[str, _Rendered]) -> _Rendered:
+        if isinstance(query.query, ast.Relation) and query.query.name not in ctes:
+            # ρ_T over a base relation renders in one layer: FROM t AS T.
+            relation = self.schema.relation(query.query.name)
+            new_columns = [f"{query.name}.{a}" for a in relation.attributes]
+            parts = [
+                f"{_quote(query.name)}.{_quote(old)} AS {_quote(new)}"
+                for old, new in zip(relation.attributes, new_columns)
+            ]
+            text = (
+                f"SELECT {', '.join(parts)} FROM {_quote(query.query.name)} "
+                f"AS {_quote(query.name)}"
+            )
+            return _Rendered(text, new_columns)
+        inner = self.render(query.query, ctes)
+        alias = self._fresh()
+        new_columns = [f"{query.name}.{c.replace('.', '_')}" for c in inner.columns]
+        parts = [
+            f"{alias}.{_quote(old)} AS {_quote(new)}"
+            for old, new in zip(inner.columns, new_columns)
+        ]
+        text = f"SELECT {', '.join(parts)} FROM ({inner.text}) AS {alias}"
+        return _Rendered(text, new_columns)
+
+    def _render_join(self, query: ast.Join, ctes: dict[str, _Rendered]) -> _Rendered:
+        flattened = self._as_source(query, ctes)
+        if flattened is not None:
+            return _Rendered(
+                f"SELECT {flattened.select_all()} FROM {flattened.from_sql}",
+                flattened.columns,
+            )
+        left = self.render(query.left, ctes)
+        right = self.render(query.right, ctes)
+        left_alias = self._fresh()
+        right_alias = self._fresh()
+        columns = left.columns + right.columns
+        scope = _JoinScope(left_alias, left.columns, right_alias, right.columns)
+        select = ", ".join(
+            f"{left_alias}.{_quote(c)} AS {_quote(c)}" for c in left.columns
+        )
+        select += ", " + ", ".join(
+            f"{right_alias}.{_quote(c)} AS {_quote(c)}" for c in right.columns
+        )
+        if query.kind is ast.JoinKind.CROSS:
+            join_sql = (
+                f"({left.text}) AS {left_alias} CROSS JOIN ({right.text}) AS {right_alias}"
+            )
+        else:
+            keyword = {
+                ast.JoinKind.INNER: "JOIN",
+                ast.JoinKind.LEFT: "LEFT JOIN",
+                ast.JoinKind.RIGHT: "RIGHT JOIN",
+                ast.JoinKind.FULL: "FULL JOIN",
+            }[query.kind]
+            predicate = self._predicate(query.predicate, scope, ctes)
+            join_sql = (
+                f"({left.text}) AS {left_alias} {keyword} ({right.text}) "
+                f"AS {right_alias} ON {predicate}"
+            )
+        return _Rendered(f"SELECT {select} FROM {join_sql}", columns)
+
+    def _render_union(self, query: ast.UnionOp, ctes: dict[str, _Rendered]) -> _Rendered:
+        left = self.render(query.left, ctes)
+        right = self.render(query.right, ctes)
+        keyword = "UNION ALL" if query.all else "UNION"
+        left_alias = self._fresh()
+        right_alias = self._fresh()
+        left_sql = "SELECT " + ", ".join(
+            f"{left_alias}.{_quote(c)}" for c in left.columns
+        ) + f" FROM ({left.text}) AS {left_alias}"
+        right_sql = "SELECT " + ", ".join(
+            f"{right_alias}.{_quote(c)}" for c in right.columns
+        ) + f" FROM ({right.text}) AS {right_alias}"
+        return _Rendered(f"{left_sql} {keyword} {right_sql}", left.columns)
+
+    def _render_group_by(self, query: ast.GroupBy, ctes: dict[str, _Rendered]) -> _Rendered:
+        source, where = self._split_selection(query.query, ctes)
+        parts = [
+            f"{self._expression(c.expression, source.scope)} AS {_quote(c.alias)}"
+            for c in query.columns
+        ]
+        text = f"SELECT {', '.join(parts)} FROM {source.from_sql}"
+        if where:
+            text += f" WHERE {where}"
+        if query.keys:
+            keys = ", ".join(self._expression(k, source.scope) for k in query.keys)
+            text += f" GROUP BY {keys}"
+        if query.having != ast.TRUE:
+            having = self._predicate(query.having, source.scope, ctes)
+            text += f" HAVING {having}"
+        return _Rendered(text, [c.alias for c in query.columns])
+
+    def _render_order_by(self, query: ast.OrderBy, ctes: dict[str, _Rendered]) -> _Rendered:
+        source = self._source_of(query.query, ctes)
+        text = f"SELECT {source.select_all()} FROM {source.from_sql}"
+        if query.keys:
+            keys = ", ".join(
+                f"{self._expression(k, source.scope)} {'ASC' if asc else 'DESC'}"
+                for k, asc in zip(query.keys, query.ascending)
+            )
+            text += f" ORDER BY {keys}"
+        if query.limit is not None:
+            text += f" LIMIT {query.limit}"
+        return _Rendered(text, source.columns)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _expression(self, expression: ast.Expression, scope: "_Scope") -> str:
+        if isinstance(expression, ast.AttributeRef):
+            return self._resolve(expression.name, scope)
+        if isinstance(expression, ast.Literal):
+            return _literal(expression.value)
+        if isinstance(expression, ast.Aggregate):
+            function = expression.function.upper()
+            if expression.argument is None:
+                return "COUNT(*)"
+            inner = self._expression(expression.argument, scope)
+            if expression.distinct:
+                inner = f"DISTINCT {inner}"
+            return f"{function}({inner})"
+        if isinstance(expression, ast.BinaryOp):
+            left = self._expression(expression.left, scope)
+            right = self._expression(expression.right, scope)
+            return f"({left} {expression.op} {right})"
+        if isinstance(expression, ast.CastPredicate):
+            predicate = self._predicate(expression.predicate, scope, {})
+            return (
+                f"(CASE WHEN {predicate} THEN 1 "
+                f"WHEN NOT ({predicate}) THEN 0 ELSE NULL END)"
+            )
+        raise SemanticsError(
+            f"cannot render expression node {type(expression).__name__}"
+        )
+
+    def _predicate(
+        self, predicate: ast.Predicate, scope: "_Scope", ctes: dict[str, _Rendered]
+    ) -> str:
+        if isinstance(predicate, ast.BoolLit):
+            return "1 = 1" if predicate.value else "1 = 0"
+        if isinstance(predicate, ast.Comparison):
+            left = self._expression(predicate.left, scope)
+            right = self._expression(predicate.right, scope)
+            return f"{left} {predicate.op} {right}"
+        if isinstance(predicate, ast.IsNull):
+            operand = self._expression(predicate.operand, scope)
+            suffix = "IS NOT NULL" if predicate.negated else "IS NULL"
+            return f"{operand} {suffix}"
+        if isinstance(predicate, ast.InValues):
+            operand = self._expression(predicate.operand, scope)
+            values = ", ".join(_literal(v) for v in predicate.values)
+            return f"{operand} IN ({values})"
+        if isinstance(predicate, ast.InQuery):
+            operands = ", ".join(self._expression(e, scope) for e in predicate.operands)
+            self._outer.append(scope)
+            try:
+                sub = self.render(predicate.query, ctes)
+            finally:
+                self._outer.pop()
+            keyword = "NOT IN" if predicate.negated else "IN"
+            if len(predicate.operands) == 1:
+                return f"{operands} {keyword} ({sub.text})"
+            return f"({operands}) {keyword} (SELECT * FROM ({sub.text}))"
+        if isinstance(predicate, ast.ExistsQuery):
+            self._outer.append(scope)
+            try:
+                sub = self.render(predicate.query, ctes)
+            finally:
+                self._outer.pop()
+            keyword = "NOT EXISTS" if predicate.negated else "EXISTS"
+            return f"{keyword} ({sub.text})"
+        if isinstance(predicate, ast.And):
+            return (
+                f"({self._predicate(predicate.left, scope, ctes)} AND "
+                f"{self._predicate(predicate.right, scope, ctes)})"
+            )
+        if isinstance(predicate, ast.Or):
+            return (
+                f"({self._predicate(predicate.left, scope, ctes)} OR "
+                f"{self._predicate(predicate.right, scope, ctes)})"
+            )
+        if isinstance(predicate, ast.Not):
+            return f"NOT ({self._predicate(predicate.operand, scope, ctes)})"
+        raise SemanticsError(
+            f"cannot render predicate node {type(predicate).__name__}"
+        )
+
+
+class _Scope:
+    """Resolves attribute references to quoted, alias-qualified columns."""
+
+    def __init__(self, alias: str, columns: list[str]) -> None:
+        self.alias = alias
+        self.columns = columns
+
+    def resolve(self, name: str) -> str:
+        if name in self.columns:
+            return f"{self.alias}.{_quote(name)}"
+        local_matches = [c for c in self.columns if c.rsplit(".", 1)[-1] == name]
+        if len(local_matches) == 1:
+            return f"{self.alias}.{_quote(local_matches[0])}"
+        if len(local_matches) > 1:
+            raise SemanticsError(f"ambiguous attribute reference {name!r}")
+        raise SemanticsError(f"unknown attribute reference {name!r}")
+
+
+class _JoinScope(_Scope):
+    """Two-sided scope for join predicates."""
+
+    def __init__(
+        self,
+        left_alias: str,
+        left_columns: list[str],
+        right_alias: str,
+        right_columns: list[str],
+    ) -> None:
+        self.left = _Scope(left_alias, left_columns)
+        self.right = _Scope(right_alias, right_columns)
+        self.columns = left_columns + right_columns
+        self.alias = left_alias
+
+    def resolve(self, name: str) -> str:
+        for side in (self.left, self.right):
+            try:
+                return side.resolve(name)
+            except SemanticsError as error:
+                if "ambiguous" in str(error):
+                    raise
+        raise SemanticsError(f"unknown attribute reference {name!r}")
+
+
+def _quote(identifier: str) -> str:
+    escaped = identifier.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def _literal(value) -> str:
+    if is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)

@@ -1,0 +1,478 @@
+"""Reference bag semantics for Featherweight SQL.
+
+This module implements the denotational semantics the paper inherits from
+VeriEQL [He et al. 2024]: queries are functions from database instances to
+bags of rows, predicates follow three-valued logic, and ``GROUP BY``
+partitions rows by key-tuple equality (with NULL equal to NULL, as in SQL).
+
+The evaluator supports correlated subqueries: ``IN (SELECT ...)`` and
+``EXISTS (SELECT ...)`` bodies may reference attributes of enclosing rows.
+Resolution is innermost-scope-first, falling back outward — SQL's standard
+name resolution.
+
+This interpreter is the semantic ground truth for the whole library: the
+bounded model checker executes candidate counterexamples with it, the
+property tests validate the transpiler against it, and the execution
+backend's SQLite renderings are cross-checked against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common import arithmetic
+from repro.common.aggregates import combine, count_rows
+from repro.common.errors import SemanticsError
+from repro.common.values import (
+    NULL,
+    Value,
+    is_null,
+    sort_key,
+    sql_and,
+    sql_not,
+    sql_or,
+    value_eq,
+    value_lt,
+)
+from repro.relational.instance import Database, Row, Table
+from repro.sql import ast
+
+
+@dataclass(frozen=True)
+class _RowScope:
+    """One visible row during predicate/expression evaluation."""
+
+    attributes: tuple[str, ...]
+    row: Row
+
+    def lookup(self, name: str) -> tuple[bool, Value]:
+        """Resolve *name*; returns ``(found, value)``."""
+        if name in self.attributes:
+            return True, self.row[self.attributes.index(name)]
+        local_matches = [
+            index
+            for index, attribute in enumerate(self.attributes)
+            if attribute.rsplit(".", 1)[-1] == name
+        ]
+        if len(local_matches) == 1:
+            return True, self.row[local_matches[0]]
+        if len(local_matches) > 1:
+            raise SemanticsError(f"ambiguous attribute reference {name!r}")
+        return False, NULL
+
+
+@dataclass(frozen=True)
+class _Context:
+    """Evaluation context: the database, CTE bindings, and outer row scopes."""
+
+    database: Database
+    ctes: tuple[tuple[str, Table], ...] = ()
+    outer: tuple[_RowScope, ...] = ()
+
+    def cte(self, name: str) -> Table | None:
+        for cte_name, table in reversed(self.ctes):
+            if cte_name == name:
+                return table
+        return None
+
+    def with_cte(self, name: str, table: Table) -> "_Context":
+        return replace(self, ctes=self.ctes + ((name, table),))
+
+    def with_outer(self, scopes: tuple[_RowScope, ...]) -> "_Context":
+        return replace(self, outer=scopes)
+
+
+def evaluate_query(query: ast.Query, database: Database) -> Table:
+    """Evaluate ``⟦Q⟧_D`` — the public entry point."""
+    return _eval(query, _Context(database))
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation
+# ---------------------------------------------------------------------------
+
+
+def _eval(query: ast.Query, ctx: _Context) -> Table:
+    if isinstance(query, ast.Relation):
+        return _eval_relation(query, ctx)
+    if isinstance(query, ast.Projection):
+        return _eval_projection(query, ctx)
+    if isinstance(query, ast.Selection):
+        return _eval_selection(query, ctx)
+    if isinstance(query, ast.Renaming):
+        return _eval_renaming(query, ctx)
+    if isinstance(query, ast.Join):
+        return _eval_join(query, ctx)
+    if isinstance(query, ast.UnionOp):
+        return _eval_union(query, ctx)
+    if isinstance(query, ast.GroupBy):
+        return _eval_group_by(query, ctx)
+    if isinstance(query, ast.WithQuery):
+        return _eval_with(query, ctx)
+    if isinstance(query, ast.OrderBy):
+        return _eval_order_by(query, ctx)
+    raise SemanticsError(f"cannot evaluate query node {type(query).__name__}")
+
+
+def _eval_relation(query: ast.Relation, ctx: _Context) -> Table:
+    cte = ctx.cte(query.name)
+    if cte is not None:
+        return Table(cte.attributes, list(cte.rows))
+    table = ctx.database.table(query.name)
+    return Table(table.attributes, list(table.rows))
+
+
+def _eval_projection(query: ast.Projection, ctx: _Context) -> Table:
+    inner = _eval(query.query, ctx)
+    attributes = tuple(column.alias for column in query.columns)
+    rows: list[Row] = []
+    for row in inner:
+        scope = _RowScope(inner.attributes, row)
+        rows.append(
+            tuple(
+                _eval_scalar(column.expression, (scope,) + ctx.outer, ctx)
+                for column in query.columns
+            )
+        )
+    if query.distinct:
+        rows = _dedup_rows(rows)
+    return Table(attributes, rows)
+
+
+def _eval_selection(query: ast.Selection, ctx: _Context) -> Table:
+    inner = _eval(query.query, ctx)
+    rows = []
+    for row in inner:
+        scope = _RowScope(inner.attributes, row)
+        if _eval_predicate(query.predicate, (scope,) + ctx.outer, ctx) is True:
+            rows.append(row)
+    return Table(inner.attributes, rows)
+
+
+def _eval_renaming(query: ast.Renaming, ctx: _Context) -> Table:
+    inner = _eval(query.query, ctx)
+    attributes = tuple(
+        f"{query.name}.{attribute.replace('.', '_')}" for attribute in inner.attributes
+    )
+    return Table(attributes, list(inner.rows))
+
+
+def _eval_join(query: ast.Join, ctx: _Context) -> Table:
+    left = _eval(query.left, ctx)
+    right = _eval(query.right, ctx)
+    attributes = left.attributes + right.attributes
+    if len(set(attributes)) != len(attributes):
+        raise SemanticsError(
+            "join would produce duplicate attribute names; rename the operands"
+        )
+    null_right = tuple([NULL] * len(right.attributes))
+    null_left = tuple([NULL] * len(left.attributes))
+    rows: list[Row] = []
+    if query.kind is ast.JoinKind.CROSS:
+        for left_row in left:
+            for right_row in right:
+                rows.append(left_row + right_row)
+        return Table(attributes, rows)
+
+    matched_right: set[int] = set()
+    for left_row in left:
+        matched = False
+        for right_index, right_row in enumerate(right):
+            combined = left_row + right_row
+            scope = _RowScope(attributes, combined)
+            if _eval_predicate(query.predicate, (scope,) + ctx.outer, ctx) is True:
+                rows.append(combined)
+                matched = True
+                matched_right.add(right_index)
+        if not matched and query.kind in (ast.JoinKind.LEFT, ast.JoinKind.FULL):
+            rows.append(left_row + null_right)
+    if query.kind in (ast.JoinKind.RIGHT, ast.JoinKind.FULL):
+        for right_index, right_row in enumerate(right):
+            if right_index not in matched_right:
+                rows.append(null_left + right_row)
+    if query.kind is ast.JoinKind.RIGHT:
+        # A plain right join also keeps the matched pairs computed above.
+        pass
+    return Table(attributes, rows)
+
+
+def _eval_union(query: ast.UnionOp, ctx: _Context) -> Table:
+    left = _eval(query.left, ctx)
+    right = _eval(query.right, ctx)
+    if len(left.attributes) != len(right.attributes):
+        raise SemanticsError(
+            f"union arity mismatch: {len(left.attributes)} vs {len(right.attributes)}"
+        )
+    rows = list(left.rows) + list(right.rows)
+    if not query.all:
+        rows = _dedup_rows(rows)
+    return Table(left.attributes, rows)
+
+
+def _eval_group_by(query: ast.GroupBy, ctx: _Context) -> Table:
+    inner = _eval(query.query, ctx)
+    groups: dict[tuple, list[Row]] = {}
+    order: list[tuple] = []
+    for row in inner:
+        scope = _RowScope(inner.attributes, row)
+        key = tuple(
+            _eval_scalar(key_expr, (scope,) + ctx.outer, ctx) for key_expr in query.keys
+        )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    attributes = tuple(column.alias for column in query.columns)
+    rows: list[Row] = []
+    for key in order:
+        member_rows = groups[key]
+        if _eval_group_predicate(query.having, member_rows, inner.attributes, ctx) is not True:
+            continue
+        rows.append(
+            tuple(
+                _eval_in_group(column.expression, member_rows, inner.attributes, ctx)
+                for column in query.columns
+            )
+        )
+    return Table(attributes, rows)
+
+
+def _eval_with(query: ast.WithQuery, ctx: _Context) -> Table:
+    definition = _eval(query.definition, ctx)
+    return _eval(query.body, ctx.with_cte(query.name, definition))
+
+
+def _eval_order_by(query: ast.OrderBy, ctx: _Context) -> Table:
+    inner = _eval(query.query, ctx)
+    decorated = []
+    for row in inner:
+        scope = _RowScope(inner.attributes, row)
+        keys = []
+        for key_expr, ascending in zip(query.keys, query.ascending):
+            value = _eval_scalar(key_expr, (scope,) + ctx.outer, ctx)
+            keys.append(_directional_key(value, ascending))
+        decorated.append((tuple(keys), row))
+    decorated.sort(key=lambda pair: pair[0])
+    rows = [row for _, row in decorated]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return Table(inner.attributes, rows, ordered=True)
+
+
+class _Descending:
+    """Inverts comparisons so a single ascending sort handles DESC keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.key == other.key
+
+
+def _directional_key(value: Value, ascending: bool):
+    key = sort_key(value)
+    return key if ascending else _Descending(key)
+
+
+def _dedup_rows(rows: list[Row]) -> list[Row]:
+    seen: set[Row] = set()
+    out: list[Row] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scalar expression evaluation (no aggregates)
+# ---------------------------------------------------------------------------
+
+
+def _eval_scalar(
+    expression: ast.Expression, scopes: tuple[_RowScope, ...], ctx: _Context
+) -> Value:
+    if isinstance(expression, ast.AttributeRef):
+        return _resolve(expression.name, scopes)
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.BinaryOp):
+        left = _eval_scalar(expression.left, scopes, ctx)
+        right = _eval_scalar(expression.right, scopes, ctx)
+        return arithmetic.apply_binary(expression.op, left, right)
+    if isinstance(expression, ast.CastPredicate):
+        verdict = _eval_predicate(expression.predicate, scopes, ctx)
+        if is_null(verdict):
+            return NULL
+        return 1 if verdict else 0
+    if isinstance(expression, ast.Aggregate):
+        raise SemanticsError(
+            f"aggregate {expression} outside a GROUP BY output list"
+        )
+    raise SemanticsError(f"cannot evaluate expression node {type(expression).__name__}")
+
+
+def _resolve(name: str, scopes: tuple[_RowScope, ...]) -> Value:
+    for scope in scopes:
+        found, value = scope.lookup(name)
+        if found:
+            return value
+    raise SemanticsError(f"unknown attribute reference {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Group-mode evaluation (aggregates allowed)
+# ---------------------------------------------------------------------------
+
+
+def _eval_in_group(
+    expression: ast.Expression,
+    rows: list[Row],
+    attributes: tuple[str, ...],
+    ctx: _Context,
+) -> Value:
+    if isinstance(expression, ast.Aggregate):
+        return _eval_aggregate(expression, rows, attributes, ctx)
+    if isinstance(expression, ast.BinaryOp):
+        left = _eval_in_group(expression.left, rows, attributes, ctx)
+        right = _eval_in_group(expression.right, rows, attributes, ctx)
+        return arithmetic.apply_binary(expression.op, left, right)
+    head_scope = _RowScope(attributes, rows[0])
+    return _eval_scalar(expression, (head_scope,) + ctx.outer, ctx)
+
+
+def _eval_aggregate(
+    aggregate: ast.Aggregate,
+    rows: list[Row],
+    attributes: tuple[str, ...],
+    ctx: _Context,
+) -> Value:
+    if aggregate.argument is None:
+        return count_rows(len(rows))
+    values = []
+    for row in rows:
+        scope = _RowScope(attributes, row)
+        values.append(_eval_scalar(aggregate.argument, (scope,) + ctx.outer, ctx))
+    return combine(aggregate.function, values, aggregate.distinct)
+
+
+def _eval_group_predicate(
+    predicate: ast.Predicate,
+    rows: list[Row],
+    attributes: tuple[str, ...],
+    ctx: _Context,
+):
+    """3VL predicate over a whole group (for HAVING)."""
+    if isinstance(predicate, ast.BoolLit):
+        return predicate.value
+    if isinstance(predicate, ast.Comparison):
+        left = _eval_in_group(predicate.left, rows, attributes, ctx)
+        right = _eval_in_group(predicate.right, rows, attributes, ctx)
+        return _compare(predicate.op, left, right)
+    if isinstance(predicate, ast.IsNull):
+        value = _eval_in_group(predicate.operand, rows, attributes, ctx)
+        verdict = is_null(value)
+        return (not verdict) if predicate.negated else verdict
+    if isinstance(predicate, ast.And):
+        return sql_and(
+            _eval_group_predicate(predicate.left, rows, attributes, ctx),
+            _eval_group_predicate(predicate.right, rows, attributes, ctx),
+        )
+    if isinstance(predicate, ast.Or):
+        return sql_or(
+            _eval_group_predicate(predicate.left, rows, attributes, ctx),
+            _eval_group_predicate(predicate.right, rows, attributes, ctx),
+        )
+    if isinstance(predicate, ast.Not):
+        return sql_not(_eval_group_predicate(predicate.operand, rows, attributes, ctx))
+    head_scope = _RowScope(attributes, rows[0])
+    return _eval_predicate(predicate, (head_scope,) + ctx.outer, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Predicate evaluation (3VL)
+# ---------------------------------------------------------------------------
+
+
+def _eval_predicate(
+    predicate: ast.Predicate, scopes: tuple[_RowScope, ...], ctx: _Context
+):
+    if isinstance(predicate, ast.BoolLit):
+        return predicate.value
+    if isinstance(predicate, ast.Comparison):
+        left = _eval_scalar(predicate.left, scopes, ctx)
+        right = _eval_scalar(predicate.right, scopes, ctx)
+        return _compare(predicate.op, left, right)
+    if isinstance(predicate, ast.IsNull):
+        value = _eval_scalar(predicate.operand, scopes, ctx)
+        verdict = is_null(value)
+        return (not verdict) if predicate.negated else verdict
+    if isinstance(predicate, ast.InValues):
+        operand = _eval_scalar(predicate.operand, scopes, ctx)
+        verdict = False
+        for candidate in predicate.values:
+            verdict = sql_or(verdict, value_eq(operand, candidate))
+        return verdict
+    if isinstance(predicate, ast.InQuery):
+        return _eval_in_query(predicate, scopes, ctx)
+    if isinstance(predicate, ast.ExistsQuery):
+        subquery_ctx = ctx.with_outer(scopes)
+        result = _eval(predicate.query, subquery_ctx)
+        verdict = len(result.rows) > 0
+        return (not verdict) if predicate.negated else verdict
+    if isinstance(predicate, ast.And):
+        return sql_and(
+            _eval_predicate(predicate.left, scopes, ctx),
+            _eval_predicate(predicate.right, scopes, ctx),
+        )
+    if isinstance(predicate, ast.Or):
+        return sql_or(
+            _eval_predicate(predicate.left, scopes, ctx),
+            _eval_predicate(predicate.right, scopes, ctx),
+        )
+    if isinstance(predicate, ast.Not):
+        return sql_not(_eval_predicate(predicate.operand, scopes, ctx))
+    raise SemanticsError(f"cannot evaluate predicate node {type(predicate).__name__}")
+
+
+def _eval_in_query(
+    predicate: ast.InQuery, scopes: tuple[_RowScope, ...], ctx: _Context
+):
+    operands = tuple(_eval_scalar(e, scopes, ctx) for e in predicate.operands)
+    subquery_ctx = ctx.with_outer(scopes)
+    result = _eval(predicate.query, subquery_ctx)
+    if len(result.attributes) != len(operands):
+        raise SemanticsError(
+            f"IN subquery arity {len(result.attributes)} does not match "
+            f"left-hand tuple arity {len(operands)}"
+        )
+    verdict = False
+    for row in result:
+        row_match = True
+        for operand, cell in zip(operands, row):
+            row_match = sql_and(row_match, value_eq(operand, cell))
+        verdict = sql_or(verdict, row_match)
+    if predicate.negated:
+        return sql_not(verdict)
+    return verdict
+
+
+def _compare(op: str, left: Value, right: Value):
+    if op == "=":
+        return value_eq(left, right)
+    if op == "<>":
+        return sql_not(value_eq(left, right))
+    if op == "<":
+        return value_lt(left, right)
+    if op == ">":
+        return value_lt(right, left)
+    if op == "<=":
+        return sql_or(value_lt(left, right), value_eq(left, right))
+    if op == ">=":
+        return sql_or(value_lt(right, left), value_eq(left, right))
+    raise SemanticsError(f"unknown comparison operator {op!r}")

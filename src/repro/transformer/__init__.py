@@ -1,0 +1,29 @@
+"""Database transformers (paper Section 4.1).
+
+A transformer is a set of rules ``P1, ..., Pn -> P0`` over predicates whose
+names are table names, node labels, or edge labels.  Its semantics is defined
+over the *fact encoding* ``C(D)`` of database instances: ``Φ(D) = D'`` iff
+``C(D) ∪ C(D')`` is a Herbrand model of ``⟦Φ⟧``.
+"""
+
+from repro.transformer.dsl import Constant, Predicate, Rule, Transformer, Variable, Wildcard
+from repro.transformer.facts import Fact, graph_facts, relational_facts
+from repro.transformer.semantics import apply_transformer, instances_equivalent
+from repro.transformer.parser import parse_transformer
+from repro.transformer.residual import residual_transformer
+
+__all__ = [
+    "Constant",
+    "Predicate",
+    "Rule",
+    "Transformer",
+    "Variable",
+    "Wildcard",
+    "Fact",
+    "graph_facts",
+    "relational_facts",
+    "apply_transformer",
+    "instances_equivalent",
+    "parse_transformer",
+    "residual_transformer",
+]

@@ -1,0 +1,125 @@
+"""Abstract syntax of the database-transformer DSL (paper Figure 11).
+
+    Transformer Φ ::= P, ..., P → P | Φ Φ
+    Predicate   P ::= E(t, ..., t)
+    Term        t ::= c | v | _
+
+where ``E`` ranges over table names, node labels, and edge labels.  All
+variables are implicitly universally quantified.  A wildcard ``_`` stands for
+a fresh variable used nowhere else.
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+
+from repro.common.errors import TransformerError
+from repro.common.values import Value
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A universally quantified variable ``v``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant term ``c``."""
+
+    value: Value
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Wildcard:
+    """The anonymous term ``_``; each occurrence is a distinct fresh variable."""
+
+    def __str__(self) -> str:
+        return "_"
+
+
+Term = typing.Union[Variable, Constant, Wildcard]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``E(t1, ..., tn)`` — an atom over a table name or a node/edge label."""
+
+    name: str
+    terms: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(t) for t in self.terms)})"
+
+    def variables(self) -> set[str]:
+        return {term.name for term in self.terms if isinstance(term, Variable)}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``P1, ..., Pn → P0`` — if the body holds over the source instance, the
+    head holds over the target instance."""
+
+    body: tuple[Predicate, ...]
+    head: Predicate
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise TransformerError("transformer rule needs a non-empty body")
+        body_variables: set[str] = set()
+        for atom in self.body:
+            body_variables |= atom.variables()
+        unsafe = self.head.variables() - body_variables
+        if unsafe:
+            raise TransformerError(
+                f"unsafe rule: head variables {sorted(unsafe)} not bound in body"
+            )
+        for term in self.head.terms:
+            if isinstance(term, Wildcard):
+                raise TransformerError("wildcards are not allowed in rule heads")
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.body)
+        return f"{body} -> {self.head}"
+
+
+@dataclass(frozen=True)
+class Transformer:
+    """A database transformer: a finite set of rules (order-insensitive)."""
+
+    rules: tuple[Rule, ...]
+
+    @classmethod
+    def of(cls, rules: typing.Iterable[Rule]) -> "Transformer":
+        return cls(tuple(rules))
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self) -> typing.Iterator[Rule]:
+        return iter(self.rules)
+
+    def head_names(self) -> set[str]:
+        """Names of relations this transformer can populate."""
+        return {rule.head.name for rule in self.rules}
+
+    def body_names(self) -> set[str]:
+        """Names of source predicates this transformer reads."""
+        return {atom.name for rule in self.rules for atom in rule.body}
+
+    def merge(self, other: "Transformer") -> "Transformer":
+        """``Φ1 Φ2`` — juxtaposition is union of rule sets."""
+        return Transformer(self.rules + other.rules)
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,60 @@
+"""The fact encoding ``C(D)`` of database instances (paper Section 4.1).
+
+* A relational row ``(a1, ..., an)`` of table ``R`` becomes ``R(a1, ..., an)``.
+* A node with label ``l`` and property values ``a1, ..., an`` (ordered by the
+  node type's key list) becomes ``l(a1, ..., an)``.
+* An edge with label ``l`` from node ``s`` to node ``t`` becomes
+  ``l(a1, ..., an, s, t)`` where ``s``/``t`` are the *default-key values* of
+  the endpoints — exactly the foreign-key values the induced schema stores.
+
+Facts are plain ``(name, args)`` tuples, and ``C(D)`` is a set: transformer
+semantics is set-based (Herbrand models), which is consistent with the
+primary-key constraints every schema in the pipeline carries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.values import Value
+from repro.graph.instance import PropertyGraph
+from repro.relational.instance import Database
+
+#: A ground predicate ``E(a1, ..., an)``.
+Fact = tuple[str, tuple[Value, ...]]
+
+
+def graph_facts(graph: PropertyGraph) -> set[Fact]:
+    """``C(G)`` for a property graph instance."""
+    facts: set[Fact] = set()
+    for node in graph.nodes:
+        node_type = graph.schema.node_type(node.label)
+        args = tuple(node.value(key) for key in node_type.keys)
+        facts.add((node.label, args))
+    for edge in graph.edges:
+        edge_type = graph.schema.edge_type(edge.label)
+        source = graph.source_of(edge)
+        target = graph.target_of(edge)
+        source_key = graph.schema.node_type(source.label).default_key
+        target_key = graph.schema.node_type(target.label).default_key
+        args = tuple(edge.value(key) for key in edge_type.keys)
+        args += (source.value(source_key), target.value(target_key))
+        facts.add((edge.label, args))
+    return facts
+
+
+def relational_facts(database: Database) -> set[Fact]:
+    """``C(R)`` for a relational instance."""
+    facts: set[Fact] = set()
+    for name, table in database.tables.items():
+        for row in table:
+            facts.add((name, tuple(row)))
+    return facts
+
+
+def facts_by_name(facts: Iterable[Fact]) -> dict[str, set[tuple[Value, ...]]]:
+    """Index a fact set by predicate name."""
+    index: dict[str, set[tuple[Value, ...]]] = {}
+    for name, args in facts:
+        index.setdefault(name, set()).add(args)
+    return index

@@ -1,0 +1,148 @@
+"""Surface syntax for the transformer DSL.
+
+Rules are written one per line (``;`` also separates), e.g.::
+
+    CONCEPT(cid, name) -> Concept(cid, name)
+    CONCEPT(cid, _), CS(cid, csid, cid, pid), PA(pid, csid) -> Cs(cid, csid)
+
+Terms: ``_`` is a wildcard; quoted strings, numerals, ``true``/``false`` and
+``null`` are constants; every other identifier is a variable.  Predicate
+names are the identifier before ``(``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.common.errors import ParseError
+from repro.common.values import NULL, Value
+from repro.transformer.dsl import Constant, Predicate, Rule, Term, Transformer, Variable, Wildcard
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<arrow>->|→)"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<comma>,)"
+    r"|(?P<string>'[^']*'|\"[^\"]*\")"
+    r"|(?P<number>-?\d+(?:\.\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_']*)"
+    r")"
+)
+
+
+def parse_transformer(text: str) -> Transformer:
+    """Parse a transformer from its surface syntax."""
+    rules: list[Rule] = []
+    for line_number, raw_line in enumerate(re.split(r"[\n;]", text), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#") or line.startswith("--"):
+            continue
+        rules.append(_parse_rule(line, line_number))
+    if not rules:
+        raise ParseError("transformer has no rules")
+    return Transformer.of(rules)
+
+
+def _parse_rule(line: str, line_number: int) -> Rule:
+    tokens = _tokenize(line, line_number)
+    parser = _RuleParser(tokens, line_number)
+    return parser.parse_rule()
+
+
+def _tokenize(line: str, line_number: int) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(line):
+        match = _TOKEN.match(line, position)
+        if match is None or match.end() == position:
+            remainder = line[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(
+                f"cannot tokenize transformer rule near {remainder[:20]!r}",
+                line=line_number,
+                column=position + 1,
+            )
+        position = match.end()
+        for kind in ("arrow", "lparen", "rparen", "comma", "string", "number", "name"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _RuleParser:
+    def __init__(self, tokens: list[tuple[str, str]], line_number: int) -> None:
+        self.tokens = tokens
+        self.position = 0
+        self.line_number = line_number
+
+    def parse_rule(self) -> Rule:
+        body = [self._predicate()]
+        while self._peek_kind() == "comma":
+            self._advance()
+            body.append(self._predicate())
+        self._expect("arrow")
+        head = self._predicate()
+        if self.position != len(self.tokens):
+            raise ParseError(
+                "trailing tokens after rule head", line=self.line_number
+            )
+        return Rule(tuple(body), head)
+
+    def _predicate(self) -> Predicate:
+        kind, name = self._expect("name")
+        self._expect("lparen")
+        terms: list[Term] = []
+        if self._peek_kind() != "rparen":
+            terms.append(self._term())
+            while self._peek_kind() == "comma":
+                self._advance()
+                terms.append(self._term())
+        self._expect("rparen")
+        return Predicate(name, tuple(terms))
+
+    def _term(self) -> Term:
+        kind = self._peek_kind()
+        if kind == "string":
+            _, text = self._advance()
+            return Constant(text[1:-1])
+        if kind == "number":
+            _, text = self._advance()
+            value: Value = float(text) if "." in text else int(text)
+            return Constant(value)
+        if kind == "name":
+            _, text = self._advance()
+            if text == "_":
+                return Wildcard()
+            lowered = text.lower()
+            if lowered == "true":
+                return Constant(True)
+            if lowered == "false":
+                return Constant(False)
+            if lowered == "null":
+                return Constant(NULL)
+            return Variable(text)
+        raise ParseError(
+            f"expected a term, found {kind or 'end of rule'}", line=self.line_number
+        )
+
+    def _peek_kind(self) -> str | None:
+        if self.position >= len(self.tokens):
+            return None
+        return self.tokens[self.position][0]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def _expect(self, kind: str) -> tuple[str, str]:
+        if self._peek_kind() != kind:
+            found = self._peek_kind() or "end of rule"
+            raise ParseError(
+                f"expected {kind}, found {found}", line=self.line_number
+            )
+        return self._advance()

@@ -1,0 +1,54 @@
+"""Residual database transformers (paper Algorithm 2).
+
+Every clause of a standard database transformer (SDT) has the shape
+``P1(t̄) → P0(t̄)`` with a single body atom.  ``ReduceToSQL`` builds the
+substitution ``σ = {P1 ↦ P0}`` from the SDT and applies it to the
+user-provided transformer ``Φ``, yielding ``Φ_rdt = Φ[σ]``: a transformer
+from the *induced relational schema* to the target relational schema.
+
+Lemma F.11 guarantees ``Φ_rdt(Φ_sdt(G)) = Φ(G)``, which the property tests
+exercise on every benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import TransformerError
+from repro.transformer.dsl import Predicate, Rule, Transformer
+
+
+def sdt_substitution(sdt: Transformer) -> dict[str, str]:
+    """``σ = {P1 ↦ P0 | P1(...) → P0(...) ∈ Φ_sdt}``."""
+    substitution: dict[str, str] = {}
+    for rule in sdt:
+        if len(rule.body) != 1:
+            raise TransformerError(
+                "standard database transformers have single-atom bodies; "
+                f"found {rule}"
+            )
+        source = rule.body[0].name
+        target = rule.head.name
+        existing = substitution.get(source)
+        if existing is not None and existing != target:
+            raise TransformerError(
+                f"SDT maps {source!r} to both {existing!r} and {target!r}"
+            )
+        substitution[source] = target
+    return substitution
+
+
+def residual_transformer(user_transformer: Transformer, sdt: Transformer) -> Transformer:
+    """``Φ_rdt = Φ[σ]`` — rename every predicate occurrence through ``σ``."""
+    substitution = sdt_substitution(sdt)
+    rules = []
+    for rule in user_transformer:
+        body = tuple(_rename(atom, substitution) for atom in rule.body)
+        head = _rename(rule.head, substitution)
+        rules.append(Rule(body, head))
+    return Transformer.of(rules)
+
+
+def _rename(atom: Predicate, substitution: dict[str, str]) -> Predicate:
+    new_name = substitution.get(atom.name, atom.name)
+    if new_name == atom.name:
+        return atom
+    return Predicate(new_name, atom.terms)

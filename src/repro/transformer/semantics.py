@@ -1,0 +1,179 @@
+"""Applying database transformers and checking instance equivalence.
+
+``apply_transformer`` computes ``Φ(D)``: for each rule, every substitution
+that makes all body atoms hold in ``C(D)`` contributes one head fact.  Rules
+are non-recursive (bodies read the source model, heads write the target
+model), so a single pass suffices — no fixpoint needed.
+
+``instances_equivalent`` decides ``D ∼Φ D'`` (Definition 4.3) by comparing
+the derived fact set against ``C(D')`` relation by relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import TransformerError
+from repro.common.values import Value
+from repro.graph.instance import PropertyGraph
+from repro.relational.instance import Database
+from repro.relational.schema import RelationalSchema
+from repro.transformer.dsl import Constant, Predicate, Rule, Transformer, Variable, Wildcard
+from repro.transformer.facts import Fact, facts_by_name, graph_facts, relational_facts
+
+Substitution = dict[str, Value]
+
+
+def apply_transformer(transformer: Transformer, source_facts: Iterable[Fact]) -> set[Fact]:
+    """All head facts derivable from *source_facts* under *transformer*."""
+    index = facts_by_name(source_facts)
+    derived: set[Fact] = set()
+    for rule in transformer:
+        for substitution in _match_body(rule.body, index):
+            derived.add(_instantiate_head(rule, substitution))
+    return derived
+
+
+def transform_graph(
+    transformer: Transformer,
+    graph: PropertyGraph,
+    target_schema: RelationalSchema,
+) -> Database:
+    """``Φ(G)`` materialised as a relational database over *target_schema*.
+
+    Derived facts whose name is not a relation of the target schema are
+    rejected — the transformer must speak the target vocabulary.
+    """
+    derived = apply_transformer(transformer, graph_facts(graph))
+    return _materialise(derived, target_schema)
+
+
+def transform_database(
+    transformer: Transformer,
+    database: Database,
+    target_schema: RelationalSchema,
+) -> Database:
+    """``Φ(D)`` for a relational source (used with residual transformers)."""
+    derived = apply_transformer(transformer, relational_facts(database))
+    return _materialise(derived, target_schema)
+
+
+def instances_equivalent(
+    transformer: Transformer,
+    source_facts: set[Fact],
+    target_facts: set[Fact],
+    target_names: Iterable[str],
+) -> bool:
+    """``D ∼Φ D'``: the derived facts equal ``C(D')`` on every target relation."""
+    derived = facts_by_name(apply_transformer(transformer, source_facts))
+    actual = facts_by_name(target_facts)
+    for name in target_names:
+        if derived.get(name, set()) != actual.get(name, set()):
+            return False
+    return True
+
+
+def graph_relational_equivalent(
+    transformer: Transformer, graph: PropertyGraph, database: Database
+) -> bool:
+    """``G ∼Φ R`` (Definition 4.3) for a graph/relational pair."""
+    return instances_equivalent(
+        transformer,
+        graph_facts(graph),
+        relational_facts(database),
+        [relation.name for relation in database.schema.relations],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Body matching
+# ---------------------------------------------------------------------------
+
+
+def _match_body(
+    body: tuple[Predicate, ...],
+    index: Mapping[str, set[tuple[Value, ...]]],
+) -> list[Substitution]:
+    """All substitutions under which every body atom is a known fact."""
+    substitutions: list[Substitution] = [{}]
+    for atom in body:
+        candidates = index.get(atom.name, set())
+        extended: list[Substitution] = []
+        for substitution in substitutions:
+            for args in candidates:
+                unified = _unify(atom, args, substitution)
+                if unified is not None:
+                    extended.append(unified)
+        substitutions = extended
+        if not substitutions:
+            break
+    return substitutions
+
+
+def _unify(
+    atom: Predicate, args: tuple[Value, ...], substitution: Substitution
+) -> Substitution | None:
+    if len(atom.terms) != len(args):
+        return None
+    result = dict(substitution)
+    for term, value in zip(atom.terms, args):
+        if isinstance(term, Wildcard):
+            continue
+        if isinstance(term, Constant):
+            if term.value != value:
+                return None
+            continue
+        if isinstance(term, Variable):
+            bound = result.get(term.name, _UNBOUND)
+            if bound is _UNBOUND:
+                result[term.name] = value
+            elif bound != value:
+                return None
+    return result
+
+
+class _UnboundSentinel:
+    pass
+
+
+_UNBOUND = _UnboundSentinel()
+
+
+def _instantiate_head(rule: Rule, substitution: Substitution) -> Fact:
+    args: list[Value] = []
+    for term in rule.head.terms:
+        if isinstance(term, Constant):
+            args.append(term.value)
+        elif isinstance(term, Variable):
+            args.append(substitution[term.name])
+        else:  # pragma: no cover - Rule.__post_init__ rejects head wildcards
+            raise TransformerError("wildcard in rule head")
+    return (rule.head.name, tuple(args))
+
+
+def _materialise(derived: set[Fact], schema: RelationalSchema) -> Database:
+    by_name = facts_by_name(derived)
+    known = {relation.name for relation in schema.relations}
+    stray = set(by_name) - known
+    if stray:
+        raise TransformerError(
+            f"transformer derives facts for unknown relations {sorted(stray)}"
+        )
+    database = Database(schema)
+    for relation in schema.relations:
+        rows = by_name.get(relation.name, set())
+        for row in rows:
+            if len(row) != len(relation.attributes):
+                raise TransformerError(
+                    f"derived fact arity {len(row)} does not match relation "
+                    f"{relation}"
+                )
+        for row in sorted(rows, key=_row_sort_key):
+            database.insert(relation.name, row)
+    return database
+
+
+def _row_sort_key(row: tuple[Value, ...]) -> tuple:
+    from repro.common.values import sort_key
+
+    return tuple(sort_key(value) for value in row)

@@ -1,0 +1,142 @@
+"""OpenCypherTranspiler behavioural model (Appendix E)."""
+
+import pytest
+
+from repro.baselines import BaselineStatus, transpile_baseline
+from repro.core.sdt import infer_sdt
+from repro.cypher.parser import parse_cypher
+
+
+def run_baseline(text, schema):
+    return transpile_baseline(parse_cypher(text, schema), schema, infer_sdt(schema))
+
+
+class TestFragmentGate:
+    def test_count_star_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP) RETURN Count(*) AS c", emp_dept_schema
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+        assert "Count(*)" in result.reason or "argument-less" in result.reason
+
+    def test_with_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WITH m AS k RETURN k.dname",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_union_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP) RETURN n.name UNION MATCH (m:EMP) RETURN m.name",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_order_by_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP) RETURN n.name AS w ORDER BY w", emp_dept_schema
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_chained_match_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+            "MATCH (n2:EMP)-[e2:WORK_AT]->(m:DEPT) RETURN n2.name",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_exists_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP) WHERE EXISTS { MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) } "
+            "RETURN n.name",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_undirected_unsupported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP)-[e:WORK_AT]-(m:DEPT) RETURN n.name", emp_dept_schema
+        )
+        assert result.status is BaselineStatus.UNSUPPORTED
+
+    def test_plain_query_supported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.OK
+        assert result.query is not None
+
+    def test_aggregate_with_argument_supported(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (n:EMP) RETURN Sum(n.id) AS s", emp_dept_schema
+        )
+        assert result.status is BaselineStatus.OK
+
+
+class TestBugClasses:
+    def test_triple_pattern_with_in_is_syntax_error(self, emp_dept_schema):
+        result = run_baseline(
+            "MATCH (a:EMP), (b:EMP), (c:DEPT) "
+            "WHERE a.id = b.id AND a.id IN [1, 2] AND c.dname IS NOT NULL "
+            "RETURN a.name",
+            emp_dept_schema,
+        )
+        assert result.status is BaselineStatus.SYNTAX_ERROR
+
+    def test_backwards_optional_match_is_wrong(
+        self, emp_dept_schema, emp_dept_sdt
+    ):
+        """The App. E ex. 3 bug: the baseline inner-joins, dropping rows."""
+        from repro.cypher.semantics import evaluate_query as evaluate_cypher
+        from repro.graph.builder import GraphBuilder
+        from repro.relational.instance import tables_equivalent
+        from repro.sql.semantics import evaluate_query as evaluate_sql
+        from repro.transformer.semantics import transform_graph
+
+        text = (
+            "MATCH (m:DEPT) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m) "
+            "RETURN m.dname, n.name"
+        )
+        query = parse_cypher(text, emp_dept_schema)
+        result = transpile_baseline(query, emp_dept_schema, emp_dept_sdt)
+        assert result.status is BaselineStatus.OK
+        assert result.semantically_suspect
+
+        builder = GraphBuilder(emp_dept_schema)
+        builder.add_node("DEPT", dnum=1, dname="CS")  # department with no staff
+        graph = builder.build()
+        induced = transform_graph(
+            emp_dept_sdt.transformer, graph, emp_dept_sdt.schema
+        )
+        expected = evaluate_cypher(query, graph)
+        actual = evaluate_sql(result.query, induced)
+        assert len(expected) == 1  # (CS, NULL)
+        assert len(actual) == 0  # the baseline dropped the row
+        assert not tables_equivalent(expected, actual)
+
+    def test_forward_optional_match_is_correct(
+        self, emp_dept_schema, emp_dept_sdt, emp_dept_graph
+    ):
+        from repro.cypher.semantics import evaluate_query as evaluate_cypher
+        from repro.relational.instance import tables_equivalent
+        from repro.sql.semantics import evaluate_query as evaluate_sql
+        from repro.transformer.semantics import transform_graph
+
+        text = (
+            "MATCH (n:EMP) OPTIONAL MATCH (n)-[e:WORK_AT]->(m:DEPT) "
+            "RETURN n.name, m.dname"
+        )
+        query = parse_cypher(text, emp_dept_schema)
+        result = transpile_baseline(query, emp_dept_schema, emp_dept_sdt)
+        assert result.status is BaselineStatus.OK
+        assert not result.semantically_suspect
+        induced = transform_graph(
+            emp_dept_sdt.transformer, emp_dept_graph, emp_dept_sdt.schema
+        )
+        assert tables_equivalent(
+            evaluate_cypher(query, emp_dept_graph),
+            evaluate_sql(result.query, induced),
+        )

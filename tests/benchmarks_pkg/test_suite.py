@@ -1,0 +1,108 @@
+"""Benchmark-suite invariants: counts, parseability, feature composition."""
+
+import pytest
+
+from repro.benchmarks import CATEGORY_COUNTS, benchmark_suite, benchmarks_by_category
+from repro.core.sdt import infer_sdt
+from repro.core.transpile import transpile
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite()
+
+
+class TestComposition:
+    def test_total_count(self, suite):
+        assert len(suite) == 410
+
+    def test_category_counts_match_table_1(self, suite):
+        counts = {}
+        for benchmark in suite:
+            counts[benchmark.category] = counts.get(benchmark.category, 0) + 1
+        assert counts == CATEGORY_COUNTS
+
+    def test_non_equivalent_distribution_matches_table_2(self, suite):
+        per_category = {}
+        for benchmark in suite:
+            if not benchmark.expected_equivalent:
+                per_category[benchmark.category] = (
+                    per_category.get(benchmark.category, 0) + 1
+                )
+        assert per_category == {
+            "StackOverflow": 1,
+            "Tutorial": 1,
+            "Academic": 1,
+            "VeriEQL": 4,
+            "GPT-Translate": 27,
+        }
+        assert sum(per_category.values()) == 34
+
+    def test_every_bug_has_a_class(self, suite):
+        for benchmark in suite:
+            if not benchmark.expected_equivalent:
+                assert benchmark.bug_class, benchmark.id
+
+    def test_ids_unique(self, suite):
+        ids = [b.id for b in suite]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_generation(self):
+        benchmark_suite.cache_clear()
+        first = [(b.id, b.cypher_text, b.sql_text) for b in benchmark_suite()]
+        benchmark_suite.cache_clear()
+        second = [(b.id, b.cypher_text, b.sql_text) for b in benchmark_suite()]
+        assert first == second
+
+
+class TestWellFormedness:
+    def test_all_parse(self, suite):
+        for benchmark in suite:
+            benchmark.cypher_query
+            benchmark.sql_query
+            benchmark.transformer
+
+    def test_all_transpile(self, suite):
+        for benchmark in suite:
+            sdt = infer_sdt(benchmark.graph_schema)
+            transpile(benchmark.cypher_query, benchmark.graph_schema, sdt)
+
+    def test_transformer_speaks_target_vocabulary(self, suite):
+        for benchmark in suite:
+            heads = benchmark.transformer.head_names()
+            relations = {r.name for r in benchmark.relational_schema.relations}
+            assert heads <= relations, benchmark.id
+
+    def test_curated_examples_present(self, suite):
+        ids = {b.id for b in suite}
+        assert "academic/motivating" in ids
+        assert "tutorial/neo4j-volume" in ids
+        assert "veriql/emp-dept-join" in ids
+
+
+class TestSpotDifferentialValidation:
+    """A fast spot-check of ground truth on a slice of the suite.
+
+    (The full 410-benchmark differential validation runs in the Table-2
+    bench; here we only sample to keep the unit suite quick.)
+    """
+
+    @pytest.mark.parametrize("index", [0, 13, 57, 101, 149, 203, 251, 307, 355, 401])
+    def test_label_agrees_with_bounded_check(self, suite, index):
+        from repro import BoundedChecker, check_equivalence
+        from repro.checkers.base import Verdict
+
+        benchmark = suite[index]
+        checker = BoundedChecker(
+            max_bound=3, samples_per_bound=150, time_budget_seconds=6.0, seed=23
+        )
+        result = check_equivalence(
+            benchmark.graph_schema,
+            benchmark.cypher_query,
+            benchmark.relational_schema,
+            benchmark.sql_query,
+            benchmark.transformer,
+            checker,
+        )
+        refuted = result.verdict is Verdict.NOT_EQUIVALENT
+        assert refuted != benchmark.expected_equivalent, benchmark.id

@@ -1,0 +1,53 @@
+"""Scalar arithmetic shared by both evaluators."""
+
+import pytest
+
+from repro.common.arithmetic import apply_binary
+from repro.common.values import NULL, is_null
+
+
+class TestNullPropagation:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%"])
+    def test_null_left(self, op):
+        assert is_null(apply_binary(op, NULL, 1))
+
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "%"])
+    def test_null_right(self, op):
+        assert is_null(apply_binary(op, 1, NULL))
+
+
+class TestDivision:
+    def test_integer_division_truncates_toward_zero(self):
+        assert apply_binary("/", 5, 2) == 2
+        assert apply_binary("/", -5, 2) == -2  # SQLite/Neo4j style
+
+    def test_float_division(self):
+        assert apply_binary("/", 5.0, 2) == 2.5
+
+    def test_division_by_zero_is_null(self):
+        assert is_null(apply_binary("/", 1, 0))
+
+    def test_modulo(self):
+        assert apply_binary("%", 7, 3) == 1
+        assert apply_binary("%", -7, 3) == -1  # fmod semantics
+
+    def test_modulo_by_zero_is_null(self):
+        assert is_null(apply_binary("%", 1, 0))
+
+
+class TestBasics:
+    def test_add(self):
+        assert apply_binary("+", 2, 3) == 5
+
+    def test_subtract(self):
+        assert apply_binary("-", 2, 3) == -1
+
+    def test_multiply(self):
+        assert apply_binary("*", 2, 3) == 6
+
+    def test_string_concat_via_add(self):
+        assert apply_binary("+", "a", "b") == "ab"
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            apply_binary("**", 2, 3)

@@ -1,0 +1,76 @@
+"""Shared fixtures: the Figure-14 EMP/DEPT universe and sample instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    EdgeType,
+    GraphBuilder,
+    GraphSchema,
+    NodeType,
+    Relation,
+    RelationalSchema,
+    parse_transformer,
+)
+from repro.core.sdt import infer_sdt
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    NotNull,
+    PrimaryKey,
+)
+
+
+@pytest.fixture
+def emp_dept_schema() -> GraphSchema:
+    """The paper's Figure-14 graph schema."""
+    return GraphSchema.of(
+        [NodeType("EMP", ("id", "name")), NodeType("DEPT", ("dnum", "dname"))],
+        [EdgeType("WORK_AT", "EMP", "DEPT", ("wid",))],
+    )
+
+
+@pytest.fixture
+def emp_dept_sdt(emp_dept_schema):
+    return infer_sdt(emp_dept_schema)
+
+
+@pytest.fixture
+def emp_dept_graph(emp_dept_schema) -> object:
+    """The Figure-15 instance: A and B work at CS; EE is empty."""
+    builder = GraphBuilder(emp_dept_schema)
+    a = builder.add_node("EMP", id=1, name="A")
+    b = builder.add_node("EMP", id=2, name="B")
+    cs = builder.add_node("DEPT", dnum=1, dname="CS")
+    builder.add_node("DEPT", dnum=2, dname="EE")
+    builder.add_edge("WORK_AT", a, cs, wid=10)
+    builder.add_edge("WORK_AT", b, cs, wid=11)
+    return builder.build()
+
+
+@pytest.fixture
+def merged_target_schema() -> RelationalSchema:
+    """A merged-design target: emp(id, name, deptno), dept(dno, dname)."""
+    return RelationalSchema.of(
+        [
+            Relation("emp", ("eid", "ename", "deptno")),
+            Relation("dept", ("dno", "dname")),
+        ],
+        IntegrityConstraints(
+            (PrimaryKey("emp", "eid"), PrimaryKey("dept", "dno")),
+            (ForeignKey("emp", "deptno", "dept", "dno"),),
+            (NotNull("emp", "deptno"),),
+        ),
+    )
+
+
+@pytest.fixture
+def merged_transformer():
+    return parse_transformer(
+        """
+        EMP(id, name), WORK_AT(wid, id, dnum) -> emp(wid, name, dnum)
+        DEPT(dnum, dname) -> dept(dnum, dname)
+        """
+    )

@@ -1,0 +1,40 @@
+"""Counterexample lifting: the inverse of the standard transformer."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.core.counterexample import lift_counterexample
+from repro.relational.instance import Database
+from repro.transformer.facts import graph_facts
+from repro.transformer.semantics import transform_graph
+
+
+class TestLift:
+    def test_roundtrip_preserves_facts(self, emp_dept_schema, emp_dept_sdt, emp_dept_graph):
+        induced = transform_graph(
+            emp_dept_sdt.transformer, emp_dept_graph, emp_dept_sdt.schema
+        )
+        lifted = lift_counterexample(emp_dept_schema, emp_dept_sdt, induced)
+        assert graph_facts(lifted) == graph_facts(emp_dept_graph)
+
+    def test_lift_builds_valid_graph(self, emp_dept_schema, emp_dept_sdt):
+        induced = Database(emp_dept_sdt.schema)
+        induced.insert("EMP", (1, "A"))
+        induced.insert("DEPT", (7, "CS"))
+        induced.insert("WORK_AT", (3, 1, 7))
+        lifted = lift_counterexample(emp_dept_schema, emp_dept_sdt, induced)
+        lifted.validate()
+        assert len(lifted.nodes) == 2
+        assert len(lifted.edges) == 1
+
+    def test_dangling_edge_rejected(self, emp_dept_schema, emp_dept_sdt):
+        induced = Database(emp_dept_sdt.schema)
+        induced.insert("EMP", (1, "A"))
+        induced.insert("WORK_AT", (3, 1, 99))
+        with pytest.raises(SchemaError, match="dangling"):
+            lift_counterexample(emp_dept_schema, emp_dept_sdt, induced)
+
+    def test_empty_instance_lifts_to_empty_graph(self, emp_dept_schema, emp_dept_sdt):
+        induced = Database(emp_dept_sdt.schema)
+        lifted = lift_counterexample(emp_dept_schema, emp_dept_sdt, induced)
+        assert len(lifted) == 0

@@ -1,0 +1,65 @@
+"""Counterexample export as executable Cypher CREATE statements."""
+
+import pytest
+
+from repro.core.counterexample import graph_to_cypher_create
+from repro.graph.builder import GraphBuilder
+
+
+class TestCypherCreate:
+    def test_nodes_and_edges_rendered(self, emp_dept_schema, emp_dept_graph):
+        text = graph_to_cypher_create(emp_dept_graph)
+        assert text.startswith("CREATE")
+        assert text.count(":EMP") == 2
+        assert text.count(":DEPT") == 2
+        assert text.count("-[:WORK_AT") == 2
+        assert "{id: 1, name: 'A'}" in text
+
+    def test_string_escaping(self, emp_dept_schema):
+        builder = GraphBuilder(emp_dept_schema)
+        builder.add_node("EMP", id=1, name="O'Brien")
+        text = graph_to_cypher_create(builder.build())
+        assert "O\\'Brien" in text
+
+    def test_empty_graph(self, emp_dept_schema):
+        text = graph_to_cypher_create(GraphBuilder(emp_dept_schema).build())
+        assert "empty graph" in text
+
+    def test_counterexample_carries_export(
+        self, emp_dept_schema, merged_target_schema, merged_transformer
+    ):
+        from repro import BoundedChecker, check_equivalence, parse_cypher, parse_sql
+
+        result = check_equivalence(
+            emp_dept_schema,
+            parse_cypher(
+                "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN DISTINCT m.dname",
+                emp_dept_schema,
+            ),
+            merged_target_schema,
+            parse_sql(
+                "SELECT d.dname FROM emp AS e JOIN dept AS d ON e.deptno = d.dno"
+            ),
+            merged_transformer,
+            BoundedChecker(max_bound=3, samples_per_bound=200, seed=5),
+        )
+        assert result.counterexample is not None
+        create = result.counterexample.to_cypher_create()
+        assert create.startswith("CREATE")
+        assert ":EMP" in create and ":DEPT" in create
+
+
+class TestTransformerRoundTrip:
+    def test_str_reparses_to_same_rules(self, merged_transformer):
+        from repro.transformer.parser import parse_transformer
+
+        rendered = str(merged_transformer)
+        reparsed = parse_transformer(rendered)
+        assert reparsed == merged_transformer
+
+    def test_sdt_round_trips(self, emp_dept_sdt):
+        from repro.transformer.parser import parse_transformer
+
+        rendered = str(emp_dept_sdt.transformer)
+        reparsed = parse_transformer(rendered)
+        assert reparsed == emp_dept_sdt.transformer

@@ -1,0 +1,82 @@
+"""Algorithm-1 pipeline plumbing: what check_equivalence exposes."""
+
+import pytest
+
+from repro import BoundedChecker, DeductiveChecker, check_equivalence
+from repro.checkers.base import Verdict
+from repro.cypher.parser import parse_cypher
+from repro.sql.analysis import referenced_relations
+from repro.sql.parser import parse_sql
+
+
+@pytest.fixture
+def pipeline_inputs(emp_dept_schema, merged_target_schema, merged_transformer):
+    cypher = parse_cypher(
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname",
+        emp_dept_schema,
+    )
+    sql = parse_sql(
+        "SELECT e.ename, d.dname FROM emp AS e JOIN dept AS d ON e.deptno = d.dno"
+    )
+    return emp_dept_schema, cypher, merged_target_schema, sql, merged_transformer
+
+
+class TestResultContents:
+    def test_exposes_sdt_and_transpiled(self, pipeline_inputs):
+        result = check_equivalence(*pipeline_inputs, DeductiveChecker())
+        assert result.sdt.schema.has_relation("WORK_AT")
+        assert referenced_relations(result.transpiled) == {"EMP", "WORK_AT", "DEPT"}
+
+    def test_exposes_residual_over_induced_vocabulary(self, pipeline_inputs):
+        result = check_equivalence(*pipeline_inputs, DeductiveChecker())
+        assert result.residual.body_names() <= {"EMP", "WORK_AT", "DEPT"}
+        assert result.residual.head_names() == {"emp", "dept"}
+
+    def test_verified_and_refuted_flags(self, pipeline_inputs):
+        result = check_equivalence(*pipeline_inputs, DeductiveChecker())
+        assert result.verified and not result.refuted
+
+    def test_no_counterexample_on_success(self, pipeline_inputs):
+        result = check_equivalence(
+            *pipeline_inputs, BoundedChecker(max_bound=2, samples_per_bound=60)
+        )
+        assert result.counterexample is None
+        assert result.outcome.instances_checked > 0
+
+    def test_outcome_records_bound_and_time(self, pipeline_inputs):
+        result = check_equivalence(
+            *pipeline_inputs, BoundedChecker(max_bound=2, samples_per_bound=60)
+        )
+        assert result.outcome.checked_bound == 2
+        assert result.outcome.elapsed_seconds >= 0.0
+
+
+class TestBackendAgreement:
+    def test_backends_agree_on_equivalent_pair(self, pipeline_inputs):
+        deductive = check_equivalence(*pipeline_inputs, DeductiveChecker())
+        bounded = check_equivalence(
+            *pipeline_inputs, BoundedChecker(max_bound=3, samples_per_bound=100)
+        )
+        assert deductive.verdict is Verdict.EQUIVALENT
+        assert bounded.verdict is Verdict.BOUNDED_EQUIVALENT
+
+    def test_deductive_never_refutes(
+        self, emp_dept_schema, merged_target_schema, merged_transformer
+    ):
+        cypher = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name", emp_dept_schema
+        )
+        buggy_sql = parse_sql(
+            "SELECT e.ename FROM emp AS e JOIN dept AS d ON e.deptno = d.dno "
+            "WHERE d.dno > 3"
+        )
+        result = check_equivalence(
+            emp_dept_schema,
+            cypher,
+            merged_target_schema,
+            buggy_sql,
+            merged_transformer,
+            DeductiveChecker(),
+        )
+        # Like Mediator, the deductive backend answers Unknown, never refutes.
+        assert result.verdict is Verdict.UNKNOWN

@@ -1,0 +1,72 @@
+"""InferSDT: induced relational schema + standard transformer (Figure 13)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.core.sdt import SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE, infer_sdt
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+
+
+class TestInducedSchema:
+    def test_node_tables(self, emp_dept_sdt):
+        emp = emp_dept_sdt.schema.relation("EMP")
+        assert emp.attributes == ("id", "name")
+
+    def test_edge_tables_append_src_tgt(self, emp_dept_sdt):
+        work = emp_dept_sdt.schema.relation("WORK_AT")
+        assert work.attributes == ("wid", SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE)
+
+    def test_primary_keys_are_default_keys(self, emp_dept_sdt):
+        constraints = emp_dept_sdt.schema.constraints
+        assert constraints.primary_key_of("EMP") == "id"
+        assert constraints.primary_key_of("WORK_AT") == "wid"
+
+    def test_foreign_keys_reference_endpoints(self, emp_dept_sdt):
+        fks = emp_dept_sdt.schema.constraints.foreign_keys_of("WORK_AT")
+        references = {(fk.attribute, fk.referenced, fk.referenced_attribute) for fk in fks}
+        assert references == {
+            (SOURCE_ATTRIBUTE, "EMP", "id"),
+            (TARGET_ATTRIBUTE, "DEPT", "dnum"),
+        }
+
+    def test_not_null_on_endpoints(self, emp_dept_sdt):
+        not_nulls = {
+            (nn.relation, nn.attribute)
+            for nn in emp_dept_sdt.schema.constraints.not_nulls
+        }
+        assert ("WORK_AT", SOURCE_ATTRIBUTE) in not_nulls
+        assert ("WORK_AT", TARGET_ATTRIBUTE) in not_nulls
+
+    def test_table_for(self, emp_dept_sdt):
+        assert emp_dept_sdt.table_for("EMP") == "EMP"
+        with pytest.raises(SchemaError):
+            emp_dept_sdt.table_for("NOPE")
+
+    def test_reserved_key_rejected(self):
+        schema = GraphSchema.of(
+            [NodeType("A", ("x",)), NodeType("B", ("y",))],
+            [EdgeType("E", "A", "B", ("SRC",))],
+        )
+        with pytest.raises(SchemaError, match="reserved"):
+            infer_sdt(schema)
+
+
+class TestStandardTransformer:
+    def test_one_rule_per_type(self, emp_dept_sdt):
+        assert len(emp_dept_sdt.transformer) == 3
+
+    def test_rules_are_identity_renamings(self, emp_dept_sdt):
+        for rule in emp_dept_sdt.transformer:
+            assert len(rule.body) == 1
+            assert rule.body[0].name == rule.head.name
+            assert rule.body[0].terms == rule.head.terms
+
+    def test_application_matches_fixture(self, emp_dept_sdt, emp_dept_graph):
+        from repro.transformer.semantics import transform_graph
+
+        induced = transform_graph(
+            emp_dept_sdt.transformer, emp_dept_graph, emp_dept_sdt.schema
+        )
+        assert sorted(induced.table("EMP").rows) == [(1, "A"), (2, "B")]
+        assert sorted(induced.table("WORK_AT").rows) == [(10, 1, 1), (11, 2, 1)]
+        assert induced.satisfies_constraints()

@@ -1,0 +1,165 @@
+"""Syntax-directed transpilation (Figures 16-18, 21-22).
+
+Soundness is checked semantically: for a query Q and instance G,
+``⟦Q⟧_G ≡ ⟦transpile(Q)⟧_{Φsdt(G)}`` (Theorem 5.7 on concrete instances).
+"""
+
+import pytest
+
+from repro.common.errors import TranspileError
+from repro.core.transpile import transpile
+from repro.cypher.parser import parse_cypher
+from repro.cypher.semantics import evaluate_query as evaluate_cypher
+from repro.graph.builder import GraphBuilder
+from repro.relational.instance import tables_equivalent
+from repro.sql import ast as sq
+from repro.sql.semantics import evaluate_query as evaluate_sql
+from repro.transformer.semantics import transform_graph
+
+
+def assert_sound(text, schema, sdt, graph):
+    query = parse_cypher(text, schema)
+    translated = transpile(query, schema, sdt)
+    induced = transform_graph(sdt.transformer, graph, sdt.schema)
+    cypher_result = evaluate_cypher(query, graph)
+    sql_result = evaluate_sql(translated, induced)
+    assert tables_equivalent(cypher_result, sql_result), (
+        f"soundness violation for {text}\n"
+        f"cypher:\n{cypher_result}\nsql:\n{sql_result}"
+    )
+    return translated
+
+
+class TestSoundnessOnFixture:
+    QUERIES = [
+        "MATCH (n:EMP) RETURN n.name",
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname",
+        "MATCH (m:DEPT)<-[e:WORK_AT]-(n:EMP) RETURN n.name",
+        "MATCH (n:EMP)-[e:WORK_AT]-(m:DEPT) RETURN n.name",
+        "MATCH (n:EMP) WHERE n.id = 1 RETURN n.name",
+        "MATCH (n:EMP) WHERE n.id < 2 OR n.name = 'B' RETURN n.id",
+        "MATCH (n:EMP) WHERE n.id IN [1, 5] RETURN n.name",
+        "MATCH (n:EMP) WHERE n.name IS NOT NULL RETURN n.id",
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname, Count(*)",
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN m.dname AS d, Count(n) AS c",
+        "MATCH (n:EMP) RETURN Sum(n.id) AS s, Min(n.id) AS lo",
+        "MATCH (n:EMP) RETURN DISTINCT n.name",
+        "MATCH (n:EMP) RETURN n.id + 1 AS bumped",
+        "MATCH (n:EMP) RETURN n.name UNION MATCH (m:EMP) RETURN m.name",
+        "MATCH (n:EMP) RETURN n.name UNION ALL MATCH (m:EMP) RETURN m.name",
+        "MATCH (n:EMP) RETURN n.name AS who, n.id AS k ORDER BY k DESC LIMIT 1",
+        "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+        "RETURN n.name, m.dname",
+        "MATCH (n:EMP) WHERE EXISTS { MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) } "
+        "RETURN n.name",
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+        "MATCH (n2:EMP)-[e2:WORK_AT]->(m:DEPT) RETURN n.name, n2.name",
+        "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) WITH m AS kept RETURN kept.dname",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_sound_on_figure_15(self, text, emp_dept_schema, emp_dept_sdt, emp_dept_graph):
+        assert_sound(text, emp_dept_schema, emp_dept_sdt, emp_dept_graph)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_sound_on_sparse_graph(self, text, emp_dept_schema, emp_dept_sdt):
+        builder = GraphBuilder(emp_dept_schema)
+        a = builder.add_node("EMP", id=1, name="A")
+        builder.add_node("EMP", id=2, name="A")  # duplicate names
+        cs = builder.add_node("DEPT", dnum=1, dname="CS")
+        builder.add_node("DEPT", dnum=2, dname="EE")
+        builder.add_edge("WORK_AT", a, cs, wid=10)
+        builder.add_edge("WORK_AT", a, cs, wid=11)  # parallel edge
+        graph = builder.build()
+        assert_sound(text, emp_dept_schema, emp_dept_sdt, graph)
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_sound_on_empty_graph(self, text, emp_dept_schema, emp_dept_sdt):
+        graph = GraphBuilder(emp_dept_schema).build()
+        assert_sound(text, emp_dept_schema, emp_dept_sdt, graph)
+
+
+class TestTranslationShape:
+    def test_match_becomes_selection_over_projection(
+        self, emp_dept_schema, emp_dept_sdt
+    ):
+        query = parse_cypher("MATCH (n:EMP) RETURN n.name", emp_dept_schema)
+        translated = transpile(query, emp_dept_schema, emp_dept_sdt)
+        assert isinstance(translated, sq.Projection)
+        assert isinstance(translated.query, sq.Selection)
+
+    def test_aggregation_becomes_group_by(self, emp_dept_schema, emp_dept_sdt):
+        query = parse_cypher(
+            "MATCH (n:EMP) RETURN n.name, Count(*)", emp_dept_schema
+        )
+        translated = transpile(query, emp_dept_schema, emp_dept_sdt)
+        assert isinstance(translated, sq.GroupBy)
+        assert len(translated.keys) == 1
+
+    def test_optional_match_becomes_left_join(self, emp_dept_schema, emp_dept_sdt):
+        from repro.sql.analysis import uses_outer_join
+
+        query = parse_cypher(
+            "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+            "RETURN m.dname",
+            emp_dept_schema,
+        )
+        translated = transpile(query, emp_dept_schema, emp_dept_sdt)
+        assert uses_outer_join(translated)
+
+    def test_exists_becomes_in_subquery(self, emp_dept_schema, emp_dept_sdt):
+        from repro.sql.analysis import iter_nodes
+
+        query = parse_cypher(
+            "MATCH (n:EMP) WHERE EXISTS { MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) } "
+            "RETURN n.name",
+            emp_dept_schema,
+        )
+        translated = transpile(query, emp_dept_schema, emp_dept_sdt)
+        assert any(isinstance(n, sq.InQuery) for n in iter_nodes(translated))
+
+    def test_flat_attribute_invariant(self, emp_dept_schema, emp_dept_sdt):
+        from repro.core.transpile import Transpiler
+
+        transpiler = Transpiler(emp_dept_schema, emp_dept_sdt)
+        clause = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name", emp_dept_schema
+        ).clause
+        output = transpiler.translate_clause(clause)
+        from repro.sql.semantics import evaluate_query
+        from repro.relational.instance import Database
+
+        table = evaluate_query(output.query, Database(emp_dept_sdt.schema))
+        assert set(table.attributes) == {
+            "n_id", "n_name", "e_wid", "e_SRC", "e_TGT", "m_dnum", "m_dname",
+        }
+
+
+class TestErrors:
+    def test_wrong_direction_rejected(self, emp_dept_schema, emp_dept_sdt):
+        from repro.cypher import ast as cy
+
+        pattern = cy.path_pattern(
+            cy.NodePattern("m", "DEPT"),
+            cy.EdgePattern("e", "WORK_AT", cy.Direction.OUT),
+            cy.NodePattern("n", "EMP"),
+        )
+        query = cy.Return(cy.Match(pattern), (cy.PropertyRef("n", "name"),), ("x",))
+        with pytest.raises(TranspileError, match="cannot run"):
+            transpile(query, emp_dept_schema, emp_dept_sdt)
+
+    def test_unknown_property_rejected(self, emp_dept_schema, emp_dept_sdt):
+        from repro.cypher import ast as cy
+
+        pattern = cy.path_pattern(cy.NodePattern("n", "EMP"))
+        query = cy.Return(cy.Match(pattern), (cy.PropertyRef("n", "salary"),), ("x",))
+        with pytest.raises(TranspileError, match="declares no property"):
+            transpile(query, emp_dept_schema, emp_dept_sdt)
+
+    def test_unbound_variable_rejected(self, emp_dept_schema, emp_dept_sdt):
+        from repro.cypher import ast as cy
+
+        pattern = cy.path_pattern(cy.NodePattern("n", "EMP"))
+        query = cy.Return(cy.Match(pattern), (cy.PropertyRef("z", "name"),), ("x",))
+        with pytest.raises(TranspileError, match="unbound"):
+            transpile(query, emp_dept_schema, emp_dept_sdt)

@@ -1,0 +1,92 @@
+"""Graph-schema validation (paper Definitions 3.1-3.2)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+
+
+class TestNodeType:
+    def test_default_key_is_first(self):
+        node = NodeType("EMP", ("id", "name"))
+        assert node.default_key == "id"
+
+    def test_requires_label(self):
+        with pytest.raises(SchemaError):
+            NodeType("", ("id",))
+
+    def test_requires_keys(self):
+        with pytest.raises(SchemaError):
+            NodeType("EMP", ())
+
+    def test_rejects_duplicate_keys(self):
+        with pytest.raises(SchemaError):
+            NodeType("EMP", ("id", "id"))
+
+
+class TestEdgeType:
+    def test_fields(self):
+        edge = EdgeType("WORK_AT", "EMP", "DEPT", ("wid",))
+        assert edge.source == "EMP"
+        assert edge.target == "DEPT"
+        assert edge.default_key == "wid"
+
+    def test_requires_keys(self):
+        with pytest.raises(SchemaError):
+            EdgeType("E", "A", "B", ())
+
+
+class TestGraphSchema:
+    def test_lookup_by_label(self, emp_dept_schema):
+        assert emp_dept_schema.node_type("EMP").label == "EMP"
+        assert emp_dept_schema.edge_type("WORK_AT").label == "WORK_AT"
+
+    def test_unknown_label_raises(self, emp_dept_schema):
+        with pytest.raises(SchemaError):
+            emp_dept_schema.node_type("NOPE")
+        with pytest.raises(SchemaError):
+            emp_dept_schema.edge_type("NOPE")
+
+    def test_type_of_resolves_both_kinds(self, emp_dept_schema):
+        assert emp_dept_schema.type_of("EMP").label == "EMP"
+        assert emp_dept_schema.type_of("WORK_AT").label == "WORK_AT"
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.of(
+                [NodeType("A", ("x",)), NodeType("A", ("y",))],
+            )
+
+    def test_node_edge_label_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.of(
+                [NodeType("A", ("x",)), NodeType("B", ("y",))],
+                [EdgeType("A", "A", "B", ("z",))],
+            )
+
+    def test_dangling_edge_endpoint_rejected(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.of(
+                [NodeType("A", ("x",))],
+                [EdgeType("E", "A", "MISSING", ("z",))],
+            )
+
+    def test_property_keys_unique_across_schema(self):
+        with pytest.raises(SchemaError):
+            GraphSchema.of(
+                [NodeType("A", ("id", "x")), NodeType("B", ("bid", "x"))],
+            )
+
+    def test_owner_of_key(self, emp_dept_schema):
+        assert emp_dept_schema.owner_of_key("dname").label == "DEPT"
+        with pytest.raises(SchemaError):
+            emp_dept_schema.owner_of_key("unknown")
+
+    def test_edges_between(self, emp_dept_schema):
+        labels = [e.label for e in emp_dept_schema.edges_between("EMP", "DEPT")]
+        assert labels == ["WORK_AT"]
+        assert list(emp_dept_schema.edges_between("DEPT", "EMP")) == []
+
+    def test_str_rendering(self, emp_dept_schema):
+        text = str(emp_dept_schema)
+        assert "EMP" in text and "WORK_AT" in text

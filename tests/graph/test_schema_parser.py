@@ -1,0 +1,46 @@
+"""Graph-schema declaration syntax."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.graph.parser import parse_graph_schema
+
+EMP_DEPT = """
+# employees and departments
+node EMP(id, name)
+node DEPT(dnum, dname)
+edge WORK_AT(wid): EMP -> DEPT
+"""
+
+
+class TestParse:
+    def test_parses_nodes_and_edges(self):
+        schema = parse_graph_schema(EMP_DEPT)
+        assert schema.node_type("EMP").keys == ("id", "name")
+        edge = schema.edge_type("WORK_AT")
+        assert edge.source == "EMP"
+        assert edge.target == "DEPT"
+
+    def test_comments_ignored(self):
+        schema = parse_graph_schema("node A(x)  -- trailing\n# whole line\n")
+        assert schema.node_type("A").keys == ("x",)
+
+    def test_case_insensitive_keywords(self):
+        schema = parse_graph_schema("NODE A(x)\nNode B(y)\nEDGE E(z): A -> B")
+        assert schema.has_edge_type("E")
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ParseError):
+            parse_graph_schema("\n\n")
+
+    def test_bad_declaration_rejected(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_graph_schema("nodes A(x)")
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ParseError):
+            parse_graph_schema("node A()")
+
+    def test_dangling_edge_rejected(self):
+        with pytest.raises(Exception):
+            parse_graph_schema("node A(x)\nedge E(z): A -> MISSING")

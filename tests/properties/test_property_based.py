@@ -1,0 +1,226 @@
+"""Property-based tests over random graphs and random featherweight queries.
+
+The central property is Theorem 5.7 (transpilation soundness): for every
+graph instance G and Cypher query Q,
+
+    ⟦Q⟧_G  ≡  ⟦transpile(Q)⟧_{Φ_sdt(G)}
+
+exercised here with hypothesis over randomly generated instances of the
+EMP/DEPT schema and randomly composed queries from the Figure-9 grammar.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counterexample import lift_counterexample
+from repro.core.sdt import infer_sdt
+from repro.core.transpile import transpile
+from repro.cypher import ast as cy
+from repro.cypher.parser import parse_cypher
+from repro.cypher.pretty import pretty
+from repro.cypher.semantics import evaluate_query as evaluate_cypher
+from repro.graph.builder import GraphBuilder
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.relational.instance import tables_equivalent
+from repro.sql.semantics import evaluate_query as evaluate_sql
+from repro.transformer.facts import graph_facts
+from repro.transformer.semantics import transform_graph
+
+SCHEMA = GraphSchema.of(
+    [NodeType("EMP", ("id", "name")), NodeType("DEPT", ("dnum", "dname"))],
+    [EdgeType("WORK_AT", "EMP", "DEPT", ("wid",))],
+)
+SDT = infer_sdt(SCHEMA)
+
+# -- instance strategy -------------------------------------------------------
+
+names = st.sampled_from(["A", "B", "C"])
+
+
+@st.composite
+def graphs(draw):
+    emp_count = draw(st.integers(0, 4))
+    dept_count = draw(st.integers(0, 3))
+    builder = GraphBuilder(SCHEMA)
+    emps = [
+        builder.add_node("EMP", id=i, name=draw(names)) for i in range(emp_count)
+    ]
+    depts = [
+        builder.add_node("DEPT", dnum=i, dname=draw(names))
+        for i in range(dept_count)
+    ]
+    if emps and depts:
+        edge_count = draw(st.integers(0, 5))
+        for wid in range(edge_count):
+            source = draw(st.sampled_from(emps))
+            target = draw(st.sampled_from(depts))
+            builder.add_edge("WORK_AT", source, target, wid=wid)
+    return builder.build()
+
+
+# -- query strategy ----------------------------------------------------------
+
+
+@st.composite
+def path_patterns(draw):
+    if draw(st.booleans()):
+        return cy.path_pattern(cy.NodePattern("n", "EMP"))
+    direction = draw(
+        st.sampled_from([cy.Direction.OUT, cy.Direction.IN, cy.Direction.BOTH])
+    )
+    if direction is cy.Direction.IN:
+        return cy.path_pattern(
+            cy.NodePattern("m", "DEPT"),
+            cy.EdgePattern("e", "WORK_AT", direction),
+            cy.NodePattern("n", "EMP"),
+        )
+    return cy.path_pattern(
+        cy.NodePattern("n", "EMP"),
+        cy.EdgePattern("e", "WORK_AT", direction),
+        cy.NodePattern("m", "DEPT"),
+    )
+
+
+def _variables(pattern) -> list[tuple[str, str]]:
+    return [(p.variable, p.label) for p in pattern if isinstance(p, cy.NodePattern)]
+
+
+@st.composite
+def predicates(draw, pattern):
+    variables = _variables(pattern)
+    variable, label = draw(st.sampled_from(variables))
+    key = "id" if label == "EMP" else "dnum"
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return cy.TRUE
+    if kind == 1:
+        op = draw(st.sampled_from(["=", "<", ">=", "<>"]))
+        return cy.Comparison(
+            op, cy.PropertyRef(variable, key), cy.Literal(draw(st.integers(0, 3)))
+        )
+    if kind == 2:
+        name_key = "name" if label == "EMP" else "dname"
+        return cy.IsNull(cy.PropertyRef(variable, name_key), draw(st.booleans()))
+    return cy.InValues(
+        cy.PropertyRef(variable, key),
+        tuple(draw(st.lists(st.integers(0, 3), min_size=1, max_size=3))),
+    )
+
+
+@st.composite
+def queries(draw):
+    pattern = draw(path_patterns())
+    predicate = draw(predicates(pattern))
+    clause = cy.Match(pattern, predicate)
+    variables = _variables(pattern)
+    variable, label = draw(st.sampled_from(variables))
+    key = "name" if label == "EMP" else "dname"
+    id_key = "id" if label == "EMP" else "dnum"
+    style = draw(st.integers(0, 3))
+    if style == 0:
+        return cy.Return(clause, (cy.PropertyRef(variable, key),), ("out",))
+    if style == 1:
+        return cy.Return(
+            clause,
+            (cy.PropertyRef(variable, key), cy.PropertyRef(variable, id_key)),
+            ("a", "b"),
+            distinct=draw(st.booleans()),
+        )
+    if style == 2:
+        return cy.Return(
+            clause,
+            (cy.PropertyRef(variable, key), cy.Aggregate("Count", None)),
+            ("grp", "cnt"),
+        )
+    return cy.Return(
+        clause,
+        (
+            cy.PropertyRef(variable, key),
+            cy.Aggregate(
+                draw(st.sampled_from(["Sum", "Min", "Max"])),
+                cy.PropertyRef(variable, id_key),
+            ),
+        ),
+        ("grp", "val"),
+    )
+
+
+class TestTranspilerSoundness:
+    @given(graphs(), queries())
+    @settings(max_examples=120, deadline=None)
+    def test_theorem_5_7(self, graph, query):
+        translated = transpile(query, SCHEMA, SDT)
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        cypher_result = evaluate_cypher(query, graph)
+        sql_result = evaluate_sql(translated, induced)
+        assert tables_equivalent(cypher_result, sql_result)
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_multi_clause_soundness(self, graph):
+        query = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+            "MATCH (n2:EMP)-[e2:WORK_AT]->(m:DEPT) "
+            "RETURN n.name, n2.name",
+            SCHEMA,
+        )
+        translated = transpile(query, SCHEMA, SDT)
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        assert tables_equivalent(
+            evaluate_cypher(query, graph), evaluate_sql(translated, induced)
+        )
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_optional_match_soundness(self, graph):
+        query = parse_cypher(
+            "MATCH (n:EMP) OPTIONAL MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) "
+            "RETURN n.name, m.dname",
+            SCHEMA,
+        )
+        translated = transpile(query, SCHEMA, SDT)
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        assert tables_equivalent(
+            evaluate_cypher(query, graph), evaluate_sql(translated, induced)
+        )
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_exists_soundness(self, graph):
+        query = parse_cypher(
+            "MATCH (n:EMP) WHERE EXISTS { MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) } "
+            "RETURN n.name",
+            SCHEMA,
+        )
+        translated = transpile(query, SCHEMA, SDT)
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        assert tables_equivalent(
+            evaluate_cypher(query, graph), evaluate_sql(translated, induced)
+        )
+
+
+class TestSdtBijection:
+    @given(graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_lift_inverts_sdt(self, graph):
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        lifted = lift_counterexample(SCHEMA, SDT, induced)
+        assert graph_facts(lifted) == graph_facts(graph)
+
+    @given(graphs())
+    @settings(max_examples=80, deadline=None)
+    def test_sdt_image_satisfies_induced_constraints(self, graph):
+        induced = transform_graph(SDT.transformer, graph, SDT.schema)
+        assert induced.constraint_violation() is None
+
+
+class TestPrettyRoundTrip:
+    @given(queries())
+    @settings(max_examples=120, deadline=None)
+    def test_parse_pretty_is_identity(self, query):
+        text = pretty(query)
+        reparsed = parse_cypher(text, SCHEMA)
+        assert reparsed == query

@@ -1,0 +1,188 @@
+"""Tables, databases, constraints, and Definition-4.4 table equivalence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import SchemaError
+from repro.common.values import NULL
+from repro.relational.instance import Database, Table, tables_equivalent, tables_equivalent_ordered
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    NotNull,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+
+
+def schema_with_constraints() -> RelationalSchema:
+    return RelationalSchema.of(
+        [Relation("r", ("a", "b")), Relation("s", ("c",))],
+        IntegrityConstraints(
+            (PrimaryKey("r", "a"),),
+            (ForeignKey("r", "b", "s", "c"),),
+            (NotNull("s", "c"),),
+        ),
+    )
+
+
+class TestTable:
+    def test_arity_checked(self):
+        with pytest.raises(SchemaError):
+            Table.of(("a", "b"), [(1,)])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.of(("a", "a"))
+
+    def test_column_access(self):
+        table = Table.of(("a", "b"), [(1, 2), (3, 4)])
+        assert table.column("b") == [2, 4]
+        assert table.value((1, 2), "a") == 1
+
+    def test_as_dicts(self):
+        table = Table.of(("a",), [(1,)])
+        assert table.as_dicts() == [{"a": 1}]
+
+
+class TestDatabase:
+    def test_insert_and_lookup(self):
+        db = Database(schema_with_constraints())
+        db.insert("s", (1,))
+        db.insert("r", (1, 1))
+        assert len(db.table("r")) == 1
+        assert db.total_rows() == 2
+
+    def test_unknown_table(self):
+        db = Database(schema_with_constraints())
+        with pytest.raises(SchemaError):
+            db.table("zzz")
+
+    def test_pk_violation_detected(self):
+        db = Database(schema_with_constraints())
+        db.insert("r", (1, NULL))
+        db.insert("r", (1, NULL))
+        assert "duplicate key" in db.constraint_violation()
+
+    def test_pk_null_detected(self):
+        db = Database(schema_with_constraints())
+        db.insert("r", (NULL, NULL))
+        assert "NULL key" in db.constraint_violation()
+
+    def test_fk_violation_detected(self):
+        db = Database(schema_with_constraints())
+        db.insert("r", (1, 99))
+        assert "dangling" in db.constraint_violation()
+
+    def test_fk_null_is_allowed(self):
+        db = Database(schema_with_constraints())
+        db.insert("r", (1, NULL))
+        assert db.satisfies_constraints()
+
+    def test_not_null_violation_detected(self):
+        db = Database(schema_with_constraints())
+        db.insert("s", (NULL,))
+        assert "NULL value" in db.constraint_violation()
+
+    def test_valid_instance(self):
+        db = Database(schema_with_constraints())
+        db.insert("s", (5,))
+        db.insert("r", (1, 5))
+        assert db.satisfies_constraints()
+
+
+class TestTableEquivalence:
+    def test_identical_tables(self):
+        t = Table.of(("a", "b"), [(1, 2), (3, 4)])
+        assert tables_equivalent(t, t)
+
+    def test_column_names_ignored(self):
+        left = Table.of(("a", "b"), [(1, 2)])
+        right = Table.of(("x", "y"), [(1, 2)])
+        assert tables_equivalent(left, right)
+
+    def test_column_order_ignored(self):
+        left = Table.of(("a", "b"), [(1, 2), (3, 4)])
+        right = Table.of(("b", "a"), [(2, 1), (4, 3)])
+        assert tables_equivalent(left, right)
+
+    def test_multiplicities_matter(self):
+        left = Table.of(("a",), [(1,), (1,)])
+        right = Table.of(("a",), [(1,)])
+        assert not tables_equivalent(left, right)
+
+    def test_row_order_ignored_for_bags(self):
+        left = Table.of(("a",), [(1,), (2,)])
+        right = Table.of(("a",), [(2,), (1,)])
+        assert tables_equivalent(left, right)
+
+    def test_arity_mismatch(self):
+        left = Table.of(("a",), [(1,)])
+        right = Table.of(("a", "b"), [(1, 2)])
+        assert not tables_equivalent(left, right)
+
+    def test_null_cells_compare(self):
+        left = Table.of(("a",), [(NULL,)])
+        right = Table.of(("x",), [(NULL,)])
+        assert tables_equivalent(left, right)
+
+    def test_tricky_permutation(self):
+        # Both columns share the same value bag; only one mapping works.
+        left = Table.of(("a", "b"), [(1, 2), (2, 1), (1, 1)])
+        right = Table.of(("x", "y"), [(2, 1), (1, 2), (1, 1)])
+        assert tables_equivalent(left, right)
+
+    def test_same_signatures_but_no_valid_mapping(self):
+        left = Table.of(("a", "b"), [(1, 2), (2, 1)])
+        right = Table.of(("x", "y"), [(1, 1), (2, 2)])
+        assert not tables_equivalent(left, right)
+
+    def test_ordered_requires_same_positions(self):
+        left = Table.of(("a",), [(1,), (2,)], ordered=True)
+        right = Table.of(("a",), [(2,), (1,)], ordered=True)
+        assert not tables_equivalent(left, right)
+
+    def test_ordered_equal(self):
+        left = Table.of(("a",), [(1,), (2,)], ordered=True)
+        right = Table.of(("x",), [(1,), (2,)], ordered=True)
+        assert tables_equivalent(left, right)
+
+    def test_ordered_with_column_permutation(self):
+        left = Table.of(("a", "b"), [(1, "x"), (2, "y")], ordered=True)
+        right = Table.of(("p", "q"), [("x", 1), ("y", 2)], ordered=True)
+        assert tables_equivalent_ordered(left, right)
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=6
+)
+
+
+class TestEquivalenceProperties:
+    @given(rows_strategy)
+    def test_reflexive(self, rows):
+        table = Table.of(("a", "b"), rows)
+        assert tables_equivalent(table, table)
+
+    @given(rows_strategy)
+    def test_symmetric_under_column_swap(self, rows):
+        left = Table.of(("a", "b"), rows)
+        right = Table.of(("b2", "a2"), [(b, a) for a, b in rows])
+        assert tables_equivalent(left, right)
+        assert tables_equivalent(right, left)
+
+    @given(rows_strategy, st.randoms(use_true_random=False))
+    def test_row_shuffle_preserves_equivalence(self, rows, rng):
+        left = Table.of(("a", "b"), rows)
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        right = Table.of(("a", "b"), shuffled)
+        assert tables_equivalent(left, right)
+
+    @given(rows_strategy)
+    def test_extra_row_breaks_equivalence(self, rows):
+        left = Table.of(("a", "b"), rows)
+        right = Table.of(("a", "b"), rows + [(9, 9)])
+        assert not tables_equivalent(left, right)

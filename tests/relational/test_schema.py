@@ -1,0 +1,77 @@
+"""Relational schema construction and lookups (Definition 3.5)."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+
+
+class TestRelation:
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("r", ("a", "a"))
+
+    def test_str(self):
+        assert str(Relation("r", ("a", "b"))) == "r(a, b)"
+
+
+class TestRelationalSchema:
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationalSchema.of([Relation("r", ("a",)), Relation("r", ("b",))])
+
+    def test_lookup(self):
+        schema = RelationalSchema.of([Relation("r", ("a",))])
+        assert schema.relation("r").attributes == ("a",)
+        assert schema.has_relation("r")
+        assert not schema.has_relation("s")
+
+    def test_primary_key_defaults_to_first_attribute(self):
+        schema = RelationalSchema.of([Relation("r", ("a", "b"))])
+        assert schema.primary_key_of("r") == "a"
+
+    def test_declared_primary_key_wins(self):
+        schema = RelationalSchema.of(
+            [Relation("r", ("a", "b"))],
+            IntegrityConstraints((PrimaryKey("r", "b"),)),
+        )
+        assert schema.primary_key_of("r") == "b"
+
+    def test_merge_concatenates(self):
+        left = RelationalSchema.of(
+            [Relation("r", ("a",))], IntegrityConstraints((PrimaryKey("r", "a"),))
+        )
+        right = RelationalSchema.of(
+            [Relation("s", ("b",))], IntegrityConstraints((PrimaryKey("s", "b"),))
+        )
+        merged = left.merge(right)
+        assert merged.has_relation("r") and merged.has_relation("s")
+        assert len(merged.constraints.primary_keys) == 2
+
+
+class TestConstraints:
+    def test_foreign_keys_of(self):
+        constraints = IntegrityConstraints(
+            foreign_keys=(
+                ForeignKey("r", "b", "s", "c"),
+                ForeignKey("t", "x", "s", "c"),
+            )
+        )
+        assert len(constraints.foreign_keys_of("r")) == 1
+        assert constraints.foreign_keys_of("zzz") == ()
+
+    def test_str_renders_all(self):
+        constraints = IntegrityConstraints(
+            (PrimaryKey("r", "a"),), (ForeignKey("r", "b", "s", "c"),)
+        )
+        text = str(constraints)
+        assert "PK(r) = a" in text and "FK(r.b) = s.c" in text
+
+    def test_empty_constraints_are_true(self):
+        assert str(IntegrityConstraints()) == "TRUE"

@@ -1,0 +1,38 @@
+"""Relational-schema declaration syntax."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.relational.parser import parse_relational_schema
+
+TEXT = """
+table emp(eid, ename, deptno)
+table dept(dno, dname)
+pk emp.eid
+pk dept.dno
+fk emp.deptno -> dept.dno
+notnull emp.deptno
+"""
+
+
+class TestParse:
+    def test_tables(self):
+        schema = parse_relational_schema(TEXT)
+        assert schema.relation("emp").attributes == ("eid", "ename", "deptno")
+
+    def test_constraints(self):
+        schema = parse_relational_schema(TEXT)
+        assert schema.primary_key_of("emp") == "eid"
+        fks = schema.constraints.foreign_keys_of("emp")
+        assert fks[0].referenced == "dept"
+        assert ("emp", "deptno") in {
+            (nn.relation, nn.attribute) for nn in schema.constraints.not_nulls
+        }
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_relational_schema("# nothing")
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ParseError, match="cannot parse"):
+            parse_relational_schema("table emp(eid)\nprimary emp.eid")

@@ -1,0 +1,168 @@
+"""Algebra optimizer: rewrites fire and preserve semantics."""
+
+import pytest
+
+from repro.common.values import NULL
+from repro.relational.instance import Database, tables_equivalent
+from repro.relational.schema import Relation, RelationalSchema
+from repro.sql import ast
+from repro.sql.optimize import optimize
+from repro.sql.parser import parse_sql
+from repro.sql.semantics import evaluate_query
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = RelationalSchema.of(
+        [Relation("r", ("a", "b")), Relation("s", ("c", "d"))]
+    )
+    database = Database(schema)
+    for row in [(1, 10), (2, 10), (3, NULL)]:
+        database.insert("r", row)
+    for row in [(10, "x"), (20, "y")]:
+        database.insert("s", row)
+    return database
+
+
+def assert_equivalent_after_optimize(query: ast.Query, db: Database) -> ast.Query:
+    optimized = optimize(query)
+    assert tables_equivalent(
+        evaluate_query(query, db), evaluate_query(optimized, db)
+    )
+    return optimized
+
+
+class TestRewrites:
+    def test_true_selection_removed(self, db):
+        query = ast.Selection(ast.Relation("r"), ast.TRUE)
+        assert optimize(query) == ast.Relation("r")
+
+    def test_selections_merge(self, db):
+        inner = ast.Selection(
+            ast.Relation("r"),
+            ast.Comparison("=", ast.AttributeRef("b"), ast.Literal(10)),
+        )
+        outer = ast.Selection(
+            inner, ast.Comparison("<", ast.AttributeRef("a"), ast.Literal(2))
+        )
+        optimized = assert_equivalent_after_optimize(outer, db)
+        assert isinstance(optimized, ast.Selection)
+        assert isinstance(optimized.query, ast.Relation)
+
+    def test_projection_composition(self, db):
+        inner = ast.Projection(
+            ast.Relation("r"),
+            (
+                ast.OutputColumn("x", ast.AttributeRef("a")),
+                ast.OutputColumn("y", ast.AttributeRef("b")),
+            ),
+        )
+        outer = ast.Projection(
+            inner,
+            (ast.OutputColumn("z", ast.BinaryOp("+", ast.AttributeRef("x"), ast.Literal(1))),),
+        )
+        optimized = assert_equivalent_after_optimize(outer, db)
+        assert isinstance(optimized, ast.Projection)
+        assert isinstance(optimized.query, ast.Relation)
+
+    def test_selection_pushes_below_projection(self, db):
+        projected = ast.Projection(
+            ast.Relation("r"), (ast.OutputColumn("x", ast.AttributeRef("a")),)
+        )
+        selected = ast.Selection(
+            projected, ast.Comparison("=", ast.AttributeRef("x"), ast.Literal(1))
+        )
+        optimized = assert_equivalent_after_optimize(selected, db)
+        assert isinstance(optimized, ast.Projection)
+
+    def test_distinct_projection_not_composed(self, db):
+        inner = ast.Projection(
+            ast.Relation("r"),
+            (ast.OutputColumn("x", ast.AttributeRef("b")),),
+            distinct=True,
+        )
+        outer = ast.Projection(
+            inner, (ast.OutputColumn("y", ast.AttributeRef("x")),)
+        )
+        optimized = assert_equivalent_after_optimize(outer, db)
+        # The DISTINCT barrier must survive.
+        assert isinstance(optimized, ast.Projection)
+        assert isinstance(optimized.query, ast.Projection)
+        assert optimized.query.distinct
+
+    def test_renaming_of_projection_folds(self, db):
+        inner = ast.Projection(
+            ast.Relation("r"), (ast.OutputColumn("x", ast.AttributeRef("a")),)
+        )
+        renamed = ast.Renaming("T", inner)
+        optimized = assert_equivalent_after_optimize(renamed, db)
+        assert isinstance(optimized, ast.Projection)
+        assert optimized.columns[0].alias == "T.x"
+
+    def test_group_by_absorbs_projection(self, db):
+        inner = ast.Projection(
+            ast.Relation("r"),
+            (
+                ast.OutputColumn("x", ast.AttributeRef("a")),
+                ast.OutputColumn("y", ast.AttributeRef("b")),
+            ),
+        )
+        grouped = ast.GroupBy(
+            inner,
+            (ast.AttributeRef("y"),),
+            (
+                ast.OutputColumn("grp", ast.AttributeRef("y")),
+                ast.OutputColumn("c", ast.Aggregate("Count", None)),
+            ),
+        )
+        optimized = assert_equivalent_after_optimize(grouped, db)
+        assert isinstance(optimized, ast.GroupBy)
+        assert isinstance(optimized.query, ast.Relation)
+
+    def test_correlated_predicate_blocks_pushdown(self, db):
+        # EXISTS subqueries must not be moved through projections.
+        projected = ast.Projection(
+            ast.Relation("r"), (ast.OutputColumn("x", ast.AttributeRef("a")),)
+        )
+        selected = ast.Selection(
+            projected,
+            ast.ExistsQuery(
+                ast.Selection(
+                    ast.Renaming("s1", ast.Relation("s")),
+                    ast.Comparison(
+                        "=", ast.AttributeRef("s1.c"), ast.AttributeRef("x")
+                    ),
+                )
+            ),
+        )
+        optimized = assert_equivalent_after_optimize(selected, db)
+        assert isinstance(optimized, ast.Selection)  # unchanged shape
+
+
+class TestOnParsedQueries:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT x.a FROM r AS x WHERE x.b = 10",
+            "SELECT x.a, y.d FROM r AS x JOIN s AS y ON x.b = y.c",
+            "SELECT x.b, COUNT(*) AS c FROM r AS x GROUP BY x.b",
+            "SELECT DISTINCT x.b FROM r AS x",
+            "SELECT x.a FROM r AS x UNION ALL SELECT y.c FROM s AS y",
+            "SELECT x.a AS k FROM r AS x ORDER BY k DESC LIMIT 2",
+        ],
+    )
+    def test_optimizer_preserves_semantics(self, sql, db):
+        assert_equivalent_after_optimize(parse_sql(sql), db)
+
+    def test_transpiled_query_flattens(self, emp_dept_schema, emp_dept_sdt):
+        from repro.core.transpile import transpile
+        from repro.cypher.parser import parse_cypher
+        from repro.sql.analysis import ast_size
+
+        query = parse_cypher(
+            "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname",
+            emp_dept_schema,
+        )
+        translated = transpile(query, emp_dept_schema, emp_dept_sdt)
+        optimized = optimize(translated)
+        assert ast_size(optimized) < ast_size(translated)

@@ -1,0 +1,180 @@
+"""SQL surface-syntax parsing into relational algebra."""
+
+import pytest
+
+from repro.common.errors import ParseError
+from repro.sql import ast
+from repro.sql.parser import parse_sql
+
+
+class TestSelectFrom:
+    def test_simple_scan(self):
+        query = parse_sql("SELECT e.name FROM emp AS e")
+        assert isinstance(query, ast.Projection)
+        assert isinstance(query.query, ast.Renaming)
+        assert query.query.name == "e"
+
+    def test_default_alias_is_table_name(self):
+        query = parse_sql("SELECT emp.name FROM emp")
+        assert query.query.name == "emp"
+
+    def test_bare_alias_without_as(self):
+        query = parse_sql("SELECT e.name FROM emp e")
+        assert query.query.name == "e"
+
+    def test_select_star_passthrough(self):
+        query = parse_sql("SELECT * FROM emp AS e WHERE e.id = 1")
+        assert isinstance(query, ast.Selection)
+
+    def test_output_aliases(self):
+        query = parse_sql("SELECT e.name AS who FROM emp AS e")
+        assert query.columns[0].alias == "who"
+
+    def test_default_output_name_is_local(self):
+        query = parse_sql("SELECT e.name FROM emp AS e")
+        assert query.columns[0].alias == "name"
+
+    def test_distinct(self):
+        query = parse_sql("SELECT DISTINCT e.name FROM emp AS e")
+        assert query.distinct
+
+
+class TestJoins:
+    def test_comma_is_cross(self):
+        query = parse_sql("SELECT a.x FROM r AS a, s AS b")
+        join = query.query
+        assert isinstance(join, ast.Join)
+        assert join.kind is ast.JoinKind.CROSS
+
+    def test_inner_join_on(self):
+        query = parse_sql("SELECT a.x FROM r AS a JOIN s AS b ON a.x = b.y")
+        assert query.query.kind is ast.JoinKind.INNER
+        assert isinstance(query.query.predicate, ast.Comparison)
+
+    @pytest.mark.parametrize(
+        "keyword,kind",
+        [
+            ("LEFT JOIN", ast.JoinKind.LEFT),
+            ("LEFT OUTER JOIN", ast.JoinKind.LEFT),
+            ("RIGHT JOIN", ast.JoinKind.RIGHT),
+            ("FULL OUTER JOIN", ast.JoinKind.FULL),
+            ("CROSS JOIN", ast.JoinKind.CROSS),
+        ],
+    )
+    def test_join_kinds(self, keyword, kind):
+        query = parse_sql(f"SELECT a.x FROM r AS a {keyword} s AS b ON a.x = b.y"
+                          if kind is not ast.JoinKind.CROSS
+                          else f"SELECT a.x FROM r AS a {keyword} s AS b")
+        assert query.query.kind is kind
+
+    def test_from_subquery(self):
+        query = parse_sql("SELECT t.x FROM (SELECT a.x FROM r AS a) AS t")
+        renaming = query.query
+        assert isinstance(renaming, ast.Renaming)
+        assert isinstance(renaming.query, ast.Projection)
+
+
+class TestGroupingAndOrdering:
+    def test_group_by_with_aggregate(self):
+        query = parse_sql(
+            "SELECT d.name, COUNT(*) AS c FROM dept AS d GROUP BY d.name"
+        )
+        assert isinstance(query, ast.GroupBy)
+        assert query.columns[1].expression == ast.Aggregate("Count", None)
+
+    def test_bare_aggregate_becomes_global_group(self):
+        query = parse_sql("SELECT COUNT(*) AS c FROM emp AS e")
+        assert isinstance(query, ast.GroupBy)
+        assert query.keys == ()
+
+    def test_having(self):
+        query = parse_sql(
+            "SELECT d.name, COUNT(*) AS c FROM dept AS d GROUP BY d.name "
+            "HAVING COUNT(*) > 1"
+        )
+        assert isinstance(query.having, ast.Comparison)
+
+    def test_order_by_limit(self):
+        query = parse_sql("SELECT e.id AS k FROM emp AS e ORDER BY k DESC LIMIT 5")
+        assert isinstance(query, ast.OrderBy)
+        assert query.ascending == (False,)
+        assert query.limit == 5
+
+    def test_order_by_select_item_uses_alias(self):
+        query = parse_sql("SELECT e.id AS k FROM emp AS e ORDER BY e.id")
+        assert query.keys == (ast.AttributeRef("k"),)
+
+
+class TestSetOperations:
+    def test_union(self):
+        query = parse_sql("SELECT a.x FROM r AS a UNION SELECT b.y FROM s AS b")
+        assert isinstance(query, ast.UnionOp)
+        assert not query.all
+
+    def test_union_all(self):
+        query = parse_sql("SELECT a.x FROM r AS a UNION ALL SELECT b.y FROM s AS b")
+        assert query.all
+
+
+class TestSubqueriesAndPredicates:
+    def test_in_subquery(self):
+        query = parse_sql(
+            "SELECT a.x FROM r AS a WHERE a.x IN (SELECT b.y FROM s AS b)"
+        )
+        predicate = query.query.predicate
+        assert isinstance(predicate, ast.InQuery)
+
+    def test_not_in_values(self):
+        query = parse_sql("SELECT a.x FROM r AS a WHERE a.x NOT IN (1, 2)")
+        assert isinstance(query.query.predicate, ast.Not)
+
+    def test_exists(self):
+        query = parse_sql(
+            "SELECT a.x FROM r AS a WHERE EXISTS (SELECT b.y FROM s AS b)"
+        )
+        assert isinstance(query.query.predicate, ast.ExistsQuery)
+
+    def test_is_null(self):
+        query = parse_sql("SELECT a.x FROM r AS a WHERE a.x IS NOT NULL")
+        assert query.query.predicate.negated
+
+    def test_parenthesised_predicates(self):
+        query = parse_sql(
+            "SELECT a.x FROM r AS a WHERE (a.x = 1 OR a.y = 2) AND a.z = 3"
+        )
+        assert isinstance(query.query.predicate, ast.And)
+
+    def test_arithmetic_in_select(self):
+        query = parse_sql("SELECT a.x + 1 AS bumped FROM r AS a")
+        assert isinstance(query.columns[0].expression, ast.BinaryOp)
+
+
+class TestWith:
+    def test_single_cte(self):
+        query = parse_sql(
+            "WITH t AS (SELECT a.x FROM r AS a) SELECT t.x FROM t"
+        )
+        assert isinstance(query, ast.WithQuery)
+        assert query.name == "t"
+
+    def test_multiple_ctes_nest(self):
+        query = parse_sql(
+            "WITH t1 AS (SELECT a.x FROM r AS a), "
+            "t2 AS (SELECT t1.x FROM t1) SELECT t2.x FROM t2"
+        )
+        assert isinstance(query, ast.WithQuery)
+        assert isinstance(query.body, ast.WithQuery)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a.x FROM r AS a bogus nonsense extra")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT 1")
+
+    def test_distinct_star_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT DISTINCT * FROM r AS a")

@@ -1,0 +1,246 @@
+"""SQL reference evaluator: bag semantics, 3VL, correlated subqueries."""
+
+import pytest
+
+from repro.common.errors import SemanticsError
+from repro.common.values import NULL, is_null
+from repro.relational.instance import Database, Table
+from repro.relational.schema import Relation, RelationalSchema
+from repro.sql.parser import parse_sql
+from repro.sql.semantics import evaluate_query
+
+
+@pytest.fixture
+def db() -> Database:
+    schema = RelationalSchema.of(
+        [
+            Relation("emp", ("id", "name", "dept")),
+            Relation("dept", ("dno", "dname")),
+        ]
+    )
+    database = Database(schema)
+    for row in [(1, "A", 10), (2, "B", 10), (3, "C", NULL)]:
+        database.insert("emp", row)
+    for row in [(10, "CS"), (20, "EE")]:
+        database.insert("dept", row)
+    return database
+
+
+def run(text, database):
+    return evaluate_query(parse_sql(text), database)
+
+
+class TestProjectionsAndSelections:
+    def test_scan(self, db):
+        assert len(run("SELECT e.id FROM emp AS e", db)) == 3
+
+    def test_projection_renames(self, db):
+        result = run("SELECT e.name AS who FROM emp AS e", db)
+        assert result.attributes == ("who",)
+
+    def test_where_filters(self, db):
+        result = run("SELECT e.name FROM emp AS e WHERE e.dept = 10", db)
+        assert sorted(result.column("name")) == ["A", "B"]
+
+    def test_null_comparison_excluded(self, db):
+        result = run("SELECT e.name FROM emp AS e WHERE e.dept <> 10", db)
+        assert len(result) == 0  # C's NULL dept is UNKNOWN, not TRUE
+
+    def test_is_null(self, db):
+        result = run("SELECT e.name FROM emp AS e WHERE e.dept IS NULL", db)
+        assert result.column("name") == ["C"]
+
+    def test_distinct(self, db):
+        result = run("SELECT DISTINCT e.dept FROM emp AS e WHERE e.dept = 10", db)
+        assert len(result) == 1
+
+    def test_unqualified_resolution(self, db):
+        result = run("SELECT name FROM emp AS e WHERE id = 1", db)
+        assert result.column("name") == ["A"]
+
+    def test_unknown_attribute_raises(self, db):
+        with pytest.raises(SemanticsError, match="unknown attribute"):
+            run("SELECT e.salary FROM emp AS e", db)
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = run(
+            "SELECT e.name, d.dname FROM emp AS e JOIN dept AS d ON e.dept = d.dno",
+            db,
+        )
+        assert sorted(result.rows) == [("A", "CS"), ("B", "CS")]
+
+    def test_left_join_null_pads(self, db):
+        result = run(
+            "SELECT e.name, d.dname FROM emp AS e LEFT JOIN dept AS d "
+            "ON e.dept = d.dno",
+            db,
+        )
+        assert ("C", NULL) in result.rows
+        assert len(result) == 3
+
+    def test_right_join(self, db):
+        result = run(
+            "SELECT e.name, d.dname FROM emp AS e RIGHT JOIN dept AS d "
+            "ON e.dept = d.dno",
+            db,
+        )
+        assert (NULL, "EE") in result.rows
+
+    def test_full_join(self, db):
+        result = run(
+            "SELECT e.name, d.dname FROM emp AS e FULL JOIN dept AS d "
+            "ON e.dept = d.dno",
+            db,
+        )
+        assert ("C", NULL) in result.rows
+        assert (NULL, "EE") in result.rows
+
+    def test_cross_join_multiplicities(self, db):
+        result = run("SELECT e.name, d.dname FROM emp AS e, dept AS d", db)
+        assert len(result) == 6
+
+
+class TestAggregation:
+    def test_group_by_count(self, db):
+        result = run(
+            "SELECT e.dept, COUNT(*) AS c FROM emp AS e GROUP BY e.dept", db
+        )
+        assert sorted(result.rows, key=repr) == sorted(
+            [(10, 2), (NULL, 1)], key=repr
+        )
+
+    def test_group_by_null_groups_together(self, db):
+        db.insert("emp", (4, "D", NULL))
+        result = run(
+            "SELECT e.dept, COUNT(*) AS c FROM emp AS e GROUP BY e.dept", db
+        )
+        assert (NULL, 2) in result.rows
+
+    def test_having(self, db):
+        result = run(
+            "SELECT e.dept, COUNT(*) AS c FROM emp AS e GROUP BY e.dept "
+            "HAVING COUNT(*) > 1",
+            db,
+        )
+        assert result.rows == [(10, 2)]
+
+    def test_sum_avg(self, db):
+        result = run("SELECT SUM(e.id) AS s, AVG(e.id) AS a FROM emp AS e", db)
+        assert result.rows == [(6, 2.0)]
+
+    def test_count_column_skips_nulls(self, db):
+        result = run("SELECT COUNT(e.dept) AS c FROM emp AS e", db)
+        assert result.rows == [(2,)]
+
+    def test_empty_input_global_aggregate_is_empty(self, db):
+        # The paper's Appendix-A-aligned semantics: no input rows → no groups.
+        result = run("SELECT COUNT(*) AS c FROM emp AS e WHERE e.id > 99", db)
+        assert len(result) == 0
+
+    def test_aggregate_outside_group_by_rejected(self, db):
+        from repro.sql import ast
+
+        bad = ast.Projection(
+            ast.Relation("emp"),
+            (ast.OutputColumn("c", ast.Aggregate("Count", None)),),
+        )
+        with pytest.raises(SemanticsError, match="aggregate"):
+            evaluate_query(bad, db)
+
+
+class TestSubqueries:
+    def test_uncorrelated_in(self, db):
+        result = run(
+            "SELECT e.name FROM emp AS e WHERE e.dept IN "
+            "(SELECT d.dno FROM dept AS d)",
+            db,
+        )
+        assert sorted(result.column("name")) == ["A", "B"]
+
+    def test_correlated_exists(self, db):
+        result = run(
+            "SELECT d.dname FROM dept AS d WHERE EXISTS "
+            "(SELECT e.id FROM emp AS e WHERE e.dept = d.dno)",
+            db,
+        )
+        assert result.column("dname") == ["CS"]
+
+    def test_not_exists(self, db):
+        result = run(
+            "SELECT d.dname FROM dept AS d WHERE NOT EXISTS "
+            "(SELECT e.id FROM emp AS e WHERE e.dept = d.dno)",
+            db,
+        )
+        assert result.column("dname") == ["EE"]
+
+    def test_in_with_null_operand_is_filtered(self, db):
+        result = run(
+            "SELECT e.name FROM emp AS e WHERE e.dept IN (10, 20)", db
+        )
+        assert "C" not in result.column("name")
+
+    def test_with_cte(self, db):
+        result = run(
+            "WITH big AS (SELECT e.id AS i FROM emp AS e WHERE e.id > 1) "
+            "SELECT big.i FROM big",
+            db,
+        )
+        assert sorted(result.column("i")) == [2, 3]
+
+
+class TestSetOperations:
+    def test_union_dedups(self, db):
+        result = run(
+            "SELECT e.dept FROM emp AS e UNION SELECT e2.dept FROM emp AS e2", db
+        )
+        assert len(result) == 2  # {10, NULL}
+
+    def test_union_all(self, db):
+        result = run(
+            "SELECT e.dept FROM emp AS e UNION ALL SELECT e2.dept FROM emp AS e2",
+            db,
+        )
+        assert len(result) == 6
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(SemanticsError, match="arity"):
+            run(
+                "SELECT e.id FROM emp AS e UNION SELECT d.dno, d.dname "
+                "FROM dept AS d",
+                db,
+            )
+
+
+class TestOrdering:
+    def test_order_by_asc_desc(self, db):
+        result = run("SELECT e.id AS k FROM emp AS e ORDER BY k DESC", db)
+        assert result.column("k") == [3, 2, 1]
+        assert result.ordered
+
+    def test_limit(self, db):
+        result = run("SELECT e.id AS k FROM emp AS e ORDER BY k LIMIT 2", db)
+        assert result.column("k") == [1, 2]
+
+    def test_nulls_sort_first(self, db):
+        result = run("SELECT e.dept AS k FROM emp AS e ORDER BY k", db)
+        assert is_null(result.column("k")[0])
+
+
+class TestRenamingSemantics:
+    def test_renaming_qualifies_attributes(self, db):
+        from repro.sql import ast
+
+        renamed = ast.Renaming("T", ast.Renaming("e", ast.Relation("emp")))
+        result = evaluate_query(renamed, db)
+        assert result.attributes == ("T.e_id", "T.e_name", "T.e_dept")
+
+    def test_join_attribute_collision_rejected(self, db):
+        from repro.sql import ast
+
+        bad = ast.Join(
+            ast.JoinKind.CROSS, ast.Relation("emp"), ast.Relation("emp")
+        )
+        with pytest.raises(SemanticsError, match="duplicate attribute"):
+            evaluate_query(bad, db)

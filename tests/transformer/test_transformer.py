@@ -1,0 +1,198 @@
+"""Transformer DSL: parsing, application, equivalence, residuals (Section 4)."""
+
+import pytest
+
+from repro.common.errors import ParseError, TransformerError
+from repro.graph.builder import GraphBuilder
+from repro.relational.instance import Database
+from repro.relational.schema import Relation, RelationalSchema
+from repro.transformer.dsl import Constant, Predicate, Rule, Transformer, Variable, Wildcard
+from repro.transformer.facts import graph_facts, relational_facts
+from repro.transformer.parser import parse_transformer
+from repro.transformer.residual import residual_transformer, sdt_substitution
+from repro.transformer.semantics import (
+    apply_transformer,
+    graph_relational_equivalent,
+    transform_graph,
+)
+
+
+class TestParser:
+    def test_single_rule(self):
+        transformer = parse_transformer("EMP(id, name) -> emp(id, name)")
+        assert len(transformer) == 1
+        rule = transformer.rules[0]
+        assert rule.head.name == "emp"
+        assert rule.body[0].terms == (Variable("id"), Variable("name"))
+
+    def test_multiple_body_atoms(self):
+        transformer = parse_transformer(
+            "EMP(id, name), WORK_AT(w, id, d) -> emp(id, name, d)"
+        )
+        assert len(transformer.rules[0].body) == 2
+
+    def test_wildcards_and_constants(self):
+        transformer = parse_transformer("EMP(id, _, 'boss', 3) -> vip(id)")
+        terms = transformer.rules[0].body[0].terms
+        assert isinstance(terms[1], Wildcard)
+        assert terms[2] == Constant("boss")
+        assert terms[3] == Constant(3)
+
+    def test_comments_and_blank_lines(self):
+        transformer = parse_transformer(
+            """
+            # mapping employees
+            EMP(id, name) -> emp(id, name)
+
+            -- and departments
+            DEPT(d, n) -> dept(d, n)
+            """
+        )
+        assert len(transformer) == 2
+
+    def test_unicode_arrow(self):
+        transformer = parse_transformer("EMP(id) → emp(id)")
+        assert len(transformer) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transformer("   \n  ")
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_transformer("EMP(id) -> emp(id) extra")
+
+
+class TestRuleValidation:
+    def test_unsafe_head_variable_rejected(self):
+        with pytest.raises(TransformerError, match="unsafe"):
+            Rule(
+                (Predicate("a", (Variable("x"),)),),
+                Predicate("b", (Variable("y"),)),
+            )
+
+    def test_head_wildcard_rejected(self):
+        with pytest.raises(TransformerError, match="wildcard"):
+            Rule((Predicate("a", (Variable("x"),)),), Predicate("b", (Wildcard(),)))
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(TransformerError, match="non-empty"):
+            Rule((), Predicate("b", ()))
+
+
+class TestFactEncoding:
+    def test_graph_facts(self, emp_dept_graph):
+        facts = graph_facts(emp_dept_graph)
+        assert ("EMP", (1, "A")) in facts
+        assert ("DEPT", (1, "CS")) in facts
+        # Edge facts carry (props..., source default key, target default key).
+        assert ("WORK_AT", (10, 1, 1)) in facts
+
+    def test_relational_facts(self):
+        schema = RelationalSchema.of([Relation("r", ("a", "b"))])
+        db = Database(schema)
+        db.insert("r", (1, 2))
+        assert relational_facts(db) == {("r", (1, 2))}
+
+
+class TestApplication:
+    def test_join_rule(self, emp_dept_graph, merged_transformer, merged_target_schema):
+        target = transform_graph(
+            merged_transformer, emp_dept_graph, merged_target_schema
+        )
+        assert sorted(target.table("emp").rows) == [(10, "A", 1), (11, "B", 1)]
+        assert sorted(target.table("dept").rows) == [(1, "CS"), (2, "EE")]
+
+    def test_constants_filter(self, emp_dept_graph):
+        transformer = parse_transformer("EMP(id, 'A') -> chosen(id)")
+        schema = RelationalSchema.of([Relation("chosen", ("id",))])
+        target = transform_graph(transformer, emp_dept_graph, schema)
+        assert target.table("chosen").rows == [(1,)]
+
+    def test_wildcard_matches_anything(self, emp_dept_graph):
+        transformer = parse_transformer("EMP(id, _) -> ids(id)")
+        schema = RelationalSchema.of([Relation("ids", ("id",))])
+        target = transform_graph(transformer, emp_dept_graph, schema)
+        assert len(target.table("ids")) == 2
+
+    def test_repeated_variable_forces_equality(self, emp_dept_graph):
+        # DEPT nodes where dnum equals dnum (trivially all) vs cross-type join.
+        transformer = parse_transformer("EMP(x, _), DEPT(x, n) -> same(x, n)")
+        schema = RelationalSchema.of([Relation("same", ("x", "n"))])
+        target = transform_graph(transformer, emp_dept_graph, schema)
+        # EMP ids {1, 2} intersect DEPT dnums {1, 2} -> both join.
+        assert len(target.table("same")) == 2
+
+    def test_derived_facts_are_a_set(self, emp_dept_graph):
+        transformer = parse_transformer("WORK_AT(_, _, d) -> dept_used(d)")
+        schema = RelationalSchema.of([Relation("dept_used", ("d",))])
+        target = transform_graph(transformer, emp_dept_graph, schema)
+        # Both edges point at dept 1; the fact set collapses them.
+        assert target.table("dept_used").rows == [(1,)]
+
+    def test_stray_head_rejected(self, emp_dept_graph):
+        transformer = parse_transformer("EMP(id, n) -> nowhere(id, n)")
+        schema = RelationalSchema.of([Relation("other", ("a",))])
+        with pytest.raises(TransformerError, match="unknown relations"):
+            transform_graph(transformer, emp_dept_graph, schema)
+
+    def test_arity_mismatch_rejected(self, emp_dept_graph):
+        transformer = parse_transformer("EMP(id, n) -> t(id, n)")
+        schema = RelationalSchema.of([Relation("t", ("a",))])
+        with pytest.raises(TransformerError, match="arity"):
+            transform_graph(transformer, emp_dept_graph, schema)
+
+
+class TestEquivalenceCheck:
+    def test_matching_instance(self, emp_dept_graph, merged_transformer, merged_target_schema):
+        target = transform_graph(
+            merged_transformer, emp_dept_graph, merged_target_schema
+        )
+        assert graph_relational_equivalent(
+            merged_transformer, emp_dept_graph, target
+        )
+
+    def test_extra_row_breaks_equivalence(
+        self, emp_dept_graph, merged_transformer, merged_target_schema
+    ):
+        target = transform_graph(
+            merged_transformer, emp_dept_graph, merged_target_schema
+        )
+        target.insert("emp", (99, "X", 1))
+        assert not graph_relational_equivalent(
+            merged_transformer, emp_dept_graph, target
+        )
+
+
+class TestResidual:
+    def test_substitution_extraction(self, emp_dept_sdt):
+        substitution = sdt_substitution(emp_dept_sdt.transformer)
+        assert substitution == {"EMP": "EMP", "DEPT": "DEPT", "WORK_AT": "WORK_AT"}
+
+    def test_residual_renames_bodies(self, merged_transformer, emp_dept_sdt):
+        residual = residual_transformer(merged_transformer, emp_dept_sdt.transformer)
+        body_names = {atom.name for rule in residual for atom in rule.body}
+        assert body_names == {"EMP", "DEPT", "WORK_AT"}
+
+    def test_residual_rejects_multi_atom_sdt(self, merged_transformer):
+        with pytest.raises(TransformerError, match="single-atom"):
+            sdt_substitution(merged_transformer)
+
+    def test_residual_composition_lemma(
+        self, emp_dept_graph, merged_transformer, merged_target_schema, emp_dept_sdt
+    ):
+        """Lemma F.11: Φ_rdt(Φ_sdt(G)) = Φ(G)."""
+        from repro.transformer.semantics import transform_database
+
+        induced = transform_graph(
+            emp_dept_sdt.transformer, emp_dept_graph, emp_dept_sdt.schema
+        )
+        residual = residual_transformer(merged_transformer, emp_dept_sdt.transformer)
+        via_residual = transform_database(residual, induced, merged_target_schema)
+        direct = transform_graph(
+            merged_transformer, emp_dept_graph, merged_target_schema
+        )
+        for name in ("emp", "dept"):
+            assert sorted(via_residual.table(name).rows) == sorted(
+                direct.table(name).rows
+            )
