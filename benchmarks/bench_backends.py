@@ -1,0 +1,32 @@
+"""Cross-backend execution comparison (beyond the paper: multi-engine).
+
+Runs the standard workload (scan / join / aggregate / optional / exists)
+over mock data on every execution backend available in this environment —
+in-memory SQLite, file-backed SQLite, and DuckDB when installed — and
+reports per-backend timings.  Every measured result is cross-checked for
+bag equivalence against the reference evaluator on a small instance, so a
+backend that returns wrong answers fails the bench rather than winning it.
+
+Run:  pytest benchmarks/bench_backends.py --benchmark-only -s
+"""
+
+from repro.backends import available_backends, compare_backends
+
+
+def test_bench_backends(benchmark, report_rows):
+    rows = benchmark.pedantic(
+        compare_backends,
+        kwargs={"rows_per_table": 2000, "repeats": 3},
+        iterations=1,
+        rounds=1,
+    )
+    report_rows.append(
+        f"== Backend comparison: {', '.join(available_backends())} =="
+    )
+    for row in rows:
+        report_rows.append(row.format())
+    # Both SQLite variants are always present; DuckDB joins when installed.
+    measured_backends = {row.backend for row in rows}
+    assert {"sqlite-memory", "sqlite-file"} <= measured_backends
+    assert all(row.matches_reference for row in rows)
+    assert all(row.seconds >= 0.0 for row in rows)

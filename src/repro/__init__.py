@@ -43,8 +43,18 @@ from repro.transformer import (
     residual_transformer,
 )
 from repro.transformer.semantics import transform_graph
+from repro.backends import (
+    BackendUnavailable,
+    ExecutionBackend,
+    GraphitiService,
+    available_backends,
+    create_backend,
+    load_backend,
+    register_backend,
+)
+from repro.sql.dialect import SqlDialect, dialect_for
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoundedChecker",
@@ -77,4 +87,13 @@ __all__ = [
     "parse_transformer",
     "residual_transformer",
     "transform_graph",
+    "BackendUnavailable",
+    "ExecutionBackend",
+    "GraphitiService",
+    "available_backends",
+    "create_backend",
+    "load_backend",
+    "register_backend",
+    "SqlDialect",
+    "dialect_for",
 ]

@@ -1,0 +1,79 @@
+"""Pluggable multi-backend execution.
+
+The subsystem has four layers:
+
+* :mod:`repro.backends.base` — the :class:`ExecutionBackend` contract
+  (connect, batched bulk-load, execute, explain, timing) plus the shared
+  DB-API implementation.
+* :mod:`repro.backends.registry` — name → backend factory with
+  availability gating (:func:`available_backends`, :func:`create_backend`,
+  :func:`load_backend`).
+* Engines: :mod:`repro.backends.sqlite` (``sqlite-memory``,
+  ``sqlite-file``; always available) and
+  :mod:`repro.backends.duckdb_backend` (``duckdb``; skipped when the
+  package is absent).  Importing this package registers all of them.
+* :mod:`repro.backends.service` — the :class:`GraphitiService` facade:
+  schema → SDT → cached transpile → execute, multi-engine.
+
+Adding an engine: subclass :class:`DbApiBackend` (or
+:class:`ExecutionBackend` for exotic engines), give it a ``name`` and a
+:class:`~repro.sql.dialect.SqlDialect`, and decorate with
+:func:`register_backend`.
+"""
+
+from repro.backends.base import (
+    BackendUnavailable,
+    DbApiBackend,
+    ExecutionBackend,
+    infer_column_types,
+)
+from repro.backends.registry import (
+    BackendInfo,
+    available_backends,
+    backend_info,
+    create_backend,
+    load_backend,
+    register_backend,
+    registered_backends,
+)
+
+# Importing the engine modules registers them.
+from repro.backends import sqlite as _sqlite  # noqa: F401
+from repro.backends import duckdb_backend as _duckdb  # noqa: F401
+from repro.backends.sqlite import SqliteFileBackend, SqliteMemoryBackend
+from repro.backends.duckdb_backend import DuckDbBackend
+from repro.backends.service import (
+    CacheInfo,
+    GraphitiService,
+    PreparedQuery,
+    schema_fingerprint,
+)
+from repro.backends.comparison import (
+    DEFAULT_WORKLOAD,
+    BackendTiming,
+    compare_backends,
+)
+
+__all__ = [
+    "BackendUnavailable",
+    "DbApiBackend",
+    "ExecutionBackend",
+    "infer_column_types",
+    "BackendInfo",
+    "available_backends",
+    "backend_info",
+    "create_backend",
+    "load_backend",
+    "register_backend",
+    "registered_backends",
+    "SqliteFileBackend",
+    "SqliteMemoryBackend",
+    "DuckDbBackend",
+    "CacheInfo",
+    "GraphitiService",
+    "PreparedQuery",
+    "schema_fingerprint",
+    "DEFAULT_WORKLOAD",
+    "BackendTiming",
+    "compare_backends",
+]

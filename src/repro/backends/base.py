@@ -1,0 +1,311 @@
+"""The :class:`ExecutionBackend` abstraction.
+
+An execution backend owns one connection to a relational engine and knows
+how to (1) materialise a :class:`~repro.relational.schema.RelationalSchema`
+as DDL in the engine's dialect, (2) bulk-load a
+:class:`~repro.relational.instance.Database` in batches, (3) execute SQL
+text and marshal results back into :class:`~repro.relational.instance.Table`
+values (so results compare directly against the reference bag-semantics
+evaluator), and (4) report timings and query plans.
+
+:class:`DbApiBackend` implements the whole contract over any DB-API-2.0-ish
+connection (qmark paramstyle); concrete engines usually only provide
+``_open_connection`` plus value-conversion tweaks.  Engines that cannot be
+imported in the current environment raise :class:`BackendUnavailable` from
+``connect`` and report ``is_available() == False`` so callers (registry,
+benchmarks, tests) can skip them gracefully.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Sequence
+
+from repro.common.values import NULL, Value, is_null
+from repro.relational.instance import Database, Table
+from repro.relational.schema import RelationalSchema
+from repro.sql.dialect import SQLITE, SqlDialect
+from repro.sql.pretty import create_table_ddl
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested engine is not importable/usable in this environment."""
+
+
+class ExecutionBackend(ABC):
+    """Abstract interface every execution engine implements."""
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+    #: SQL dialect the backend's SQL text must be rendered in.
+    dialect: SqlDialect = SQLITE
+
+    def __init__(self, schema: RelationalSchema) -> None:
+        self.schema = schema
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether the engine can run in this environment."""
+        return True
+
+    @abstractmethod
+    def connect(self) -> None:
+        """Open the connection (idempotent); DDL runs lazily before first use."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release the connection and any on-disk state."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- loading -----------------------------------------------------------
+
+    @abstractmethod
+    def insert_rows(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Value]],
+        batch_size: int = 1000,
+    ) -> None:
+        """Append *rows* to *relation*, committing per batch."""
+
+    def bulk_load(self, database: Database, batch_size: int = 1000) -> None:
+        """Load every table of *database* (schemas must agree)."""
+        for name, table in database.tables.items():
+            self.insert_rows(name, table.rows, batch_size=batch_size)
+
+    @abstractmethod
+    def create_indexes(self) -> None:
+        """Index declared primary/foreign keys (fair benchmark comparisons)."""
+
+    # -- execution ---------------------------------------------------------
+
+    @abstractmethod
+    def execute(self, sql_text: str) -> Table:
+        """Run *sql_text*, returning the result as a :class:`Table`."""
+
+    @abstractmethod
+    def explain(self, sql_text: str) -> str:
+        """The engine's query plan for *sql_text*, as display text."""
+
+    def time(self, sql_text: str, repeats: int = 3) -> float:
+        """Median wall-clock execution time of *sql_text* in seconds."""
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            self.execute(sql_text)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+
+class DbApiBackend(ExecutionBackend):
+    """Shared implementation over a DB-API connection (qmark paramstyle).
+
+    Subclasses provide :meth:`_open_connection` and may override the value
+    conversion hooks (:meth:`_to_db`, :meth:`_from_db`) and
+    :meth:`_column_types` (typed-DDL engines infer types at load time, so
+    they defer DDL to :meth:`bulk_load`; see the DuckDB backend).
+    """
+
+    def __init__(self, schema: RelationalSchema) -> None:
+        super().__init__(schema)
+        self.connection: Any = None
+        self._schema_created = False
+
+    # -- hooks -------------------------------------------------------------
+
+    @abstractmethod
+    def _open_connection(self) -> Any:
+        """Open and return the raw engine connection."""
+
+    def _to_db(self, value: Value) -> Any:
+        """Convert a repro value for a bound parameter."""
+        if isinstance(value, bool):
+            return int(value)
+        if is_null(value):
+            return None
+        return value
+
+    def _from_db(self, value: Any) -> Value:
+        """Convert an engine result cell back into a repro value."""
+        if value is None:
+            return NULL
+        return value
+
+    def _column_types(self) -> dict[str, dict[str, str]] | None:
+        """DDL type hints per relation/attribute (``None`` = untyped)."""
+        return None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def connect(self) -> None:
+        if not type(self).is_available():
+            raise BackendUnavailable(
+                f"backend {self.name!r} is not available in this environment"
+            )
+        if self.connection is None:
+            self.connection = self._open_connection()
+
+    def _ensure_schema(self) -> None:
+        # Deferred past connect() so typed-DDL engines can first observe
+        # the data they are about to load (infer_column_types).
+        if self._schema_created:
+            return
+        for statement in create_table_ddl(
+            self.schema, self.dialect, self._column_types()
+        ):
+            self.connection.execute(statement)
+        self._commit()
+        self._schema_created = True
+
+    def _commit(self) -> None:
+        commit = getattr(self.connection, "commit", None)
+        if commit is not None:
+            commit()
+
+    def close(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+        self._schema_created = False
+
+    def _ensure_connected(self) -> None:
+        if self.connection is None:
+            self.connect()
+        self._ensure_schema()
+
+    # -- loading -----------------------------------------------------------
+
+    def insert_rows(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Value]],
+        batch_size: int = 1000,
+    ) -> None:
+        self._ensure_connected()
+        relation_def = self.schema.relation(relation)
+        placeholders = ", ".join("?" for _ in relation_def.attributes)
+        statement = (
+            f"INSERT INTO {self.dialect.quote(relation)} VALUES ({placeholders})"
+        )
+        batch: list[tuple[Any, ...]] = []
+        for row in rows:
+            batch.append(tuple(self._to_db(v) for v in row))
+            if len(batch) >= batch_size:
+                self.connection.executemany(statement, batch)
+                self._commit()
+                batch.clear()
+        if batch:
+            self.connection.executemany(statement, batch)
+            self._commit()
+
+    def create_indexes(self) -> None:
+        self._ensure_connected()
+        quote = self.dialect.quote
+        counter = 0
+        for constraint in (
+            *self.schema.constraints.primary_keys,
+            *self.schema.constraints.foreign_keys,
+        ):
+            counter += 1
+            self.connection.execute(
+                f"CREATE INDEX IF NOT EXISTS {quote(f'idx{counter}')} "
+                f"ON {quote(constraint.relation)} ({quote(constraint.attribute)})"
+            )
+        self._commit()
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, sql_text: str) -> Table:
+        self._ensure_connected()
+        cursor = self.connection.execute(sql_text)
+        attributes = tuple(
+            description[0] for description in cursor.description or ()
+        )
+        rows = [tuple(self._from_db(v) for v in row) for row in cursor.fetchall()]
+        return Table(dedup_attributes(attributes), rows)
+
+    def explain(self, sql_text: str) -> str:
+        self._ensure_connected()
+        cursor = self.connection.execute(
+            f"{self.dialect.explain_prefix} {sql_text}"
+        )
+        return "\n".join(
+            " ".join(str(cell) for cell in row) for row in cursor.fetchall()
+        )
+
+    def time(self, sql_text: str, repeats: int = 3) -> float:
+        """Median execution time, fetching raw rows (no value conversion)."""
+        self._ensure_connected()
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cursor = self.connection.execute(sql_text)
+            cursor.fetchall()
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        return samples[len(samples) // 2]
+
+
+def infer_column_types(
+    database: Database, dialect: SqlDialect
+) -> dict[str, dict[str, str]]:
+    """DDL type hints for *database*'s columns, unified over all their values.
+
+    Typed-DDL engines (DuckDB, the ANSI display dialect) need a type per
+    column; the repro's values are dynamically typed, so scan the data:
+    all-integer columns type as integers, an int/float mix widens to the
+    real type, and any string (or any other mix) falls back to the text
+    type, which every value converts into.  Columns with no non-null
+    values use the dialect default.
+    """
+    hints: dict[str, dict[str, str]] = {}
+    for name, table in database.tables.items():
+        per_column: dict[str, str] = {}
+        for index, attribute in enumerate(table.attributes):
+            per_column[attribute] = _unified_type(
+                (row[index] for row in table.rows), dialect
+            )
+        hints[name] = per_column
+    return hints
+
+
+def _unified_type(values, dialect: SqlDialect) -> str:
+    saw_int = saw_real = False
+    for value in values:
+        if is_null(value):
+            continue
+        if isinstance(value, bool) or isinstance(value, int):
+            saw_int = True
+        elif isinstance(value, float):
+            saw_real = True
+        else:
+            return dialect.text_type
+    if saw_real:
+        return dialect.real_type
+    if saw_int:
+        return dialect.integer_type
+    return dialect.default_column_type
+
+
+def dedup_attributes(attributes: tuple[str, ...]) -> tuple[str, ...]:
+    """Engines may report duplicate column names for SELECT *; uniquify."""
+    seen: dict[str, int] = {}
+    out = []
+    for attribute in attributes:
+        if attribute in seen:
+            seen[attribute] += 1
+            out.append(f"{attribute}:{seen[attribute]}")
+        else:
+            seen[attribute] = 0
+            out.append(attribute)
+    return tuple(out)

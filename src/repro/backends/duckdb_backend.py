@@ -1,0 +1,59 @@
+"""DuckDB execution backend (feature-detected).
+
+DuckDB is an optional dependency (``pip install repro[duckdb]``); when the
+package is missing the backend stays registered but reports
+``is_available() == False``, so registry lookups raise
+:class:`~repro.backends.base.BackendUnavailable` and benchmarks/tests skip
+it instead of failing.
+
+DuckDB demands typed DDL, while the repro's values are dynamically typed —
+so :meth:`DuckDbBackend.bulk_load` samples the data it is about to load and
+creates the tables with inferred column types before the first insert
+(schema DDL is deferred until then; see ``DbApiBackend._ensure_schema``).
+"""
+
+from __future__ import annotations
+
+from importlib import import_module, util
+
+from repro.relational.instance import Database
+from repro.sql.dialect import DUCKDB
+
+from repro.backends.base import DbApiBackend, infer_column_types
+from repro.backends.registry import register_backend
+
+
+@register_backend
+class DuckDbBackend(DbApiBackend):
+    """An in-memory DuckDB instance (skipped when duckdb is not installed)."""
+
+    name = "duckdb"
+    dialect = DUCKDB
+
+    def __init__(self, schema) -> None:
+        super().__init__(schema)
+        self._type_hints: dict[str, dict[str, str]] | None = None
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return util.find_spec("duckdb") is not None
+
+    def _open_connection(self):
+        duckdb = import_module("duckdb")
+        return duckdb.connect(":memory:")
+
+    def _column_types(self) -> dict[str, dict[str, str]] | None:
+        return self._type_hints
+
+    def bulk_load(self, database: Database, batch_size: int = 1000) -> None:
+        if not self._schema_created:
+            self._type_hints = infer_column_types(database, self.dialect)
+        super().bulk_load(database, batch_size=batch_size)
+
+    def explain(self, sql_text: str) -> str:
+        self._ensure_connected()
+        cursor = self.connection.execute(
+            f"{self.dialect.explain_prefix} {sql_text}"
+        )
+        # DuckDB's EXPLAIN yields (key, rendered-plan-text) rows.
+        return "\n".join(str(row[-1]) for row in cursor.fetchall())

@@ -1,0 +1,280 @@
+"""The :class:`GraphitiService` facade: schema → SDT → transpile → execute.
+
+The service wires the whole paper pipeline behind one object so callers
+(CLI, benchmarks, applications) never touch the individual passes:
+
+* the induced relational schema and standard transformer are computed once
+  per service (``infer_sdt``);
+* transpilation + dialect rendering is memoised in an LRU cache keyed by
+  ``(schema fingerprint, Cypher text, dialect)`` — repeated queries on hot
+  paths skip parsing, translation, optimisation, and rendering entirely;
+* execution backends are resolved through the registry, created lazily per
+  name, and bulk-loaded (batched) from the service's current database, so
+  one loaded dataset serves any number of engines side by side.
+
+The schema fingerprint in the cache key makes cache entries safe to share
+between services over the *same* schema and impossible to confuse between
+different ones (and keeps keys meaningful if an external cache store is
+ever plugged in).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.sdt import infer_sdt
+from repro.core.transpile import transpile
+from repro.cypher.parser import parse_cypher
+from repro.execution.datagen import MockDataGenerator
+from repro.graph.schema import GraphSchema
+from repro.relational.instance import Database, Table
+from repro.sql import ast as sq
+from repro.sql.dialect import SqlDialect, dialect_for
+from repro.sql.optimize import optimize
+from repro.sql.pretty import to_sql_text
+from repro.sql.semantics import evaluate_query as evaluate_sql
+from repro.transformer.semantics import transform_graph
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import available_backends, load_backend
+
+DEFAULT_BACKEND = "sqlite-memory"
+
+
+def schema_fingerprint(graph_schema: GraphSchema) -> str:
+    """A stable digest of *graph_schema*'s node/edge types and keys."""
+    parts = []
+    for node in graph_schema.node_types:
+        parts.append(f"node {node.label}({','.join(node.keys)})")
+    for edge in graph_schema.edge_types:
+        parts.append(
+            f"edge {edge.label}({','.join(edge.keys)}):{edge.source}->{edge.target}"
+        )
+    canonical = "\n".join(sorted(parts))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Transpilation-cache statistics (mirrors ``functools.lru_cache``)."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A transpiled, rendered query ready for execution.
+
+    ``sql_ast`` is the *optimised* algebra — the reference evaluator
+    materialises intermediate results, so evaluating the transpiler's raw
+    one-node-per-rule nesting (cross joins under selections) would blow up
+    combinatorially on anything beyond toy instances.
+    """
+
+    cypher_text: str
+    sql_ast: sq.Query
+    sql_text: str
+    dialect: str
+    fingerprint: str
+
+
+class _LruCache:
+    """A small LRU map with hit/miss accounting (no external deps)."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[object, object] = OrderedDict()
+
+    def get(self, key: object) -> object | None:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: object, value: object) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> CacheInfo:
+        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._entries))
+
+
+class GraphitiService:
+    """End-to-end query service over one graph schema.
+
+    Typical use::
+
+        service = GraphitiService(graph_schema)
+        service.load_graph(property_graph)        # or load_database / load_mock
+        table = service.run("MATCH (n:EMP) RETURN n.name")
+        timings = {b: service.time(q, backend=b) for b in service.backends()}
+    """
+
+    def __init__(
+        self,
+        graph_schema: GraphSchema,
+        default_backend: str = DEFAULT_BACKEND,
+        cache_size: int = 128,
+        batch_size: int = 1000,
+        indexes: bool = True,
+    ) -> None:
+        self.graph_schema = graph_schema
+        self.sdt = infer_sdt(graph_schema)
+        self.fingerprint = schema_fingerprint(graph_schema)
+        self.default_backend = default_backend
+        self.batch_size = batch_size
+        self.indexes = indexes
+        self._cache = _LruCache(cache_size)
+        self._database = Database(self.sdt.schema)
+        self._backends: dict[str, ExecutionBackend] = {}
+
+    # -- data --------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The currently loaded induced-schema instance."""
+        return self._database
+
+    def load_database(self, database: Database) -> None:
+        """Serve queries over *database* (an induced-schema instance)."""
+        if database.schema.relations != self.sdt.schema.relations:
+            raise ValueError(
+                "database schema does not match the induced schema of this service"
+            )
+        self._reset_backends()
+        self._database = database
+
+    def load_graph(self, graph: object) -> None:
+        """Serve queries over a property graph, via the standard transformer."""
+        self.load_database(
+            transform_graph(self.sdt.transformer, graph, self.sdt.schema)
+        )
+
+    def load_mock(self, rows_per_table: int, seed: int = 42) -> None:
+        """Serve queries over generated mock data (benchmarks, demos)."""
+        generator = MockDataGenerator(self.graph_schema, self.sdt, seed=seed)
+        self.load_database(generator.induced_instance(rows_per_table))
+
+    # -- transpilation (cached) --------------------------------------------
+
+    def prepare(
+        self, cypher_text: str, dialect: str | SqlDialect | None = None
+    ) -> PreparedQuery:
+        """Parse, transpile, and render *cypher_text* (LRU-cached)."""
+        if dialect is None:
+            dialect = self._dialect_of(self.default_backend)
+        dialect = dialect_for(dialect)
+        key = (self.fingerprint, cypher_text, dialect.name)
+        cached = self._cache.get(key)
+        if cached is not None:
+            assert isinstance(cached, PreparedQuery)
+            return cached
+        query = parse_cypher(cypher_text, self.graph_schema)
+        translated = optimize(transpile(query, self.graph_schema, self.sdt))
+        rendered = to_sql_text(
+            translated, self.sdt.schema, optimized=False, dialect=dialect
+        )
+        prepared = PreparedQuery(
+            cypher_text, translated, rendered, dialect.name, self.fingerprint
+        )
+        self._cache.put(key, prepared)
+        return prepared
+
+    def transpile_to_sql(
+        self, cypher_text: str, dialect: str | SqlDialect | None = None
+    ) -> str:
+        """The rendered SQL text for *cypher_text* (LRU-cached)."""
+        return self.prepare(cypher_text, dialect).sql_text
+
+    def cache_info(self) -> CacheInfo:
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, cypher_text: str, backend: str | None = None) -> Table:
+        """Execute *cypher_text* on *backend* over the loaded data."""
+        engine = self._backend(backend or self.default_backend)
+        prepared = self.prepare(cypher_text, engine.dialect)
+        return engine.execute(prepared.sql_text)
+
+    def reference(self, cypher_text: str) -> Table:
+        """The reference bag-semantics evaluation of the transpiled query."""
+        prepared = self.prepare(cypher_text)
+        return evaluate_sql(prepared.sql_ast, self._database)
+
+    def explain(self, cypher_text: str, backend: str | None = None) -> str:
+        engine = self._backend(backend or self.default_backend)
+        prepared = self.prepare(cypher_text, engine.dialect)
+        return engine.explain(prepared.sql_text)
+
+    def time(
+        self, cypher_text: str, backend: str | None = None, repeats: int = 3
+    ) -> float:
+        """Median execution seconds of *cypher_text* on *backend*."""
+        engine = self._backend(backend or self.default_backend)
+        prepared = self.prepare(cypher_text, engine.dialect)
+        return engine.time(prepared.sql_text, repeats=repeats)
+
+    def backends(self) -> tuple[str, ...]:
+        """Backends this service could run on here (registry availability)."""
+        return available_backends()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._reset_backends()
+
+    def __enter__(self) -> "GraphitiService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _backend(self, name: str) -> ExecutionBackend:
+        engine = self._backends.get(name)
+        if engine is None:
+            engine = load_backend(
+                name,
+                self._database,
+                batch_size=self.batch_size,
+                indexes=self.indexes,
+            )
+            self._backends[name] = engine
+        return engine
+
+    def _dialect_of(self, backend_name: str) -> SqlDialect:
+        from repro.backends.registry import backend_info
+
+        return backend_info(backend_name).backend_class.dialect
+
+    def _reset_backends(self) -> None:
+        for engine in self._backends.values():
+            engine.close()
+        self._backends.clear()
+
+    def _loaded_backends(self) -> Iterator[str]:
+        return iter(self._backends)

@@ -1,0 +1,67 @@
+"""SQLite execution backends: in-memory and file-backed.
+
+SQLite ships with CPython, so these two backends are always available and
+serve as the reference engines for cross-backend equivalence tests.  The
+file-backed variant exists because its performance profile differs (page
+cache, fsync on commit) — useful as a second data point in
+``bench-backends`` — and because it demonstrates backends that own on-disk
+state they must clean up on ``close``.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import tempfile
+
+from repro.relational.schema import RelationalSchema
+from repro.sql.dialect import SQLITE
+
+from repro.backends.base import DbApiBackend
+from repro.backends.registry import register_backend
+
+
+class _SqliteBackend(DbApiBackend):
+    """Shared SQLite behaviour; subclasses pick the database location."""
+
+    dialect = SQLITE
+
+    def _database_path(self) -> str:
+        return ":memory:"
+
+    def _open_connection(self) -> sqlite3.Connection:
+        return sqlite3.connect(self._database_path())
+
+
+@register_backend
+class SqliteMemoryBackend(_SqliteBackend):
+    """An in-memory SQLite instance — the default, fastest-startup engine."""
+
+    name = "sqlite-memory"
+
+
+@register_backend
+class SqliteFileBackend(_SqliteBackend):
+    """A file-backed SQLite instance.
+
+    Uses *path* when given; otherwise a temporary file that is deleted on
+    ``close``.
+    """
+
+    name = "sqlite-file"
+
+    def __init__(self, schema: RelationalSchema, path: str | None = None) -> None:
+        super().__init__(schema)
+        self._owns_file = path is None
+        if path is None:
+            descriptor, path = tempfile.mkstemp(prefix="graphiti-", suffix=".sqlite")
+            os.close(descriptor)
+        self.path = path
+
+    def _database_path(self) -> str:
+        return self.path
+
+    def close(self) -> None:
+        super().close()
+        if self._owns_file and os.path.exists(self.path):
+            os.unlink(self.path)

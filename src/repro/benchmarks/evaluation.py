@@ -32,7 +32,7 @@ from repro.core.transpile import transpile
 from repro.cypher.analysis import ast_size as cypher_size
 from repro.cypher.semantics import evaluate_query as evaluate_cypher
 from repro.execution.datagen import MockDataGenerator
-from repro.execution.sqlite_backend import SqliteDatabase, time_query
+from repro.backends.registry import load_backend
 from repro.relational.instance import tables_equivalent
 from repro.sql.analysis import ast_size as sql_size
 from repro.sql.pretty import to_sql_text
@@ -388,12 +388,13 @@ def _execute_pair(
         rows_per_table, residual, benchmark.relational_schema
     )
     transpiled_text = to_sql_text(transpiled, sdt.schema)
-    with SqliteDatabase.from_database(induced) as induced_backend:
-        induced_backend.create_indexes()
-        transpiled_seconds = time_query(induced_backend, transpiled_text, repeats)
-    with SqliteDatabase.from_database(target) as target_backend:
-        target_backend.create_indexes()
-        manual_seconds = time_query(target_backend, benchmark.sql_text, repeats)
+    # load_backend batches the inserts and indexes declared PK/FK columns,
+    # so both sides run over comparably indexed stores and every connection
+    # is released between benchmark iterations.
+    with load_backend("sqlite-memory", induced) as induced_backend:
+        transpiled_seconds = induced_backend.time(transpiled_text, repeats)
+    with load_backend("sqlite-memory", target) as target_backend:
+        manual_seconds = target_backend.time(benchmark.sql_text, repeats)
     return transpiled_seconds, manual_seconds
 
 

@@ -19,6 +19,23 @@ Subcommands
         python -m repro check --graph-schema g.txt --relational-schema r.txt \\
             --transformer t.txt --cypher "..." --sql "..." --backend deductive
 
+``run``
+    Execute a Cypher query end-to-end on a registered execution backend
+    (schema → SDT → cached transpile → bulk-load → execute)::
+
+        python -m repro run --example emp-dept --rows 1000 \\
+            --backend sqlite-memory \\
+            --cypher "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name"
+
+``bench-backends``
+    Compare execution time of a standard workload across every available
+    backend (results cross-checked against the reference evaluator)::
+
+        python -m repro bench-backends --rows 5000 --repeats 5
+
+``backends``
+    List registered execution backends and their availability.
+
 ``tables``
     Regenerate one of the paper's evaluation tables::
 
@@ -32,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 from repro.checkers.base import Verdict
@@ -66,6 +84,9 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "transpile": _command_transpile,
         "check": _command_check,
+        "run": _command_run,
+        "bench-backends": _command_bench_backends,
+        "backends": _command_backends,
         "tables": _command_tables,
         "suite": _command_suite,
     }[arguments.command]
@@ -89,6 +110,9 @@ def _build_parser() -> argparse.ArgumentParser:
     transpile_parser.add_argument(
         "--example", choices=sorted(_EXAMPLE_SCHEMAS), help="built-in schema"
     )
+    transpile_parser.add_argument(
+        "--dialect", default="sqlite", help="SQL dialect to render (default sqlite)"
+    )
 
     check_parser = subparsers.add_parser(
         "check", help="run the full equivalence-checking pipeline"
@@ -105,6 +129,51 @@ def _build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--max-bound", type=int, default=4)
     check_parser.add_argument("--samples", type=int, default=250)
     check_parser.add_argument("--budget", type=float, default=10.0)
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a Cypher query on an execution backend"
+    )
+    run_parser.add_argument("--cypher", required=True, help="Cypher query text")
+    run_parser.add_argument(
+        "--graph-schema", type=Path, help="graph schema declaration file"
+    )
+    run_parser.add_argument(
+        "--example", choices=sorted(_EXAMPLE_SCHEMAS), help="built-in schema"
+    )
+    run_parser.add_argument(
+        "--backend", default="sqlite-memory", help="registered backend name"
+    )
+    run_parser.add_argument(
+        "--rows", type=int, default=100, help="mock rows per table (default 100)"
+    )
+    run_parser.add_argument("--seed", type=int, default=42, help="mock-data seed")
+    run_parser.add_argument(
+        "--show-sql", action="store_true", help="print the rendered SQL first"
+    )
+    run_parser.add_argument(
+        "--explain", action="store_true", help="print the engine's query plan"
+    )
+    run_parser.add_argument(
+        "--limit", type=int, default=20, help="result rows to display (default 20)"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench-backends", help="compare the standard workload across backends"
+    )
+    bench_parser.add_argument(
+        "--rows", type=int, default=2000, help="mock rows per table (default 2000)"
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (median reported)"
+    )
+    bench_parser.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        help="backend to include (repeatable; default: every available one)",
+    )
+
+    subparsers.add_parser("backends", help="list registered execution backends")
 
     tables_parser = subparsers.add_parser(
         "tables", help="regenerate a paper evaluation table"
@@ -126,6 +195,13 @@ def _load_graph_schema(arguments) -> GraphSchema:
 
 
 def _command_transpile(arguments) -> int:
+    from repro.common.errors import GraphitiError
+    from repro.sql.dialect import dialect_for
+
+    try:
+        dialect = dialect_for(arguments.dialect)
+    except GraphitiError as error:
+        raise SystemExit(str(error))
     schema = _load_graph_schema(arguments)
     query = parse_cypher(arguments.cypher, schema)
     sdt = infer_sdt(schema)
@@ -133,7 +209,71 @@ def _command_transpile(arguments) -> int:
     print("-- induced relational schema")
     for relation in sdt.schema.relations:
         print(f"--   {relation}")
-    print(to_sql_text(translated, sdt.schema))
+    print(to_sql_text(translated, sdt.schema, dialect=dialect))
+    return 0
+
+
+def _command_run(arguments) -> int:
+    from repro.backends import BackendUnavailable, GraphitiService
+    from repro.common.errors import GraphitiError
+
+    schema = _load_graph_schema(arguments)
+    with GraphitiService(schema, default_backend=arguments.backend) as service:
+        service.load_mock(arguments.rows, seed=arguments.seed)
+        try:
+            if arguments.show_sql:
+                print("-- rendered SQL")
+                print(service.transpile_to_sql(arguments.cypher))
+                print()
+            if arguments.explain:
+                print("-- query plan")
+                print(service.explain(arguments.cypher))
+                print()
+            start = time.perf_counter()
+            result = service.run(arguments.cypher)
+            seconds = time.perf_counter() - start
+        except (BackendUnavailable, GraphitiError) as error:
+            raise SystemExit(str(error))
+        shown = result.rows[: arguments.limit]
+        print(" | ".join(result.attributes))
+        for row in shown:
+            print(" | ".join(repr(v) for v in row))
+        if len(result.rows) > len(shown):
+            print(f"... ({len(result.rows)} rows total)")
+        print(
+            f"-- {len(result.rows)} rows on {arguments.backend} "
+            f"({seconds * 1000:.2f} ms)"
+        )
+    return 0
+
+
+def _command_bench_backends(arguments) -> int:
+    from repro.backends import BackendUnavailable, available_backends, compare_backends
+
+    backends = tuple(arguments.backends) if arguments.backends else None
+    print(f"available backends: {', '.join(available_backends())}")
+    try:
+        rows = compare_backends(
+            rows_per_table=arguments.rows,
+            repeats=arguments.repeats,
+            backends=backends,
+        )
+    except BackendUnavailable as error:
+        raise SystemExit(str(error))
+    print(f"== backend comparison ({arguments.rows} rows/table) ==")
+    for row in rows:
+        print(row.format())
+    return 0 if all(row.matches_reference for row in rows) else 1
+
+
+def _command_backends(arguments) -> int:
+    from repro.backends import backend_info, registered_backends
+
+    for name in registered_backends():
+        info = backend_info(name)
+        status = "available" if info.available else "unavailable"
+        detail = f"  — {info.description}" if info.description else ""
+        print(f"{name:15} [{status}]  dialect={info.backend_class.dialect.name}{detail}")
     return 0
 
 

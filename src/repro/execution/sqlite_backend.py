@@ -1,118 +1,64 @@
-"""SQLite execution backend.
+"""SQLite execution (legacy module).
 
-Loads a :class:`~repro.relational.instance.Database` (or bulk generated
-rows) into an in-memory SQLite database, renders Featherweight SQL algebra
-to text (:mod:`repro.sql.pretty`), executes it, and converts results back
-into :class:`~repro.relational.instance.Table` values so they can be
-compared with the reference evaluator's output (a cross-validation the test
-suite performs).
+The original hard-coded in-memory SQLite runner, now a thin compatibility
+layer over the pluggable backend subsystem (:mod:`repro.backends`):
+:class:`SqliteDatabase` is the ``sqlite-memory`` backend with an eagerly
+opened connection, and the module-level helpers keep their historical
+signatures.  New code should go through the registry
+(:func:`repro.backends.load_backend`) or the
+:class:`~repro.backends.service.GraphitiService` facade instead.
 """
 
 from __future__ import annotations
 
-import sqlite3
-import time
-from typing import Iterable, Sequence
-
+from repro.backends.base import dedup_attributes
+from repro.backends.sqlite import SqliteMemoryBackend
 from repro.common.values import NULL, Value
 from repro.relational.instance import Database, Table
 from repro.relational.schema import RelationalSchema
 from repro.sql import ast
-from repro.sql.pretty import create_table_ddl, to_sql_text
+from repro.sql.pretty import to_sql_text
 
 
-class SqliteDatabase:
-    """An in-memory SQLite instance over a relational schema."""
+class SqliteDatabase(SqliteMemoryBackend):
+    """An in-memory SQLite instance over a relational schema.
+
+    Unlike registry-created backends (which connect lazily), the legacy
+    constructor opens the connection and creates the schema immediately.
+    """
 
     def __init__(self, schema: RelationalSchema) -> None:
-        self.schema = schema
-        self.connection = sqlite3.connect(":memory:")
-        for statement in create_table_ddl(schema):
-            self.connection.execute(statement)
+        super().__init__(schema)
+        self.connect()
+        self._ensure_schema()
 
     @classmethod
     def from_database(cls, database: Database) -> "SqliteDatabase":
         backend = cls(database.schema)
-        for name, table in database.tables.items():
-            backend.insert_rows(name, table.rows)
+        backend.bulk_load(database)
         return backend
-
-    def insert_rows(self, relation: str, rows: Iterable[Sequence[Value]]) -> None:
-        relation_def = self.schema.relation(relation)
-        placeholders = ", ".join("?" for _ in relation_def.attributes)
-        statement = f'INSERT INTO "{relation}" VALUES ({placeholders})'
-        self.connection.executemany(
-            statement, ([_to_sqlite(v) for v in row] for row in rows)
-        )
-        self.connection.commit()
-
-    def create_indexes(self) -> None:
-        """Index primary keys and foreign keys (fair Table-4 comparison)."""
-        counter = 0
-        for pk in self.schema.constraints.primary_keys:
-            counter += 1
-            self.connection.execute(
-                f'CREATE INDEX IF NOT EXISTS "idx{counter}" '
-                f'ON "{pk.relation}" ("{pk.attribute}")'
-            )
-        for fk in self.schema.constraints.foreign_keys:
-            counter += 1
-            self.connection.execute(
-                f'CREATE INDEX IF NOT EXISTS "idx{counter}" '
-                f'ON "{fk.relation}" ("{fk.attribute}")'
-            )
-        self.connection.commit()
-
-    def execute(self, sql_text: str) -> Table:
-        cursor = self.connection.execute(sql_text)
-        attributes = tuple(
-            description[0] for description in cursor.description or ()
-        )
-        rows = [tuple(_from_sqlite(v) for v in row) for row in cursor.fetchall()]
-        return Table(_dedup_attributes(attributes), rows)
-
-    def close(self) -> None:
-        self.connection.close()
-
-    def __enter__(self) -> "SqliteDatabase":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
 
 def run_query(query: ast.Query, database: Database) -> Table:
     """Render *query* to SQLite SQL and execute it over *database*."""
-    backend = SqliteDatabase.from_database(database)
-    try:
+    with SqliteDatabase.from_database(database) as backend:
         text = to_sql_text(query, database.schema)
         return backend.execute(text)
-    finally:
-        backend.close()
 
 
 def run_sql_text(sql_text: str, database: Database) -> Table:
     """Execute raw SQL text over *database* (for manually-written queries)."""
-    backend = SqliteDatabase.from_database(database)
-    try:
+    with SqliteDatabase.from_database(database) as backend:
         return backend.execute(sql_text)
-    finally:
-        backend.close()
 
 
 def time_query(backend: SqliteDatabase, sql_text: str, repeats: int = 3) -> float:
     """Median wall-clock execution time of *sql_text* in seconds."""
-    samples = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        cursor = backend.connection.execute(sql_text)
-        cursor.fetchall()
-        samples.append(time.perf_counter() - start)
-    samples.sort()
-    return samples[len(samples) // 2]
+    return backend.time(sql_text, repeats=repeats)
 
 
 def _to_sqlite(value: Value):
+    """Legacy helper: convert a repro value for a bound SQLite parameter."""
     if isinstance(value, bool):
         return int(value)
     if value is NULL or isinstance(value, type(NULL)):
@@ -121,20 +67,10 @@ def _to_sqlite(value: Value):
 
 
 def _from_sqlite(value) -> Value:
+    """Legacy helper: convert an SQLite result cell into a repro value."""
     if value is None:
         return NULL
     return value
 
 
-def _dedup_attributes(attributes: tuple[str, ...]) -> tuple[str, ...]:
-    """SQLite may report duplicate column names for SELECT *; uniquify."""
-    seen: dict[str, int] = {}
-    out = []
-    for attribute in attributes:
-        if attribute in seen:
-            seen[attribute] += 1
-            out.append(f"{attribute}:{seen[attribute]}")
-        else:
-            seen[attribute] = 0
-            out.append(attribute)
-    return tuple(out)
+_dedup_attributes = dedup_attributes

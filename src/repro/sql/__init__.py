@@ -4,7 +4,8 @@ from repro.sql import ast
 from repro.sql.parser import parse_sql
 from repro.sql.semantics import evaluate_query
 from repro.sql.analysis import ast_size, referenced_relations, uses_aggregation, uses_outer_join
-from repro.sql.pretty import to_cte_sql, to_sql_text
+from repro.sql.dialect import SqlDialect, dialect_for, register_dialect, registered_dialects
+from repro.sql.pretty import create_table_ddl, to_cte_sql, to_sql_text
 from repro.sql.optimize import optimize
 
 __all__ = [
@@ -15,6 +16,11 @@ __all__ = [
     "referenced_relations",
     "uses_aggregation",
     "uses_outer_join",
+    "SqlDialect",
+    "dialect_for",
+    "register_dialect",
+    "registered_dialects",
+    "create_table_ddl",
     "to_cte_sql",
     "to_sql_text",
     "optimize",

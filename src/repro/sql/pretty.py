@@ -1,8 +1,11 @@
-"""Rendering Featherweight SQL algebra to executable SQL text (SQLite).
+"""Rendering Featherweight SQL algebra to executable SQL text.
 
 The transpiler produces nested relational algebra; this module lowers it to
-a SQL string SQLite accepts, used by the execution benchmark (paper
-Section 6.3 / Table 4) and by the examples for display.
+a SQL string a relational engine accepts, used by the execution benchmarks
+(paper Section 6.3 / Table 4), the :mod:`repro.backends` subsystem, and the
+examples for display.  Engine-specific spelling (identifier quoting,
+boolean/NULL literals, DDL types) is factored into
+:class:`repro.sql.dialect.SqlDialect`; the default dialect is SQLite.
 
 Column naming mirrors the reference evaluator exactly: qualified attribute
 names like ``T1.c1_CID`` become *quoted identifiers* (``"T1.c1_CID"``), so
@@ -18,27 +21,36 @@ from repro.common.errors import SemanticsError
 from repro.common.values import is_null
 from repro.relational.schema import RelationalSchema
 from repro.sql import ast
+from repro.sql.dialect import SQLITE, SqlDialect, dialect_for
 
 
 def to_sql_text(
-    query: ast.Query, schema: RelationalSchema, optimized: bool = True
+    query: ast.Query,
+    schema: RelationalSchema,
+    optimized: bool = True,
+    dialect: str | SqlDialect = SQLITE,
 ) -> str:
-    """Render *query* over *schema* as a single SQLite SELECT statement.
+    """Render *query* over *schema* as a single SELECT statement.
 
     With ``optimized`` (the default) the algebra is first simplified by
     :mod:`repro.sql.optimize`, collapsing the transpiler's one-node-per-rule
-    nesting into compact SQL.
+    nesting into compact SQL.  *dialect* selects the engine spelling
+    (name or :class:`SqlDialect`; defaults to SQLite).
     """
     if optimized:
         from repro.sql.optimize import optimize
 
         query = optimize(query)
-    renderer = _Renderer(schema)
+    renderer = _Renderer(schema, dialect_for(dialect))
     rendered = renderer.render(query, {})
     return rendered.text
 
 
-def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
+def to_cte_sql(
+    query: ast.Query,
+    schema: RelationalSchema,
+    dialect: str | SqlDialect = SQLITE,
+) -> str:
     """Render with the paper's Figure-7 presentation: one CTE per renamed
     intermediate result (``WITH T1 AS (...), T2 AS (...) SELECT ...``).
 
@@ -50,6 +62,7 @@ def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
     from repro.relational.schema import Relation
     from repro.sql.optimize import optimize
 
+    dialect = dialect_for(dialect)
     query = optimize(query)
     cte_definitions: list[tuple[str, str, tuple[str, ...]]] = []
     extended_relations = list(schema.relations)
@@ -69,7 +82,7 @@ def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
         cte_name = _fresh_cte_name(f"T{len(cte_definitions) + 1}", used_names)
         used_names.add(cte_name)
         current_schema = RelationalSchema.of(extended_relations, schema.constraints)
-        rendered = _Renderer(current_schema).render(node, {})
+        rendered = _Renderer(current_schema, dialect).render(node, {})
         columns = tuple(rendered.columns)
         extended_relations.append(Relation(cte_name, columns))
         cte_definitions.append((cte_name, rendered.text, columns))
@@ -88,7 +101,7 @@ def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
             cte_name = _fresh_cte_name(node.name, used_names)
             used_names.add(cte_name)
             current_schema = RelationalSchema.of(extended_relations, schema.constraints)
-            rendered = _Renderer(current_schema).render(node.query, {})
+            rendered = _Renderer(current_schema, dialect).render(node.query, {})
             columns = tuple(rendered.columns)
             extended_relations.append(Relation(cte_name, columns))
             cte_definitions.append((cte_name, rendered.text, columns))
@@ -97,11 +110,11 @@ def to_cte_sql(query: ast.Query, schema: RelationalSchema) -> str:
 
     hoisted = hoist(query)
     final_schema = RelationalSchema.of(extended_relations, schema.constraints)
-    body = _Renderer(final_schema).render(hoisted, {}).text
+    body = _Renderer(final_schema, dialect).render(hoisted, {}).text
     if not cte_definitions:
         return body
     clauses = ",\n".join(
-        f"{_quote(name)} AS ({text})" for name, text, _ in cte_definitions
+        f"{dialect.quote(name)} AS ({text})" for name, text, _ in cte_definitions
     )
     return f"WITH {clauses}\n{body}"
 
@@ -135,12 +148,27 @@ def _hoist_children(node: ast.Query, hoist) -> ast.Query:
     return node
 
 
-def create_table_ddl(schema: RelationalSchema) -> list[str]:
-    """``CREATE TABLE`` statements for every relation of *schema*."""
+def create_table_ddl(
+    schema: RelationalSchema,
+    dialect: str | SqlDialect = SQLITE,
+    column_types: dict[str, dict[str, str]] | None = None,
+) -> list[str]:
+    """``CREATE TABLE`` statements for every relation of *schema*.
+
+    *column_types* optionally maps relation name → attribute → DDL type
+    (typed dialects fall back to their default type when no hint exists;
+    untyped dialects such as SQLite omit types entirely unless hinted).
+    """
+    dialect = dialect_for(dialect)
     statements = []
     for relation in schema.relations:
-        columns = ", ".join(_quote(a) for a in relation.attributes)
-        statements.append(f'CREATE TABLE {_quote(relation.name)} ({columns})')
+        hints = (column_types or {}).get(relation.name, {})
+        columns = ", ".join(
+            dialect.ddl_column(a, hints.get(a)) for a in relation.attributes
+        )
+        statements.append(
+            f"CREATE TABLE {dialect.quote(relation.name)} ({columns})"
+        )
     return statements
 
 
@@ -177,11 +205,14 @@ class _FromScope:
 class _Source:
     """A flattened FROM clause with its column scope."""
 
-    __slots__ = ("from_sql", "scope")
+    __slots__ = ("from_sql", "scope", "dialect")
 
-    def __init__(self, from_sql: str, scope: _FromScope) -> None:
+    def __init__(
+        self, from_sql: str, scope: _FromScope, dialect: SqlDialect = SQLITE
+    ) -> None:
         self.from_sql = from_sql
         self.scope = scope
+        self.dialect = dialect
 
     @property
     def columns(self) -> list[str]:
@@ -189,14 +220,16 @@ class _Source:
 
     def select_all(self) -> str:
         return ", ".join(
-            f"{fragment} AS {_quote(column)}"
+            f"{fragment} AS {self.dialect.quote(column)}"
             for column, fragment in self.scope.fragments.items()
         )
 
 
 class _Renderer:
-    def __init__(self, schema: RelationalSchema) -> None:
+    def __init__(self, schema: RelationalSchema, dialect: SqlDialect = SQLITE) -> None:
         self.schema = schema
+        self.dialect = dialect
+        self._q = dialect.quote
         self._alias = count(1)
         #: Enclosing row scopes for correlated subqueries (innermost last).
         self._outer: list["_Scope"] = []
@@ -223,20 +256,20 @@ class _Renderer:
         if isinstance(query, ast.Relation) and query.name not in ctes:
             relation = self.schema.relation(query.name)
             fragments = {
-                attribute: f"{_quote(query.name)}.{_quote(attribute)}"
+                attribute: f"{self._q(query.name)}.{self._q(attribute)}"
                 for attribute in relation.attributes
             }
-            return _Source(_quote(query.name), _FromScope(fragments))
+            return _Source(self._q(query.name), _FromScope(fragments), self.dialect)
         if isinstance(query, ast.Renaming) and isinstance(query.query, ast.Relation):
             if query.query.name in ctes:
                 return None
             relation = self.schema.relation(query.query.name)
             fragments = {
-                f"{query.name}.{attribute}": f"{_quote(query.name)}.{_quote(attribute)}"
+                f"{query.name}.{attribute}": f"{self._q(query.name)}.{self._q(attribute)}"
                 for attribute in relation.attributes
             }
-            from_sql = f"{_quote(query.query.name)} AS {_quote(query.name)}"
-            return _Source(from_sql, _FromScope(fragments))
+            from_sql = f"{self._q(query.query.name)} AS {self._q(query.name)}"
+            return _Source(from_sql, _FromScope(fragments), self.dialect)
         if isinstance(query, ast.Join) and query.kind in (
             ast.JoinKind.CROSS,
             ast.JoinKind.INNER,
@@ -260,7 +293,7 @@ class _Renderer:
                 keyword = "JOIN" if query.kind is ast.JoinKind.INNER else "LEFT JOIN"
                 predicate = self._predicate(query.predicate, scope, ctes)
                 from_sql = f"{left.from_sql} {keyword} {right.from_sql} ON {predicate}"
-            return _Source(from_sql, scope)
+            return _Source(from_sql, scope, self.dialect)
         return None
 
     def _source_of(self, query: ast.Query, ctes: dict[str, _Rendered]) -> "_Source":
@@ -271,9 +304,11 @@ class _Renderer:
         rendered = self.render(query, ctes)
         alias = self._fresh()
         fragments = {
-            column: f"{alias}.{_quote(column)}" for column in rendered.columns
+            column: f"{alias}.{self._q(column)}" for column in rendered.columns
         }
-        return _Source(f"({rendered.text}) AS {alias}", _FromScope(fragments))
+        return _Source(
+            f"({rendered.text}) AS {alias}", _FromScope(fragments), self.dialect
+        )
 
     def _split_selection(
         self, query: ast.Query, ctes: dict[str, _Rendered]
@@ -317,13 +352,13 @@ class _Renderer:
             return cte
         relation = self.schema.relation(query.name)
         columns = list(relation.attributes)
-        select = ", ".join(f"{_quote(a)}" for a in columns)
-        return _Rendered(f"SELECT {select} FROM {_quote(query.name)}", columns)
+        select = ", ".join(f"{self._q(a)}" for a in columns)
+        return _Rendered(f"SELECT {select} FROM {self._q(query.name)}", columns)
 
     def _render_projection(self, query: ast.Projection, ctes: dict[str, _Rendered]) -> _Rendered:
         source, where = self._split_selection(query.query, ctes)
         parts = [
-            f"{self._expression(c.expression, source.scope)} AS {_quote(c.alias)}"
+            f"{self._expression(c.expression, source.scope)} AS {self._q(c.alias)}"
             for c in query.columns
         ]
         keyword = "SELECT DISTINCT" if query.distinct else "SELECT"
@@ -346,19 +381,19 @@ class _Renderer:
             relation = self.schema.relation(query.query.name)
             new_columns = [f"{query.name}.{a}" for a in relation.attributes]
             parts = [
-                f"{_quote(query.name)}.{_quote(old)} AS {_quote(new)}"
+                f"{self._q(query.name)}.{self._q(old)} AS {self._q(new)}"
                 for old, new in zip(relation.attributes, new_columns)
             ]
             text = (
-                f"SELECT {', '.join(parts)} FROM {_quote(query.query.name)} "
-                f"AS {_quote(query.name)}"
+                f"SELECT {', '.join(parts)} FROM {self._q(query.query.name)} "
+                f"AS {self._q(query.name)}"
             )
             return _Rendered(text, new_columns)
         inner = self.render(query.query, ctes)
         alias = self._fresh()
         new_columns = [f"{query.name}.{c.replace('.', '_')}" for c in inner.columns]
         parts = [
-            f"{alias}.{_quote(old)} AS {_quote(new)}"
+            f"{alias}.{self._q(old)} AS {self._q(new)}"
             for old, new in zip(inner.columns, new_columns)
         ]
         text = f"SELECT {', '.join(parts)} FROM ({inner.text}) AS {alias}"
@@ -376,12 +411,14 @@ class _Renderer:
         left_alias = self._fresh()
         right_alias = self._fresh()
         columns = left.columns + right.columns
-        scope = _JoinScope(left_alias, left.columns, right_alias, right.columns)
+        scope = _JoinScope(
+            left_alias, left.columns, right_alias, right.columns, self.dialect
+        )
         select = ", ".join(
-            f"{left_alias}.{_quote(c)} AS {_quote(c)}" for c in left.columns
+            f"{left_alias}.{self._q(c)} AS {self._q(c)}" for c in left.columns
         )
         select += ", " + ", ".join(
-            f"{right_alias}.{_quote(c)} AS {_quote(c)}" for c in right.columns
+            f"{right_alias}.{self._q(c)} AS {self._q(c)}" for c in right.columns
         )
         if query.kind is ast.JoinKind.CROSS:
             join_sql = (
@@ -408,17 +445,17 @@ class _Renderer:
         left_alias = self._fresh()
         right_alias = self._fresh()
         left_sql = "SELECT " + ", ".join(
-            f"{left_alias}.{_quote(c)}" for c in left.columns
+            f"{left_alias}.{self._q(c)}" for c in left.columns
         ) + f" FROM ({left.text}) AS {left_alias}"
         right_sql = "SELECT " + ", ".join(
-            f"{right_alias}.{_quote(c)}" for c in right.columns
+            f"{right_alias}.{self._q(c)}" for c in right.columns
         ) + f" FROM ({right.text}) AS {right_alias}"
         return _Rendered(f"{left_sql} {keyword} {right_sql}", left.columns)
 
     def _render_group_by(self, query: ast.GroupBy, ctes: dict[str, _Rendered]) -> _Rendered:
         source, where = self._split_selection(query.query, ctes)
         parts = [
-            f"{self._expression(c.expression, source.scope)} AS {_quote(c.alias)}"
+            f"{self._expression(c.expression, source.scope)} AS {self._q(c.alias)}"
             for c in query.columns
         ]
         text = f"SELECT {', '.join(parts)} FROM {source.from_sql}"
@@ -451,7 +488,7 @@ class _Renderer:
         if isinstance(expression, ast.AttributeRef):
             return self._resolve(expression.name, scope)
         if isinstance(expression, ast.Literal):
-            return _literal(expression.value)
+            return self.dialect.literal(expression.value)
         if isinstance(expression, ast.Aggregate):
             function = expression.function.upper()
             if expression.argument is None:
@@ -478,7 +515,7 @@ class _Renderer:
         self, predicate: ast.Predicate, scope: "_Scope", ctes: dict[str, _Rendered]
     ) -> str:
         if isinstance(predicate, ast.BoolLit):
-            return "1 = 1" if predicate.value else "1 = 0"
+            return self.dialect.boolean(predicate.value)
         if isinstance(predicate, ast.Comparison):
             left = self._expression(predicate.left, scope)
             right = self._expression(predicate.right, scope)
@@ -489,7 +526,7 @@ class _Renderer:
             return f"{operand} {suffix}"
         if isinstance(predicate, ast.InValues):
             operand = self._expression(predicate.operand, scope)
-            values = ", ".join(_literal(v) for v in predicate.values)
+            values = ", ".join(self.dialect.literal(v) for v in predicate.values)
             return f"{operand} IN ({values})"
         if isinstance(predicate, ast.InQuery):
             operands = ", ".join(self._expression(e, scope) for e in predicate.operands)
@@ -530,16 +567,19 @@ class _Renderer:
 class _Scope:
     """Resolves attribute references to quoted, alias-qualified columns."""
 
-    def __init__(self, alias: str, columns: list[str]) -> None:
+    def __init__(
+        self, alias: str, columns: list[str], dialect: SqlDialect = SQLITE
+    ) -> None:
         self.alias = alias
         self.columns = columns
+        self.dialect = dialect
 
     def resolve(self, name: str) -> str:
         if name in self.columns:
-            return f"{self.alias}.{_quote(name)}"
+            return f"{self.alias}.{self.dialect.quote(name)}"
         local_matches = [c for c in self.columns if c.rsplit(".", 1)[-1] == name]
         if len(local_matches) == 1:
-            return f"{self.alias}.{_quote(local_matches[0])}"
+            return f"{self.alias}.{self.dialect.quote(local_matches[0])}"
         if len(local_matches) > 1:
             raise SemanticsError(f"ambiguous attribute reference {name!r}")
         raise SemanticsError(f"unknown attribute reference {name!r}")
@@ -554,11 +594,13 @@ class _JoinScope(_Scope):
         left_columns: list[str],
         right_alias: str,
         right_columns: list[str],
+        dialect: SqlDialect = SQLITE,
     ) -> None:
-        self.left = _Scope(left_alias, left_columns)
-        self.right = _Scope(right_alias, right_columns)
+        self.left = _Scope(left_alias, left_columns, dialect)
+        self.right = _Scope(right_alias, right_columns, dialect)
         self.columns = left_columns + right_columns
         self.alias = left_alias
+        self.dialect = dialect
 
     def resolve(self, name: str) -> str:
         for side in (self.left, self.right):
@@ -571,16 +613,12 @@ class _JoinScope(_Scope):
 
 
 def _quote(identifier: str) -> str:
-    escaped = identifier.replace('"', '""')
-    return f'"{escaped}"'
+    """Legacy helper: quote in the default (SQLite) dialect."""
+    return SQLITE.quote(identifier)
 
 
 def _literal(value) -> str:
+    """Legacy helper: render a literal in the default (SQLite) dialect."""
     if is_null(value):
-        return "NULL"
-    if isinstance(value, bool):
-        return "1" if value else "0"
-    if isinstance(value, str):
-        escaped = value.replace("'", "''")
-        return f"'{escaped}'"
-    return repr(value)
+        return SQLITE.null_literal
+    return SQLITE.literal(value)

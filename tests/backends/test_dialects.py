@@ -1,0 +1,157 @@
+"""Dialect golden tests: one SQL AST, one rendering per dialect.
+
+The algebra is dialect-independent; what changes per engine is identifier
+quoting, boolean literal/predicate spelling, and DDL typing.  These goldens
+pin each knob so a renderer change that silently leaks one dialect's
+spelling into another fails loudly.
+"""
+
+import pytest
+
+from repro.common.errors import SemanticsError
+from repro.relational.schema import (
+    ForeignKey,
+    IntegrityConstraints,
+    PrimaryKey,
+    Relation,
+    RelationalSchema,
+)
+from repro.sql import ast as sq
+from repro.sql.dialect import (
+    ANSI,
+    DUCKDB,
+    MYSQL,
+    SQLITE,
+    SqlDialect,
+    dialect_for,
+    register_dialect,
+    registered_dialects,
+)
+from repro.sql.pretty import create_table_ddl, to_sql_text
+
+
+@pytest.fixture
+def schema() -> RelationalSchema:
+    return RelationalSchema.of(
+        [
+            Relation("emp", ("id", "name", "flag", "dept")),
+            Relation("dept", ("dno", "dname")),
+        ],
+        IntegrityConstraints(
+            (PrimaryKey("emp", "id"),),
+            (ForeignKey("emp", "dept", "dept", "dno"),),
+        ),
+    )
+
+
+@pytest.fixture
+def boolean_filter_query() -> sq.Query:
+    """π_who(σ_{e.flag = true}(ρ_e(emp))) — exercises quoting + booleans."""
+    return sq.Projection(
+        sq.Selection(
+            sq.Renaming("e", sq.Relation("emp")),
+            sq.Comparison("=", sq.AttributeRef("e.flag"), sq.Literal(True)),
+        ),
+        (sq.OutputColumn("who", sq.AttributeRef("e.name")),),
+    )
+
+
+GOLDEN_SELECT = {
+    "sqlite": 'SELECT "e"."name" AS "who" FROM "emp" AS "e" WHERE "e"."flag" = 1',
+    "duckdb": 'SELECT "e"."name" AS "who" FROM "emp" AS "e" WHERE "e"."flag" = TRUE',
+    "ansi": 'SELECT "e"."name" AS "who" FROM "emp" AS "e" WHERE "e"."flag" = TRUE',
+    "mysql": "SELECT `e`.`name` AS `who` FROM `emp` AS `e` WHERE `e`.`flag` = TRUE",
+}
+
+
+class TestSelectGoldens:
+    @pytest.mark.parametrize("dialect", sorted(GOLDEN_SELECT))
+    def test_same_ast_renders_per_dialect(self, dialect, schema, boolean_filter_query):
+        assert to_sql_text(
+            boolean_filter_query, schema, dialect=dialect
+        ) == GOLDEN_SELECT[dialect]
+
+    def test_boolean_predicate_spelling(self, schema):
+        query = sq.Selection(sq.Relation("dept"), sq.BoolLit(False))
+        sqlite_text = to_sql_text(query, schema, optimized=False, dialect="sqlite")
+        ansi_text = to_sql_text(query, schema, optimized=False, dialect="ansi")
+        assert sqlite_text.endswith("WHERE 1 = 0")
+        assert ansi_text.endswith("WHERE FALSE")
+
+    def test_in_values_literals_follow_dialect(self, schema):
+        query = sq.Selection(
+            sq.Relation("emp"),
+            sq.InValues(sq.AttributeRef("flag"), (True, False)),
+        )
+        assert "IN (1, 0)" in to_sql_text(query, schema, dialect="sqlite")
+        assert "IN (TRUE, FALSE)" in to_sql_text(query, schema, dialect="duckdb")
+
+
+class TestDdlGoldens:
+    def test_sqlite_ddl_is_untyped(self, schema):
+        assert create_table_ddl(schema, "sqlite") == [
+            'CREATE TABLE "emp" ("id", "name", "flag", "dept")',
+            'CREATE TABLE "dept" ("dno", "dname")',
+        ]
+
+    def test_typed_dialect_defaults_every_column(self, schema):
+        statements = create_table_ddl(schema, "duckdb")
+        assert statements[0] == (
+            'CREATE TABLE "emp" '
+            '("id" VARCHAR, "name" VARCHAR, "flag" VARCHAR, "dept" VARCHAR)'
+        )
+
+    def test_type_hints_override_defaults(self, schema):
+        statements = create_table_ddl(
+            schema, "duckdb", {"emp": {"id": "INTEGER", "name": "VARCHAR"}}
+        )
+        assert '"id" INTEGER' in statements[0]
+        assert '"flag" VARCHAR' in statements[0]
+
+    def test_untyped_dialect_accepts_hints(self, schema):
+        statements = create_table_ddl(schema, "sqlite", {"emp": {"id": "INTEGER"}})
+        assert '"id" INTEGER' in statements[0]
+        assert '"name"' in statements[0] and '"name" ' not in statements[0]
+
+    def test_mysql_quoting_in_ddl(self, schema):
+        statements = create_table_ddl(schema, "mysql")
+        assert statements[1].startswith("CREATE TABLE `dept`")
+
+
+class TestDialectRegistry:
+    def test_builtins_registered(self):
+        assert {"sqlite", "duckdb", "ansi", "mysql"} <= set(registered_dialects())
+
+    def test_dialect_for_resolves_names_and_instances(self):
+        assert dialect_for("sqlite") is SQLITE
+        assert dialect_for(DUCKDB) is DUCKDB
+        assert dialect_for(ANSI).true_literal == "TRUE"
+
+    def test_unknown_dialect_raises(self):
+        with pytest.raises(SemanticsError, match="unknown SQL dialect"):
+            dialect_for("oracle-23ai")
+
+    def test_register_custom_dialect(self):
+        custom = register_dialect(SqlDialect(name="test-brackets", quote_char="`"))
+        try:
+            assert dialect_for("test-brackets") is custom
+            assert custom.quote("a`b") == "`a``b`"
+        finally:
+            from repro.sql.dialect import _DIALECTS
+
+            _DIALECTS.pop("test-brackets", None)
+
+    def test_quote_escapes_embedded_quotes(self):
+        assert SQLITE.quote('a"b') == '"a""b"'
+        assert MYSQL.quote("x") == "`x`"
+
+    def test_literal_rejects_unrenderable_values(self):
+        with pytest.raises(SemanticsError):
+            SQLITE.literal(object())
+
+    def test_mysql_literal_escapes_backslashes(self):
+        # Under MySQL's default sql_mode a trailing backslash would escape
+        # the closing quote; the dialect must double it.
+        assert MYSQL.literal("dir\\") == "'dir\\\\'"
+        assert MYSQL.literal("it's") == "'it''s'"
+        assert SQLITE.literal("dir\\") == "'dir\\'"

@@ -1,0 +1,123 @@
+"""GraphitiService behaviour: caching, loading, multi-backend execution."""
+
+import pytest
+
+from repro.backends import GraphitiService, schema_fingerprint
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.relational.instance import Database, tables_equivalent
+
+JOIN_QUERY = "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname"
+SCAN_QUERY = "MATCH (n:EMP) RETURN n.name"
+
+
+@pytest.fixture
+def service(emp_dept_schema, emp_dept_graph):
+    with GraphitiService(emp_dept_schema) as svc:
+        svc.load_graph(emp_dept_graph)
+        yield svc
+
+
+class TestTranspilationCache:
+    def test_repeated_query_hits_cache(self, service):
+        assert service.cache_info().currsize == 0
+        first = service.transpile_to_sql(JOIN_QUERY)
+        info = service.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 1, 1)
+        second = service.transpile_to_sql(JOIN_QUERY)
+        info = service.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (1, 1, 1)
+        assert first == second
+
+    def test_distinct_queries_are_distinct_entries(self, service):
+        service.transpile_to_sql(JOIN_QUERY)
+        service.transpile_to_sql(SCAN_QUERY)
+        assert service.cache_info().currsize == 2
+
+    def test_dialects_cached_separately(self, service):
+        sqlite_sql = service.transpile_to_sql(SCAN_QUERY, dialect="sqlite")
+        mysql_sql = service.transpile_to_sql(SCAN_QUERY, dialect="mysql")
+        assert service.cache_info().currsize == 2
+        assert sqlite_sql != mysql_sql
+        assert "`" in mysql_sql
+
+    def test_cache_evicts_least_recently_used(self, emp_dept_schema):
+        with GraphitiService(emp_dept_schema, cache_size=2) as svc:
+            svc.transpile_to_sql(SCAN_QUERY)
+            svc.transpile_to_sql(JOIN_QUERY)
+            svc.transpile_to_sql("MATCH (m:DEPT) RETURN m.dname")
+            info = svc.cache_info()
+            assert info.currsize == 2
+            # The oldest entry (SCAN_QUERY) was evicted: re-preparing misses.
+            svc.transpile_to_sql(SCAN_QUERY)
+            assert svc.cache_info().misses == 4
+
+    def test_clear_cache(self, service):
+        service.transpile_to_sql(SCAN_QUERY)
+        service.clear_cache()
+        info = service.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_run_reuses_prepared_queries(self, service):
+        service.run(JOIN_QUERY)
+        misses = service.cache_info().misses
+        service.run(JOIN_QUERY)
+        assert service.cache_info().misses == misses
+        assert service.cache_info().hits >= 1
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self, emp_dept_schema):
+        again = GraphSchema.of(
+            [NodeType("EMP", ("id", "name")), NodeType("DEPT", ("dnum", "dname"))],
+            [EdgeType("WORK_AT", "EMP", "DEPT", ("wid",))],
+        )
+        assert schema_fingerprint(emp_dept_schema) == schema_fingerprint(again)
+
+    def test_differs_for_different_schemas(self, emp_dept_schema):
+        other = GraphSchema.of([NodeType("ONLY", ("oid",))])
+        assert schema_fingerprint(emp_dept_schema) != schema_fingerprint(other)
+
+    def test_fingerprint_keys_cache_entries(self, service):
+        prepared = service.prepare(SCAN_QUERY)
+        assert prepared.fingerprint == service.fingerprint
+
+
+class TestExecution:
+    def test_run_matches_reference(self, service):
+        assert tables_equivalent(service.run(JOIN_QUERY), service.reference(JOIN_QUERY))
+
+    def test_identical_results_on_two_backends(self, service):
+        names = service.backends()
+        assert len(names) >= 2, "expected at least two registered backends"
+        results = [service.run(JOIN_QUERY, backend=name) for name in names]
+        for left, right in zip(results, results[1:]):
+            assert tables_equivalent(left, right)
+
+    def test_explain_mentions_table(self, service):
+        assert "EMP" in service.explain(SCAN_QUERY) or "n" in service.explain(SCAN_QUERY)
+
+    def test_time_is_nonnegative(self, service):
+        assert service.time(SCAN_QUERY, repeats=2) >= 0.0
+
+
+class TestLoading:
+    def test_load_database_requires_induced_schema(self, service):
+        from repro.relational.schema import Relation, RelationalSchema
+
+        wrong = Database(RelationalSchema.of([Relation("other", ("x",))]))
+        with pytest.raises(ValueError, match="induced schema"):
+            service.load_database(wrong)
+
+    def test_load_mock_populates_all_tables(self, emp_dept_schema):
+        with GraphitiService(emp_dept_schema, batch_size=7) as svc:
+            svc.load_mock(20)
+            assert svc.database.total_rows() == 60  # 2 node + 1 edge tables
+            result = svc.run(SCAN_QUERY)
+            assert len(result) == 20
+
+    def test_reload_resets_backends(self, emp_dept_schema):
+        with GraphitiService(emp_dept_schema) as svc:
+            svc.load_mock(5)
+            assert len(svc.run(SCAN_QUERY)) == 5
+            svc.load_mock(9)
+            assert len(svc.run(SCAN_QUERY)) == 9
