@@ -46,6 +46,7 @@ from repro.backends.service import (
     CacheInfo,
     GraphitiService,
     PreparedQuery,
+    QueryStat,
     schema_fingerprint,
 )
 from repro.backends.comparison import (
@@ -72,6 +73,7 @@ __all__ = [
     "CacheInfo",
     "GraphitiService",
     "PreparedQuery",
+    "QueryStat",
     "schema_fingerprint",
     "DEFAULT_WORKLOAD",
     "BackendTiming",

@@ -27,6 +27,7 @@ from repro.relational.instance import Database, Table
 from repro.relational.schema import RelationalSchema
 from repro.sql.dialect import SQLITE, SqlDialect
 from repro.sql.pretty import create_table_ddl
+from repro.sql.stats import TableStats, collect_stats
 
 
 class BackendUnavailable(RuntimeError):
@@ -43,6 +44,22 @@ class ExecutionBackend(ABC):
 
     def __init__(self, schema: RelationalSchema) -> None:
         self.schema = schema
+        self._table_stats: dict[str, TableStats] | None = None
+        self._stats_source: Database | None = None
+
+    @property
+    def table_stats(self) -> dict[str, TableStats] | None:
+        """Row-count + distinct-value statistics per loaded relation (fuel
+        for the level-2 optimizer's cardinality estimator).
+
+        ``None`` until data is loaded.  Collected lazily on first access
+        from the last bulk-loaded database — callers that never consult
+        statistics (one-shot benchmark loads) pay nothing for them.
+        """
+        if self._table_stats is None and self._stats_source is not None:
+            self._table_stats = collect_stats(self._stats_source)
+            self._stats_source = None
+        return self._table_stats
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -77,10 +94,26 @@ class ExecutionBackend(ABC):
     ) -> None:
         """Append *rows* to *relation*, committing per batch."""
 
-    def bulk_load(self, database: Database, batch_size: int = 1000) -> None:
-        """Load every table of *database* (schemas must agree)."""
+    def bulk_load(
+        self,
+        database: Database,
+        batch_size: int = 1000,
+        stats: dict[str, TableStats] | None = None,
+    ) -> None:
+        """Load every table of *database* (schemas must agree).
+
+        Also makes per-table statistics (row counts, distinct values per
+        column) available through :attr:`table_stats` — collected lazily on
+        first access, so loads whose statistics nobody reads cost nothing
+        extra.  A caller that has already collected statistics for
+        *database* (the service does, at ``load_database`` time) passes
+        them as *stats*.  Every call rebinds the statistics, which
+        therefore describe the most recently loaded database.
+        """
         for name, table in database.tables.items():
             self.insert_rows(name, table.rows, batch_size=batch_size)
+        self._table_stats = stats
+        self._stats_source = None if stats is not None else database
 
     @abstractmethod
     def create_indexes(self) -> None:

@@ -45,10 +45,12 @@ class DuckDbBackend(DbApiBackend):
     def _column_types(self) -> dict[str, dict[str, str]] | None:
         return self._type_hints
 
-    def bulk_load(self, database: Database, batch_size: int = 1000) -> None:
+    def bulk_load(
+        self, database: Database, batch_size: int = 1000, stats=None
+    ) -> None:
         if not self._schema_created:
             self._type_hints = infer_column_types(database, self.dialect)
-        super().bulk_load(database, batch_size=batch_size)
+        super().bulk_load(database, batch_size=batch_size, stats=stats)
 
     def explain(self, sql_text: str) -> str:
         self._ensure_connected()

@@ -21,6 +21,7 @@ ever plugged in).
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
@@ -33,9 +34,10 @@ from repro.graph.schema import GraphSchema
 from repro.relational.instance import Database, Table
 from repro.sql import ast as sq
 from repro.sql.dialect import SqlDialect, dialect_for
-from repro.sql.optimize import optimize
+from repro.sql.optimize import DEFAULT_OPT_LEVEL, OPT_LEVELS, optimize
 from repro.sql.pretty import to_sql_text
 from repro.sql.semantics import evaluate_query as evaluate_sql
+from repro.sql.stats import DatabaseStats, collect_stats
 from repro.transformer.semantics import transform_graph
 
 from repro.backends.base import ExecutionBackend
@@ -74,7 +76,9 @@ class PreparedQuery:
     ``sql_ast`` is the *optimised* algebra — the reference evaluator
     materialises intermediate results, so evaluating the transpiler's raw
     one-node-per-rule nesting (cross joins under selections) would blow up
-    combinatorially on anything beyond toy instances.
+    combinatorially on anything beyond toy instances.  ``opt_level``
+    records which optimizer pipeline produced it (0 raw / 1 rule rewrites /
+    2 cost-based planning).
     """
 
     cypher_text: str
@@ -82,6 +86,30 @@ class PreparedQuery:
     sql_text: str
     dialect: str
     fingerprint: str
+    opt_level: int = DEFAULT_OPT_LEVEL
+
+
+@dataclass(frozen=True)
+class QueryStat:
+    """Cumulative measurement accounting for one Cypher text.
+
+    One *execution* here is one recorded measurement: a :meth:`~GraphitiService.run`
+    call contributes its single wall-clock time, a
+    :meth:`~GraphitiService.time` call contributes the median of its
+    repeats as one measurement (the repeats exist to stabilise that
+    number, not as independent work).  ``mean_seconds`` is therefore the
+    mean *per-execution* wall-clock — the typical cost of running the
+    query once.
+    """
+
+    cypher_text: str
+    executions: int
+    total_seconds: float
+    last_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.executions if self.executions else 0.0
 
 
 class _LruCache:
@@ -136,16 +164,25 @@ class GraphitiService:
         cache_size: int = 128,
         batch_size: int = 1000,
         indexes: bool = True,
+        opt_level: int = DEFAULT_OPT_LEVEL,
     ) -> None:
+        if opt_level not in OPT_LEVELS:
+            raise ValueError(f"unknown optimization level {opt_level!r}")
         self.graph_schema = graph_schema
         self.sdt = infer_sdt(graph_schema)
         self.fingerprint = schema_fingerprint(graph_schema)
         self.default_backend = default_backend
         self.batch_size = batch_size
         self.indexes = indexes
+        self.opt_level = opt_level
         self._cache = _LruCache(cache_size)
         self._database = Database(self.sdt.schema)
         self._backends: dict[str, ExecutionBackend] = {}
+        self._stats: DatabaseStats | None = None
+        #: Bumped on every data load; part of the cache key at level 2,
+        #: where fresh statistics can legitimately change the chosen plan.
+        self._stats_epoch = 0
+        self._query_stats: dict[str, QueryStat] = {}
 
     # -- data --------------------------------------------------------------
 
@@ -162,6 +199,8 @@ class GraphitiService:
             )
         self._reset_backends()
         self._database = database
+        self._stats = collect_stats(database)
+        self._stats_epoch += 1
 
     def load_graph(self, graph: object) -> None:
         """Serve queries over a property graph, via the standard transformer."""
@@ -177,33 +216,53 @@ class GraphitiService:
     # -- transpilation (cached) --------------------------------------------
 
     def prepare(
-        self, cypher_text: str, dialect: str | SqlDialect | None = None
+        self,
+        cypher_text: str,
+        dialect: str | SqlDialect | None = None,
+        opt_level: int | None = None,
     ) -> PreparedQuery:
-        """Parse, transpile, and render *cypher_text* (LRU-cached)."""
+        """Parse, transpile, optimize, and render *cypher_text* (LRU-cached).
+
+        *opt_level* overrides the service default for this query.  The cache
+        key includes the level and (at level 2) the statistics epoch, since
+        reloaded data can legitimately change the chosen join order.
+        """
         if dialect is None:
             dialect = self._dialect_of(self.default_backend)
         dialect = dialect_for(dialect)
-        key = (self.fingerprint, cypher_text, dialect.name)
+        level = self.opt_level if opt_level is None else opt_level
+        if level not in OPT_LEVELS:
+            raise ValueError(f"unknown optimization level {level!r}")
+        epoch = self._stats_epoch if level >= 2 else 0
+        key = (self.fingerprint, cypher_text, dialect.name, level, epoch)
         cached = self._cache.get(key)
         if cached is not None:
             assert isinstance(cached, PreparedQuery)
             return cached
         query = parse_cypher(cypher_text, self.graph_schema)
-        translated = optimize(transpile(query, self.graph_schema, self.sdt))
+        translated = optimize(
+            transpile(query, self.graph_schema, self.sdt),
+            level=level,
+            schema=self.sdt.schema,
+            stats=self._stats,
+        )
         rendered = to_sql_text(
             translated, self.sdt.schema, optimized=False, dialect=dialect
         )
         prepared = PreparedQuery(
-            cypher_text, translated, rendered, dialect.name, self.fingerprint
+            cypher_text, translated, rendered, dialect.name, self.fingerprint, level
         )
         self._cache.put(key, prepared)
         return prepared
 
     def transpile_to_sql(
-        self, cypher_text: str, dialect: str | SqlDialect | None = None
+        self,
+        cypher_text: str,
+        dialect: str | SqlDialect | None = None,
+        opt_level: int | None = None,
     ) -> str:
         """The rendered SQL text for *cypher_text* (LRU-cached)."""
-        return self.prepare(cypher_text, dialect).sql_text
+        return self.prepare(cypher_text, dialect, opt_level=opt_level).sql_text
 
     def cache_info(self) -> CacheInfo:
         return self._cache.info()
@@ -213,29 +272,69 @@ class GraphitiService:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, cypher_text: str, backend: str | None = None) -> Table:
+    def run(
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        opt_level: int | None = None,
+    ) -> Table:
         """Execute *cypher_text* on *backend* over the loaded data."""
         engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect)
-        return engine.execute(prepared.sql_text)
+        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
+        start = time.perf_counter()
+        result = engine.execute(prepared.sql_text)
+        self._record(cypher_text, time.perf_counter() - start)
+        return result
 
-    def reference(self, cypher_text: str) -> Table:
+    def reference(self, cypher_text: str, opt_level: int | None = None) -> Table:
         """The reference bag-semantics evaluation of the transpiled query."""
-        prepared = self.prepare(cypher_text)
+        prepared = self.prepare(cypher_text, opt_level=opt_level)
         return evaluate_sql(prepared.sql_ast, self._database)
 
-    def explain(self, cypher_text: str, backend: str | None = None) -> str:
+    def explain(
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        opt_level: int | None = None,
+    ) -> str:
         engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect)
+        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
         return engine.explain(prepared.sql_text)
 
     def time(
-        self, cypher_text: str, backend: str | None = None, repeats: int = 3
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        repeats: int = 3,
+        opt_level: int | None = None,
     ) -> float:
         """Median execution seconds of *cypher_text* on *backend*."""
         engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect)
-        return engine.time(prepared.sql_text, repeats=repeats)
+        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
+        seconds = engine.time(prepared.sql_text, repeats=repeats)
+        self._record(cypher_text, seconds)
+        return seconds
+
+    # -- observability -----------------------------------------------------
+
+    def query_stats(self) -> tuple[QueryStat, ...]:
+        """Per-query execution accounting (insertion order), for ``--stats``."""
+        return tuple(self._query_stats.values())
+
+    def reset_query_stats(self) -> None:
+        self._query_stats.clear()
+
+    def _record(self, cypher_text: str, seconds: float) -> None:
+        previous = self._query_stats.get(cypher_text)
+        if previous is None:
+            self._query_stats[cypher_text] = QueryStat(cypher_text, 1, seconds, seconds)
+        else:
+            self._query_stats[cypher_text] = QueryStat(
+                cypher_text,
+                previous.executions + 1,
+                previous.total_seconds + seconds,
+                seconds,
+            )
 
     def backends(self) -> tuple[str, ...]:
         """Backends this service could run on here (registry availability)."""
@@ -262,6 +361,7 @@ class GraphitiService:
                 self._database,
                 batch_size=self.batch_size,
                 indexes=self.indexes,
+                stats=dict(self._stats) if self._stats is not None else None,
             )
             self._backends[name] = engine
         return engine

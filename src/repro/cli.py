@@ -113,6 +113,13 @@ def _build_parser() -> argparse.ArgumentParser:
     transpile_parser.add_argument(
         "--dialect", default="sqlite", help="SQL dialect to render (default sqlite)"
     )
+    transpile_parser.add_argument(
+        "--opt",
+        type=int,
+        choices=(0, 1, 2),
+        default=2,
+        help="optimization level: 0 raw, 1 rule rewrites, 2 cost-based (default 2)",
+    )
 
     check_parser = subparsers.add_parser(
         "check", help="run the full equivalence-checking pipeline"
@@ -156,6 +163,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--limit", type=int, default=20, help="result rows to display (default 20)"
     )
+    run_parser.add_argument(
+        "--opt",
+        type=int,
+        choices=(0, 1, 2),
+        default=2,
+        help="optimization level: 0 raw, 1 rule rewrites, 2 cost-based (default 2)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench-backends", help="compare the standard workload across backends"
@@ -173,7 +187,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="backend to include (repeatable; default: every available one)",
     )
 
-    subparsers.add_parser("backends", help="list registered execution backends")
+    backends_parser = subparsers.add_parser(
+        "backends", help="list registered execution backends"
+    )
+    backends_parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="run the standard workload twice and report transpilation-cache "
+        "hit/miss counters plus per-query timings",
+    )
+    backends_parser.add_argument(
+        "--rows", type=int, default=500, help="mock rows per table for --stats"
+    )
 
     tables_parser = subparsers.add_parser(
         "tables", help="regenerate a paper evaluation table"
@@ -202,14 +227,18 @@ def _command_transpile(arguments) -> int:
         dialect = dialect_for(arguments.dialect)
     except GraphitiError as error:
         raise SystemExit(str(error))
+    from repro.sql.optimize import optimize
+
     schema = _load_graph_schema(arguments)
     query = parse_cypher(arguments.cypher, schema)
     sdt = infer_sdt(schema)
-    translated = transpile(query, schema, sdt)
+    translated = optimize(
+        transpile(query, schema, sdt), level=arguments.opt, schema=sdt.schema
+    )
     print("-- induced relational schema")
     for relation in sdt.schema.relations:
         print(f"--   {relation}")
-    print(to_sql_text(translated, sdt.schema, dialect=dialect))
+    print(to_sql_text(translated, sdt.schema, optimized=False, dialect=dialect))
     return 0
 
 
@@ -218,7 +247,9 @@ def _command_run(arguments) -> int:
     from repro.common.errors import GraphitiError
 
     schema = _load_graph_schema(arguments)
-    with GraphitiService(schema, default_backend=arguments.backend) as service:
+    with GraphitiService(
+        schema, default_backend=arguments.backend, opt_level=arguments.opt
+    ) as service:
         service.load_mock(arguments.rows, seed=arguments.seed)
         try:
             if arguments.show_sql:
@@ -274,7 +305,44 @@ def _command_backends(arguments) -> int:
         status = "available" if info.available else "unavailable"
         detail = f"  — {info.description}" if info.description else ""
         print(f"{name:15} [{status}]  dialect={info.backend_class.dialect.name}{detail}")
+    if getattr(arguments, "stats", False):
+        _print_backend_stats(arguments.rows)
     return 0
+
+
+def _print_backend_stats(rows_per_table: int) -> None:
+    """Run the standard workload twice and show cache + timing counters.
+
+    The second round should be all cache hits — the visible proof that the
+    optimizer's (costlier) level-2 planning is paid once per query text.
+    """
+    from repro.backends import GraphitiService
+    from repro.backends.comparison import DEFAULT_SCHEMA, DEFAULT_WORKLOAD
+
+    with GraphitiService(DEFAULT_SCHEMA) as service:
+        service.load_mock(rows_per_table)
+        for _ in range(2):
+            for text in DEFAULT_WORKLOAD.values():
+                service.run(text)
+        info = service.cache_info()
+        print()
+        print(f"== transpilation cache (opt level {service.opt_level}) ==")
+        print(
+            f"hits={info.hits} misses={info.misses} "
+            f"size={info.currsize}/{info.maxsize}"
+        )
+        print()
+        print("== per-query timings ==")
+        for stat in service.query_stats():
+            label = next(
+                (k for k, v in DEFAULT_WORKLOAD.items() if v == stat.cypher_text),
+                stat.cypher_text[:30],
+            )
+            print(
+                f"{label:10} runs={stat.executions}  "
+                f"mean={stat.mean_seconds * 1000:7.2f} ms  "
+                f"last={stat.last_seconds * 1000:7.2f} ms"
+            )
 
 
 def _command_check(arguments) -> int:

@@ -7,7 +7,12 @@ aggregation and outer joins, matching the paper's Section 6.2).
 
 from __future__ import annotations
 
+import typing
+
 from repro.sql import ast
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.schema import RelationalSchema
 
 
 def ast_size(node: object) -> int:
@@ -131,6 +136,64 @@ def referenced_relations(query: ast.Query) -> set[str]:
 
     walk_query(query)
     return names
+
+
+def output_attributes(
+    query: ast.Query,
+    schema: "RelationalSchema",
+    ctes: dict[str, tuple[str, ...]] | None = None,
+) -> tuple[str, ...] | None:
+    """The output attribute tuple of *query*, or ``None`` when it cannot be
+    determined statically (unknown relation, heterogeneous union, ...).
+
+    Mirrors the reference evaluator's naming exactly: scans expose the
+    relation's declared attributes, ``ρ_T`` prefixes and flattens them, and
+    projections/aggregations expose their column aliases.  The join planner
+    and the column pruner both rely on this to reason about scopes without
+    evaluating anything.
+    """
+    ctes = ctes or {}
+    if isinstance(query, ast.Relation):
+        if query.name in ctes:
+            return ctes[query.name]
+        try:
+            return tuple(schema.relation(query.name).attributes)
+        except Exception:
+            return None
+    if isinstance(query, ast.Projection):
+        return tuple(column.alias for column in query.columns)
+    if isinstance(query, (ast.Selection, ast.OrderBy)):
+        return output_attributes(query.query, schema, ctes)
+    if isinstance(query, ast.Renaming):
+        inner = output_attributes(query.query, schema, ctes)
+        if inner is None:
+            return None
+        return tuple(
+            f"{query.name}.{ast.flatten_attribute(a)}" for a in inner
+        )
+    if isinstance(query, ast.Join):
+        left = output_attributes(query.left, schema, ctes)
+        right = output_attributes(query.right, schema, ctes)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(query, ast.UnionOp):
+        return output_attributes(query.left, schema, ctes)
+    if isinstance(query, ast.GroupBy):
+        return tuple(column.alias for column in query.columns)
+    if isinstance(query, ast.WithQuery):
+        definition = output_attributes(query.definition, schema, ctes)
+        if definition is None:
+            return None
+        extended = dict(ctes)
+        extended[query.name] = definition
+        return output_attributes(query.body, schema, extended)
+    return None
+
+
+def join_count(query: ast.Query) -> int:
+    """Number of join nodes anywhere in *query* (the "multi-hop" metric)."""
+    return sum(1 for node in iter_nodes(query) if isinstance(node, ast.Join))
 
 
 def uses_aggregation(query: ast.Query) -> bool:

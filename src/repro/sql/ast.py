@@ -366,6 +366,58 @@ Query = typing.Union[
 ]
 
 
+def map_children(
+    query: Query,
+    query_fn: typing.Callable[["Query"], "Query"],
+    predicate_fn: typing.Callable[["Predicate"], "Predicate"] | None = None,
+) -> Query:
+    """Rebuild *query* with *query_fn* applied to each direct child query
+    (and *predicate_fn*, when given, to each attached predicate).
+
+    The single structural-recursion helper behind the optimizer's rewrite,
+    planning, pruning, and CSE passes — node types are enumerated once here,
+    so a new ``Query`` variant only needs one traversal updated.  Leaf nodes
+    (``Relation``) are returned unchanged.
+    """
+    pf = predicate_fn if predicate_fn is not None else (lambda p: p)
+    if isinstance(query, Projection):
+        return Projection(query_fn(query.query), query.columns, query.distinct)
+    if isinstance(query, Selection):
+        return Selection(query_fn(query.query), pf(query.predicate))
+    if isinstance(query, Renaming):
+        return Renaming(query.name, query_fn(query.query))
+    if isinstance(query, Join):
+        return Join(
+            query.kind, query_fn(query.left), query_fn(query.right), pf(query.predicate)
+        )
+    if isinstance(query, UnionOp):
+        return UnionOp(query_fn(query.left), query_fn(query.right), query.all)
+    if isinstance(query, GroupBy):
+        return GroupBy(query_fn(query.query), query.keys, query.columns, pf(query.having))
+    if isinstance(query, WithQuery):
+        return WithQuery(query.name, query_fn(query.definition), query_fn(query.body))
+    if isinstance(query, OrderBy):
+        return OrderBy(query_fn(query.query), query.keys, query.ascending, query.limit)
+    return query
+
+
+def conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten a conjunction into its list of conjuncts (``TRUE`` → ``[]``)."""
+    if isinstance(predicate, And):
+        return conjuncts(predicate.left) + conjuncts(predicate.right)
+    if predicate == TRUE:
+        return []
+    return [predicate]
+
+
+def conjoin(predicates: typing.Iterable[Predicate]) -> Predicate:
+    """Left-deep conjunction of *predicates* (empty → ``TRUE``)."""
+    result: Predicate | None = None
+    for predicate in predicates:
+        result = predicate if result is None else And(result, predicate)
+    return TRUE if result is None else result
+
+
 def flatten_attribute(name: str) -> str:
     """Flatten a qualified attribute into a legal local name (``a.b`` → ``a_b``)."""
     return name.replace(".", "_")

@@ -1,8 +1,21 @@
-"""Rule-based simplification of Featherweight SQL algebra.
+"""Rule-based simplification and cost-based optimization of Featherweight SQL.
 
 The transpiler emits one algebra node per translation rule, which is
-faithful but deeply nested.  This pass applies semantics-preserving
-rewrites before rendering or execution:
+faithful but deeply nested.  This module exposes three optimization
+levels:
+
+* **level 0** — no rewriting at all (the raw transpiler output);
+* **level 1** — the semantics-preserving local rewrites below, applied
+  bottom-up to a fixpoint;
+* **level 2** — level 1 plus the cost-based passes of
+  :mod:`repro.sql.planner`: join-graph extraction with predicate pushdown
+  (cross products become equi-joins), greedy join reordering driven by
+  table statistics, dead-column projection pruning, and common-subplan
+  elimination.  Level 2 needs the relational *schema* (to reason about
+  scopes) and optionally :mod:`repro.sql.stats` table statistics (to rank
+  join orders by estimated cardinality).
+
+Level-1 rewrites:
 
 * ``σ_TRUE(Q) → Q``
 * ``σ_p(σ_q(Q)) → σ_{q ∧ p}(Q)``
@@ -16,7 +29,12 @@ rewrites before rendering or execution:
 Substitution only fires when the inner projection's expressions are pure
 (aggregate-free) and every reference resolves; otherwise the tree is left
 untouched, so the pass is always safe.  The test suite cross-validates the
-optimizer against the reference evaluator on the whole benchmark suite.
+optimizer against the reference evaluator on the whole benchmark suite at
+every level.
+
+Each rewrite pass reports whether it changed anything through a shared
+flag, so the fixpoint loop stops on the first unchanged pass without the
+O(n²) whole-tree equality comparison per iteration it used to do.
 """
 
 from __future__ import annotations
@@ -25,17 +43,71 @@ import typing
 
 from repro.sql import ast
 
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.relational.schema import RelationalSchema
+    from repro.sql.stats import DatabaseStats
 
-def optimize(query: ast.Query) -> ast.Query:
-    """Apply the rewrite rules bottom-up to a fixpoint."""
-    previous = None
-    current = query
-    for _ in range(50):  # fixpoint guard; rules strictly shrink in practice
-        if current == previous:
+#: Optimization levels accepted by :func:`optimize` (and the CLI ``--opt``).
+OPT_LEVELS = (0, 1, 2)
+DEFAULT_OPT_LEVEL = 2
+
+
+class _Flag:
+    """Mutable changed-marker threaded through one rewrite pass."""
+
+    __slots__ = ("changed",)
+
+    def __init__(self) -> None:
+        self.changed = False
+
+    def mark(self) -> None:
+        self.changed = True
+
+
+def optimize(
+    query: ast.Query,
+    level: int = 1,
+    schema: "RelationalSchema | None" = None,
+    stats: "DatabaseStats | None" = None,
+) -> ast.Query:
+    """Optimize *query* at *level* (see the module docstring).
+
+    ``optimize(query)`` keeps its historical meaning: level-1 local
+    rewrites only.  Level 2 falls back to level 1 when *schema* is not
+    provided (the planner cannot reason about scopes without it).
+    """
+    if level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {level!r} (use 0, 1, or 2)")
+    if level == 0:
+        return query
+    query = _fixpoint(query)
+    if level == 1 or schema is None:
+        return query
+
+    from repro.sql.planner import (
+        CardinalityEstimator,
+        common_subplans,
+        plan_joins,
+        prune_columns,
+    )
+
+    estimator = CardinalityEstimator(schema, stats)
+    query = plan_joins(query, schema, estimator)
+    query = _fixpoint(query)
+    query = prune_columns(query, schema)
+    query = _fixpoint(query)
+    query = common_subplans(query, schema)
+    return query
+
+
+def _fixpoint(query: ast.Query) -> ast.Query:
+    """Apply the level-1 rewrite rules bottom-up until nothing fires."""
+    for _ in range(50):  # safety guard; rules strictly shrink in practice
+        flag = _Flag()
+        query = _rewrite(query, flag)
+        if not flag.changed:
             break
-        previous = current
-        current = _rewrite(current)
-    return current
+    return query
 
 
 # ---------------------------------------------------------------------------
@@ -43,17 +115,20 @@ def optimize(query: ast.Query) -> ast.Query:
 # ---------------------------------------------------------------------------
 
 
-def _rewrite(query: ast.Query) -> ast.Query:
-    query = _rewrite_children(query)
+def _rewrite(query: ast.Query, flag: _Flag) -> ast.Query:
+    query = _rewrite_children(query, flag)
     if isinstance(query, ast.Selection):
         if query.predicate == ast.TRUE:
+            flag.mark()
             return query.query
         inner = query.query
         if isinstance(inner, ast.Selection):
+            flag.mark()
             return ast.Selection(inner.query, ast.And(inner.predicate, query.predicate))
         if isinstance(inner, ast.Projection) and not inner.distinct:
             substituted = _substitute_predicate(query.predicate, inner.columns)
             if substituted is not None:
+                flag.mark()
                 return ast.Projection(
                     ast.Selection(inner.query, substituted), inner.columns
                 )
@@ -67,6 +142,7 @@ def _rewrite(query: ast.Query) -> ast.Query:
         ):
             columns = _substitute_columns(query.columns, inner.columns)
             if columns is not None:
+                flag.mark()
                 return ast.Projection(inner.query, columns, query.distinct)
         return query
     if isinstance(query, ast.Renaming):
@@ -79,6 +155,7 @@ def _rewrite(query: ast.Query) -> ast.Query:
                 )
                 for column in inner.columns
             )
+            flag.mark()
             return ast.Projection(inner.query, renamed)
         return query
     if isinstance(query, ast.GroupBy):
@@ -98,64 +175,44 @@ def _rewrite(query: ast.Query) -> ast.Query:
             having = _substitute_predicate(query.having, inner.columns)
             if columns is None or having is None:
                 return query
+            flag.mark()
             return ast.GroupBy(inner.query, tuple(keys), columns, having)
         return query
     return query
 
 
-def _rewrite_children(query: ast.Query) -> ast.Query:
-    if isinstance(query, ast.Relation):
-        return query
-    if isinstance(query, ast.Projection):
-        return ast.Projection(_rewrite(query.query), query.columns, query.distinct)
-    if isinstance(query, ast.Selection):
-        return ast.Selection(_rewrite(query.query), _rewrite_predicate(query.predicate))
-    if isinstance(query, ast.Renaming):
-        return ast.Renaming(query.name, _rewrite(query.query))
-    if isinstance(query, ast.Join):
-        return ast.Join(
-            query.kind,
-            _rewrite(query.left),
-            _rewrite(query.right),
-            _rewrite_predicate(query.predicate),
-        )
-    if isinstance(query, ast.UnionOp):
-        return ast.UnionOp(_rewrite(query.left), _rewrite(query.right), query.all)
-    if isinstance(query, ast.GroupBy):
-        return ast.GroupBy(
-            _rewrite(query.query),
-            query.keys,
-            query.columns,
-            _rewrite_predicate(query.having),
-        )
-    if isinstance(query, ast.WithQuery):
-        return ast.WithQuery(query.name, _rewrite(query.definition), _rewrite(query.body))
-    if isinstance(query, ast.OrderBy):
-        return ast.OrderBy(
-            _rewrite(query.query), query.keys, query.ascending, query.limit
-        )
-    return query
+def _rewrite_children(query: ast.Query, flag: _Flag) -> ast.Query:
+    return ast.map_children(
+        query,
+        lambda q: _rewrite(q, flag),
+        lambda p: _rewrite_predicate(p, flag),
+    )
 
 
-def _rewrite_predicate(predicate: ast.Predicate) -> ast.Predicate:
+def _rewrite_predicate(predicate: ast.Predicate, flag: _Flag) -> ast.Predicate:
     if isinstance(predicate, ast.And):
-        left = _rewrite_predicate(predicate.left)
-        right = _rewrite_predicate(predicate.right)
+        left = _rewrite_predicate(predicate.left, flag)
+        right = _rewrite_predicate(predicate.right, flag)
         if left == ast.TRUE:
+            flag.mark()
             return right
         if right == ast.TRUE:
+            flag.mark()
             return left
         return ast.And(left, right)
     if isinstance(predicate, ast.Or):
         return ast.Or(
-            _rewrite_predicate(predicate.left), _rewrite_predicate(predicate.right)
+            _rewrite_predicate(predicate.left, flag),
+            _rewrite_predicate(predicate.right, flag),
         )
     if isinstance(predicate, ast.Not):
-        return ast.Not(_rewrite_predicate(predicate.operand))
+        return ast.Not(_rewrite_predicate(predicate.operand, flag))
     if isinstance(predicate, ast.InQuery):
-        return ast.InQuery(predicate.operands, _rewrite(predicate.query), predicate.negated)
+        return ast.InQuery(
+            predicate.operands, _rewrite(predicate.query, flag), predicate.negated
+        )
     if isinstance(predicate, ast.ExistsQuery):
-        return ast.ExistsQuery(_rewrite(predicate.query), predicate.negated)
+        return ast.ExistsQuery(_rewrite(predicate.query, flag), predicate.negated)
     return predicate
 
 

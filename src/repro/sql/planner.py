@@ -1,0 +1,881 @@
+"""Join-aware cost-based planning over Featherweight SQL algebra.
+
+The transpiler leaves every relationship traversal as a selection over a
+cross-product tree (``σ_φ(R1 × R2 × ...)``); the rule rewrites in
+:mod:`repro.sql.optimize` collapse the nesting but keep that shape.  This
+module implements the optimizer's *level-2* passes on top:
+
+* **Join-graph planning** (:func:`plan_joins`) — flatten a maximal
+  CROSS/INNER join region into an n-ary join graph, decompose conjunctive
+  predicates, push single-table conjuncts into their scan, turn two-table
+  equality conjuncts into equi-join edges, and rebuild a left-deep join
+  tree in greedy cost order (smallest estimated intermediate first).
+* **Cardinality estimation** (:class:`CardinalityEstimator`) — row counts
+  and per-column distinct counts from :mod:`repro.sql.stats` when
+  available, textbook Selinger selectivity defaults when not.
+* **Dead-column pruning** (:func:`prune_columns`) — top-down removal of
+  projection columns no ancestor references, so intermediate results only
+  marshal attributes the query actually consumes.
+* **Common-subplan elimination** (:func:`common_subplans`) — repeated
+  self-contained subtrees are hash-consed into a ``WithQuery`` binding so
+  they are evaluated once (the renderer emits a real ``WITH`` CTE).
+
+Every pass is semantics-preserving under the reference bag semantics; the
+benchmark harness cross-validates level-2 plans against the reference
+evaluator over the whole 410-benchmark suite.  Passes that cannot prove a
+rewrite safe (duplicate attribute names, unresolvable references,
+correlated subqueries in the wrong place) leave the tree untouched.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast
+from repro.sql.analysis import ast_size, output_attributes
+from repro.sql.stats import DatabaseStats
+
+#: Selinger-style fallbacks used when statistics are absent.
+DEFAULT_ROW_COUNT = 1000.0
+EQUALITY_SELECTIVITY = 0.1
+RANGE_SELECTIVITY = 1.0 / 3.0
+NOT_EQUAL_SELECTIVITY = 0.9
+NULL_SELECTIVITY = 0.1
+SUBQUERY_SELECTIVITY = 0.5
+DEFAULT_SELECTIVITY = 0.25
+
+#: Smallest subtree worth hoisting into a CTE (AST nodes).
+CSE_MIN_SIZE = 9
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CardinalityEstimator:
+    """Estimates result sizes from table statistics (or defaults).
+
+    *provenance* maps — attribute name → ``(relation, column)`` — let the
+    estimator look up distinct-value counts for renamed attributes like
+    ``n.uid`` (scan of ``USER`` under ``ρ_n``).
+    """
+
+    schema: RelationalSchema
+    stats: DatabaseStats | None = None
+
+    # -- relation-level statistics ------------------------------------------
+
+    def base_rows(self, relation: str) -> float:
+        if self.stats is not None and relation in self.stats:
+            return float(max(self.stats[relation].row_count, 1))
+        return DEFAULT_ROW_COUNT
+
+    def distinct_values(
+        self, name: str, provenance: dict[str, tuple[str, str]]
+    ) -> float | None:
+        """NDV of the attribute *name* resolves to, or ``None`` if unknown."""
+        if self.stats is None:
+            return None
+        source = provenance.get(name)
+        if source is None:
+            matches = {
+                provenance[a]
+                for a in provenance
+                if a.rsplit(".", 1)[-1] == name
+            }
+            if len(matches) != 1:
+                return None
+            source = next(iter(matches))
+        relation, column = source
+        table = self.stats.get(relation)
+        if table is None:
+            return None
+        count = table.distinct_of(column)
+        return float(max(count, 1)) if count is not None else None
+
+    # -- provenance ---------------------------------------------------------
+
+    def provenance(self, query: ast.Query) -> dict[str, tuple[str, str]]:
+        """Best-effort attribute → (relation, column) map for *query*."""
+        if isinstance(query, ast.Relation):
+            try:
+                relation = self.schema.relation(query.name)
+            except Exception:
+                return {}
+            return {a: (query.name, a) for a in relation.attributes}
+        if isinstance(query, (ast.Selection, ast.OrderBy)):
+            return self.provenance(query.query)
+        if isinstance(query, ast.Renaming):
+            inner_attrs = output_attributes(query.query, self.schema)
+            inner_prov = self.provenance(query.query)
+            if inner_attrs is None:
+                return {}
+            return {
+                f"{query.name}.{ast.flatten_attribute(a)}": inner_prov[a]
+                for a in inner_attrs
+                if a in inner_prov
+            }
+        if isinstance(query, ast.Join):
+            merged = self.provenance(query.left)
+            merged.update(self.provenance(query.right))
+            return merged
+        if isinstance(query, (ast.Projection, ast.GroupBy)):
+            inner = self.provenance(query.query)
+            out: dict[str, tuple[str, str]] = {}
+            for column in query.columns:
+                expression = column.expression
+                if isinstance(expression, ast.AttributeRef):
+                    source = inner.get(expression.name)
+                    if source is None:
+                        locals_ = [
+                            a
+                            for a in inner
+                            if a.rsplit(".", 1)[-1] == expression.name
+                        ]
+                        if len(locals_) == 1:
+                            source = inner[locals_[0]]
+                    if source is not None:
+                        out[column.alias] = source
+            return out
+        if isinstance(query, ast.WithQuery):
+            return self.provenance(query.body)
+        return {}
+
+    # -- cardinalities ------------------------------------------------------
+
+    def cardinality(self, query: ast.Query) -> float:
+        if isinstance(query, ast.Relation):
+            return self.base_rows(query.name)
+        if isinstance(query, ast.Selection):
+            inner = self.cardinality(query.query)
+            return max(
+                inner * self.selectivity(query.predicate, self.provenance(query.query)),
+                1.0,
+            )
+        if isinstance(query, ast.Projection):
+            inner = self.cardinality(query.query)
+            return max(inner * 0.5, 1.0) if query.distinct else inner
+        if isinstance(query, ast.Renaming):
+            return self.cardinality(query.query)
+        if isinstance(query, ast.Join):
+            left = self.cardinality(query.left)
+            right = self.cardinality(query.right)
+            if query.kind is ast.JoinKind.CROSS:
+                return left * right
+            provenance = self.provenance(query.left)
+            provenance.update(self.provenance(query.right))
+            joined = left * right * self.selectivity(query.predicate, provenance)
+            if query.kind is ast.JoinKind.INNER:
+                return max(joined, 1.0)
+            if query.kind is ast.JoinKind.LEFT:
+                return max(joined, left)
+            if query.kind is ast.JoinKind.RIGHT:
+                return max(joined, right)
+            return max(joined, left + right)
+        if isinstance(query, ast.UnionOp):
+            total = self.cardinality(query.left) + self.cardinality(query.right)
+            return total if query.all else max(total * 0.5, 1.0)
+        if isinstance(query, ast.GroupBy):
+            inner = self.cardinality(query.query)
+            if not query.keys:
+                return 1.0
+            groups = 1.0
+            provenance = self.provenance(query.query)
+            for key in query.keys:
+                if isinstance(key, ast.AttributeRef):
+                    distinct = self.distinct_values(key.name, provenance)
+                    groups *= distinct if distinct is not None else inner ** 0.5
+                else:
+                    groups *= inner ** 0.5
+            return max(min(groups, inner), 1.0)
+        if isinstance(query, ast.WithQuery):
+            return self.cardinality(query.body)
+        if isinstance(query, ast.OrderBy):
+            inner = self.cardinality(query.query)
+            if query.limit is not None:
+                return min(inner, float(query.limit))
+            return inner
+        return DEFAULT_ROW_COUNT
+
+    # -- selectivities ------------------------------------------------------
+
+    def selectivity(
+        self, predicate: ast.Predicate, provenance: dict[str, tuple[str, str]]
+    ) -> float:
+        if isinstance(predicate, ast.BoolLit):
+            return 1.0 if predicate.value else 0.0
+        if isinstance(predicate, ast.Comparison):
+            return self._comparison_selectivity(predicate, provenance)
+        if isinstance(predicate, ast.IsNull):
+            return 1.0 - NULL_SELECTIVITY if predicate.negated else NULL_SELECTIVITY
+        if isinstance(predicate, ast.InValues):
+            if isinstance(predicate.operand, ast.AttributeRef):
+                distinct = self.distinct_values(predicate.operand.name, provenance)
+                if distinct is not None:
+                    return min(len(predicate.values) / distinct, 1.0)
+            return min(len(predicate.values) * EQUALITY_SELECTIVITY, 1.0)
+        if isinstance(predicate, (ast.InQuery, ast.ExistsQuery)):
+            return SUBQUERY_SELECTIVITY
+        if isinstance(predicate, ast.And):
+            return self.selectivity(predicate.left, provenance) * self.selectivity(
+                predicate.right, provenance
+            )
+        if isinstance(predicate, ast.Or):
+            left = self.selectivity(predicate.left, provenance)
+            right = self.selectivity(predicate.right, provenance)
+            return min(left + right - left * right, 1.0)
+        if isinstance(predicate, ast.Not):
+            return 1.0 - self.selectivity(predicate.operand, provenance)
+        return DEFAULT_SELECTIVITY
+
+    def _comparison_selectivity(
+        self, predicate: ast.Comparison, provenance: dict[str, tuple[str, str]]
+    ) -> float:
+        left, right = predicate.left, predicate.right
+        if predicate.op == "=":
+            if isinstance(left, ast.AttributeRef) and isinstance(
+                right, ast.AttributeRef
+            ):
+                ndv_left = self.distinct_values(left.name, provenance)
+                ndv_right = self.distinct_values(right.name, provenance)
+                known = [n for n in (ndv_left, ndv_right) if n is not None]
+                if known:
+                    return 1.0 / max(known)
+                return EQUALITY_SELECTIVITY
+            if isinstance(left, ast.AttributeRef) or isinstance(
+                right, ast.AttributeRef
+            ):
+                ref = left if isinstance(left, ast.AttributeRef) else right
+                distinct = self.distinct_values(ref.name, provenance)
+                if distinct is not None:
+                    return 1.0 / distinct
+            return EQUALITY_SELECTIVITY
+        if predicate.op == "<>":
+            return NOT_EQUAL_SELECTIVITY
+        return RANGE_SELECTIVITY
+
+
+# ---------------------------------------------------------------------------
+# Reference collection / substitution helpers
+# ---------------------------------------------------------------------------
+
+
+def _expression_refs(expression: ast.Expression) -> set[str] | None:
+    """Attribute names referenced by *expression*; ``None`` when a subquery
+    makes the reference set statically unknowable (correlation)."""
+    if isinstance(expression, ast.AttributeRef):
+        return {expression.name}
+    if isinstance(expression, ast.Literal):
+        return set()
+    if isinstance(expression, ast.Aggregate):
+        if expression.argument is None:
+            return set()
+        return _expression_refs(expression.argument)
+    if isinstance(expression, ast.BinaryOp):
+        left = _expression_refs(expression.left)
+        right = _expression_refs(expression.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(expression, ast.CastPredicate):
+        return _predicate_refs(expression.predicate)
+    return None
+
+
+def _predicate_refs(predicate: ast.Predicate) -> set[str] | None:
+    """Attribute names referenced by *predicate* (``None`` on subqueries)."""
+    if isinstance(predicate, ast.BoolLit):
+        return set()
+    if isinstance(predicate, ast.Comparison):
+        left = _expression_refs(predicate.left)
+        right = _expression_refs(predicate.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(predicate, ast.IsNull):
+        return _expression_refs(predicate.operand)
+    if isinstance(predicate, ast.InValues):
+        return _expression_refs(predicate.operand)
+    if isinstance(predicate, (ast.And, ast.Or)):
+        left = _predicate_refs(predicate.left)
+        right = _predicate_refs(predicate.right)
+        if left is None or right is None:
+            return None
+        return left | right
+    if isinstance(predicate, ast.Not):
+        return _predicate_refs(predicate.operand)
+    # InQuery/ExistsQuery bodies may be correlated with the current scope.
+    return None
+
+
+def _substitute_refs(node, mapping: dict[str, str]):
+    """Rewrite every AttributeRef through *mapping* (expression or predicate)."""
+    if isinstance(node, ast.AttributeRef):
+        return ast.AttributeRef(mapping.get(node.name, node.name))
+    if isinstance(node, (ast.Literal, ast.BoolLit)):
+        return node
+    if isinstance(node, ast.Aggregate):
+        if node.argument is None:
+            return node
+        return ast.Aggregate(
+            node.function, _substitute_refs(node.argument, mapping), node.distinct
+        )
+    if isinstance(node, ast.BinaryOp):
+        return ast.BinaryOp(
+            node.op,
+            _substitute_refs(node.left, mapping),
+            _substitute_refs(node.right, mapping),
+        )
+    if isinstance(node, ast.CastPredicate):
+        return ast.CastPredicate(_substitute_refs(node.predicate, mapping))
+    if isinstance(node, ast.Comparison):
+        return ast.Comparison(
+            node.op,
+            _substitute_refs(node.left, mapping),
+            _substitute_refs(node.right, mapping),
+        )
+    if isinstance(node, ast.IsNull):
+        return ast.IsNull(_substitute_refs(node.operand, mapping), node.negated)
+    if isinstance(node, ast.InValues):
+        return ast.InValues(_substitute_refs(node.operand, mapping), node.values)
+    if isinstance(node, ast.And):
+        return ast.And(
+            _substitute_refs(node.left, mapping), _substitute_refs(node.right, mapping)
+        )
+    if isinstance(node, ast.Or):
+        return ast.Or(
+            _substitute_refs(node.left, mapping), _substitute_refs(node.right, mapping)
+        )
+    if isinstance(node, ast.Not):
+        return ast.Not(_substitute_refs(node.operand, mapping))
+    return node
+
+
+# ---------------------------------------------------------------------------
+# Join-graph planning
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Conjunct:
+    """One decomposed conjunct with its placement analysis."""
+
+    predicate: ast.Predicate
+    leaves: frozenset[int]
+
+
+def plan_joins(
+    query: ast.Query,
+    schema: RelationalSchema,
+    estimator: CardinalityEstimator,
+) -> ast.Query:
+    """Rewrite every CROSS/INNER join region of *query* into a pushed-down,
+    greedily ordered equi-join tree (see the module docstring)."""
+    return _Planner(schema, estimator).plan(query, {})
+
+
+class _Planner:
+    def __init__(self, schema: RelationalSchema, estimator: CardinalityEstimator):
+        self.schema = schema
+        self.estimator = estimator
+
+    # -- traversal ----------------------------------------------------------
+
+    def plan(self, query: ast.Query, ctes: dict[str, tuple[str, ...]]) -> ast.Query:
+        if isinstance(query, ast.Selection) and self._is_region(query.query):
+            return self._plan_region(query, ctes)
+        if self._is_region(query):
+            return self._plan_region(query, ctes)
+        return self._plan_children(query, ctes)
+
+    def _is_region(self, query: ast.Query) -> bool:
+        return isinstance(query, ast.Join) and query.kind in (
+            ast.JoinKind.CROSS,
+            ast.JoinKind.INNER,
+        )
+
+    def _plan_children(
+        self, query: ast.Query, ctes: dict[str, tuple[str, ...]]
+    ) -> ast.Query:
+        if isinstance(query, ast.WithQuery):
+            # The body sees the CTE's attributes; extend the environment.
+            definition = self.plan(query.definition, ctes)
+            attributes = output_attributes(definition, self.schema, ctes)
+            extended = dict(ctes)
+            if attributes is not None:
+                extended[query.name] = attributes
+            return ast.WithQuery(query.name, definition, self.plan(query.body, extended))
+        return ast.map_children(
+            query,
+            lambda q: self.plan(q, ctes),
+            lambda p: self._plan_predicate(p, ctes),
+        )
+
+    def _plan_predicate(
+        self, predicate: ast.Predicate, ctes: dict[str, tuple[str, ...]]
+    ) -> ast.Predicate:
+        if isinstance(predicate, ast.And):
+            return ast.And(
+                self._plan_predicate(predicate.left, ctes),
+                self._plan_predicate(predicate.right, ctes),
+            )
+        if isinstance(predicate, ast.Or):
+            return ast.Or(
+                self._plan_predicate(predicate.left, ctes),
+                self._plan_predicate(predicate.right, ctes),
+            )
+        if isinstance(predicate, ast.Not):
+            return ast.Not(self._plan_predicate(predicate.operand, ctes))
+        if isinstance(predicate, ast.InQuery):
+            return ast.InQuery(
+                predicate.operands, self.plan(predicate.query, ctes), predicate.negated
+            )
+        if isinstance(predicate, ast.ExistsQuery):
+            return ast.ExistsQuery(self.plan(predicate.query, ctes), predicate.negated)
+        return predicate
+
+    # -- one region ---------------------------------------------------------
+
+    def _plan_region(
+        self, root: ast.Query, ctes: dict[str, tuple[str, ...]]
+    ) -> ast.Query:
+        if isinstance(root, ast.Selection):
+            top_conjuncts = ast.conjuncts(root.predicate)
+            tree = root.query
+        else:
+            top_conjuncts = []
+            tree = root
+
+        leaves: list[ast.Query] = []
+        inner_conjuncts: list[ast.Predicate] = []
+
+        def collect(node: ast.Query) -> None:
+            if self._is_region(node):
+                collect(node.left)
+                collect(node.right)
+                if node.kind is ast.JoinKind.INNER:
+                    inner_conjuncts.extend(ast.conjuncts(node.predicate))
+            else:
+                leaves.append(node)
+
+        collect(tree)
+
+        # Hoisting an inner-join predicate that embeds a subquery to the
+        # region top could change what its (correlated) references capture;
+        # leave such regions untouched (shape preserved, leaves still planned).
+        if any(_predicate_refs(c) is None for c in inner_conjuncts):
+            return self._rebuild_original(root, ctes)
+
+        leaf_attrs = [output_attributes(leaf, self.schema, ctes) for leaf in leaves]
+        if any(attrs is None for attrs in leaf_attrs):
+            return self._rebuild_original(root, ctes)
+
+        exact: dict[str, int] = {}
+        local: dict[str, list[str]] = {}
+        ambiguous = False
+        for index, attrs in enumerate(leaf_attrs):
+            for attribute in attrs:
+                if attribute in exact:
+                    ambiguous = True
+                exact[attribute] = index
+                local.setdefault(attribute.rsplit(".", 1)[-1], []).append(attribute)
+        if ambiguous:
+            return self._rebuild_original(root, ctes)
+
+        leaves = [self.plan(leaf, ctes) for leaf in leaves]
+
+        def resolve(name: str) -> str | None:
+            if name in exact:
+                return name
+            candidates = local.get(name, [])
+            if len(candidates) == 1:
+                return candidates[0]
+            return None
+
+        pushed: list[list[ast.Predicate]] = [[] for _ in leaves]
+        edges: dict[frozenset[int], list[ast.Predicate]] = {}
+        filters: list[_Conjunct] = []
+        residual: list[ast.Predicate] = []
+
+        for conjunct in top_conjuncts + inner_conjuncts:
+            refs = _predicate_refs(conjunct)
+            if refs is None:
+                residual.append(conjunct)
+                continue
+            mapping: dict[str, str] = {}
+            unresolved = False
+            for name in refs:
+                resolved = resolve(name)
+                if resolved is None:
+                    unresolved = True
+                    break
+                mapping[name] = resolved
+            if unresolved:
+                residual.append(conjunct)
+                continue
+            rewritten = _substitute_refs(conjunct, mapping)
+            leaf_set = frozenset(exact[mapping[name]] for name in refs)
+            if len(leaf_set) == 0:
+                residual.append(rewritten)
+            elif len(leaf_set) == 1:
+                pushed[next(iter(leaf_set))].append(rewritten)
+            elif (
+                len(leaf_set) == 2
+                and isinstance(rewritten, ast.Comparison)
+                and rewritten.op == "="
+                and isinstance(rewritten.left, ast.AttributeRef)
+                and isinstance(rewritten.right, ast.AttributeRef)
+            ):
+                edges.setdefault(leaf_set, []).append(rewritten)
+            else:
+                filters.append(_Conjunct(rewritten, leaf_set))
+
+        filtered_leaves = [
+            ast.Selection(leaf, ast.conjoin(preds)) if preds else leaf
+            for leaf, preds in zip(leaves, pushed)
+        ]
+        cardinalities = [self.estimator.cardinality(leaf) for leaf in filtered_leaves]
+        provenance: dict[str, tuple[str, str]] = {}
+        for leaf in leaves:
+            provenance.update(self.estimator.provenance(leaf))
+
+        order = self._greedy_order(cardinalities, edges, provenance)
+
+        joined = filtered_leaves[order[0]]
+        placed = {order[0]}
+        remaining_filters = list(filters)
+        for index in order[1:]:
+            join_preds: list[ast.Predicate] = []
+            for pair, conjuncts_ in edges.items():
+                if index in pair and (pair - {index}) <= placed:
+                    join_preds.extend(conjuncts_)
+            placed.add(index)
+            still_pending: list[_Conjunct] = []
+            for item in remaining_filters:
+                if item.leaves <= placed:
+                    join_preds.append(item.predicate)
+                else:
+                    still_pending.append(item)
+            remaining_filters = still_pending
+            if join_preds:
+                joined = ast.Join(
+                    ast.JoinKind.INNER,
+                    joined,
+                    filtered_leaves[index],
+                    ast.conjoin(join_preds),
+                )
+            else:
+                joined = ast.Join(ast.JoinKind.CROSS, joined, filtered_leaves[index])
+
+        result: ast.Query = joined
+        if residual:
+            result = ast.Selection(result, ast.conjoin(residual))
+
+        original_order = [a for attrs in leaf_attrs for a in attrs]
+        new_order = [a for i in order for a in leaf_attrs[i]]
+        if new_order != original_order:
+            result = ast.Projection(
+                result,
+                tuple(
+                    ast.OutputColumn(a, ast.AttributeRef(a)) for a in original_order
+                ),
+            )
+        return result
+
+    def _greedy_order(
+        self,
+        cardinalities: list[float],
+        edges: dict[frozenset[int], list[ast.Predicate]],
+        provenance: dict[str, tuple[str, str]],
+    ) -> list[int]:
+        """Left-deep greedy ordering: cheapest start, then the connected leaf
+        minimizing the estimated intermediate result at each step."""
+        count = len(cardinalities)
+        remaining = set(range(count))
+        start = min(remaining, key=lambda i: (cardinalities[i], i))
+        order = [start]
+        remaining.remove(start)
+        accumulated = cardinalities[start]
+        while remaining:
+            best: tuple[bool, float, int] | None = None
+            for candidate in remaining:
+                selectivity = 1.0
+                connected = False
+                for pair, conjuncts_ in edges.items():
+                    if candidate in pair and (pair - {candidate}) <= set(order):
+                        connected = True
+                        for conjunct in conjuncts_:
+                            selectivity *= self.estimator.selectivity(
+                                conjunct, provenance
+                            )
+                estimate = accumulated * cardinalities[candidate] * selectivity
+                key = (not connected, estimate, candidate)
+                if best is None or key < best:
+                    best = key
+            assert best is not None
+            _, accumulated, chosen = best
+            accumulated = max(accumulated, 1.0)
+            order.append(chosen)
+            remaining.remove(chosen)
+        return order
+
+    def _rebuild_original(
+        self, node: ast.Query, ctes: dict[str, tuple[str, ...]]
+    ) -> ast.Query:
+        """Fallback when a region cannot be analysed: keep its exact shape
+        (every predicate stays where it was) while still planning the
+        non-join subtrees underneath."""
+        if isinstance(node, ast.Selection):
+            return ast.Selection(
+                self._rebuild_original(node.query, ctes),
+                self._plan_predicate(node.predicate, ctes),
+            )
+        if self._is_region(node):
+            return ast.Join(
+                node.kind,
+                self._rebuild_original(node.left, ctes),
+                self._rebuild_original(node.right, ctes),
+                self._plan_predicate(node.predicate, ctes),
+            )
+        return self.plan(node, ctes)
+
+
+# ---------------------------------------------------------------------------
+# Dead-column pruning
+# ---------------------------------------------------------------------------
+
+
+def prune_columns(query: ast.Query, schema: RelationalSchema) -> ast.Query:
+    """Drop projection/aggregation output columns no ancestor references.
+
+    Top-down: the root keeps its full output; below it, each projection is
+    narrowed to the attributes its consumers actually use.  ``None`` as the
+    requirement set means "keep everything" — used at the root and whenever
+    a subquery predicate makes the consumed set unknowable.
+    """
+    return _prune(query, None)
+
+
+def _needed(alias: str, required: set[str]) -> bool:
+    return alias in required or alias.rsplit(".", 1)[-1] in required
+
+
+def _columns_refs(columns: tuple[ast.OutputColumn, ...]) -> set[str] | None:
+    out: set[str] = set()
+    for column in columns:
+        refs = _expression_refs(column.expression)
+        if refs is None:
+            return None
+        out |= refs
+    return out
+
+
+def _union(*sets: set[str] | None) -> set[str] | None:
+    merged: set[str] = set()
+    for one in sets:
+        if one is None:
+            return None
+        merged |= one
+    return merged
+
+
+def _prune(query: ast.Query, required: set[str] | None) -> ast.Query:
+    if isinstance(query, ast.Projection):
+        if query.distinct or required is None:
+            kept = query.columns
+        else:
+            kept = tuple(c for c in query.columns if _needed(c.alias, required))
+            if not kept:
+                kept = (query.columns[0],)
+        return ast.Projection(
+            _prune(query.query, _columns_refs(kept)), kept, query.distinct
+        )
+    if isinstance(query, ast.Selection):
+        child = _union(required, _predicate_refs(query.predicate))
+        return ast.Selection(_prune(query.query, child), query.predicate)
+    if isinstance(query, ast.Join):
+        child = _union(required, _predicate_refs(query.predicate))
+        return ast.Join(
+            query.kind,
+            _prune(query.left, child),
+            _prune(query.right, child),
+            query.predicate,
+        )
+    if isinstance(query, ast.Renaming):
+        return ast.Renaming(query.name, _prune(query.query, None))
+    if isinstance(query, ast.UnionOp):
+        # Bag union is positional; pruning either side independently would
+        # misalign columns, so both sides keep everything.
+        return ast.UnionOp(
+            _prune(query.left, None), _prune(query.right, None), query.all
+        )
+    if isinstance(query, ast.GroupBy):
+        if required is None:
+            kept = query.columns
+        else:
+            kept = tuple(c for c in query.columns if _needed(c.alias, required))
+            if not kept:
+                kept = (query.columns[0],)
+        key_refs = _union(*(_expression_refs(k) for k in query.keys)) if query.keys else set()
+        child = _union(key_refs, _columns_refs(kept), _predicate_refs(query.having))
+        return ast.GroupBy(_prune(query.query, child), query.keys, kept, query.having)
+    if isinstance(query, ast.WithQuery):
+        return ast.WithQuery(
+            query.name, _prune(query.definition, None), _prune(query.body, required)
+        )
+    if isinstance(query, ast.OrderBy):
+        child = (
+            None
+            if required is None
+            else _union(required, *(_expression_refs(k) for k in query.keys))
+        )
+        return ast.OrderBy(_prune(query.query, child), query.keys, query.ascending, query.limit)
+    return query
+
+
+# ---------------------------------------------------------------------------
+# Common-subplan elimination (hash-consing into CTEs)
+# ---------------------------------------------------------------------------
+
+
+def common_subplans(
+    query: ast.Query, schema: RelationalSchema, max_rounds: int = 3
+) -> ast.Query:
+    """Hoist repeated self-contained subtrees into ``WithQuery`` bindings.
+
+    Fires on undirected-edge expansions and multi-pattern queries where the
+    transpiler emits the same scan/filter subtree several times; every
+    occurrence is replaced by a reference to one shared CTE, so the
+    reference evaluator computes it once and engines see a single ``WITH``
+    definition.
+    """
+    used_names = {relation.name for relation in schema.relations}
+    for node in _spine_nodes(query):
+        if isinstance(node, ast.WithQuery):
+            used_names.add(node.name)
+    for round_index in range(max_rounds):
+        candidate = _best_repeated_subtree(query, schema)
+        if candidate is None:
+            return query
+        name = _fresh_name("cse", used_names)
+        used_names.add(name)
+        query = ast.WithQuery(name, candidate, _replace(query, candidate, name))
+    return query
+
+
+def _fresh_name(stem: str, used: set[str]) -> str:
+    counter = 1
+    while f"{stem}{counter}" in used:
+        counter += 1
+    return f"{stem}{counter}"
+
+
+def _spine_nodes(query: ast.Query):
+    """Query nodes of the main tree, excluding subquery-predicate bodies."""
+    yield query
+    if isinstance(query, (ast.Projection, ast.Selection, ast.Renaming, ast.OrderBy, ast.GroupBy)):
+        yield from _spine_nodes(query.query)
+    elif isinstance(query, (ast.Join, ast.UnionOp)):
+        yield from _spine_nodes(query.left)
+        yield from _spine_nodes(query.right)
+    elif isinstance(query, ast.WithQuery):
+        yield from _spine_nodes(query.definition)
+        yield from _spine_nodes(query.body)
+
+
+def _best_repeated_subtree(
+    query: ast.Query, schema: RelationalSchema
+) -> ast.Query | None:
+    counts = Counter(_spine_nodes(query))
+    candidates = [
+        node
+        for node, count in counts.items()
+        if count >= 2
+        and not isinstance(node, ast.Relation)
+        and ast_size(node) >= CSE_MIN_SIZE
+        and _self_contained(node, schema)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=ast_size)
+
+
+def _self_contained(query: ast.Query, schema: RelationalSchema) -> bool:
+    """Whether every reference inside *query* resolves within it — the
+    condition for hoisting it to the top without capturing/losing names."""
+    free = _free_refs(query, schema)
+    return free is not None and not free
+
+
+def _free_refs(query: ast.Query, schema: RelationalSchema) -> set[str] | None:
+    """References escaping *query*'s own scope; ``None`` = unknowable."""
+
+    def unresolved(refs: set[str] | None, attrs: tuple[str, ...] | None) -> set[str] | None:
+        if refs is None or attrs is None:
+            return None
+        locals_ = Counter(a.rsplit(".", 1)[-1] for a in attrs)
+        out = set()
+        for name in refs:
+            if name in attrs:
+                continue
+            if locals_.get(name, 0) == 1:
+                continue
+            out.add(name)
+        return out
+
+    if isinstance(query, ast.Relation):
+        try:
+            schema.relation(query.name)
+        except Exception:
+            return None  # CTE reference — binding would be left behind
+        return set()
+    if isinstance(query, ast.Projection):
+        inner = _free_refs(query.query, schema)
+        attrs = output_attributes(query.query, schema)
+        own = unresolved(_columns_refs(query.columns), attrs)
+        return _union(inner, own)
+    if isinstance(query, ast.Selection):
+        inner = _free_refs(query.query, schema)
+        attrs = output_attributes(query.query, schema)
+        own = unresolved(_predicate_refs(query.predicate), attrs)
+        return _union(inner, own)
+    if isinstance(query, ast.Renaming):
+        return _free_refs(query.query, schema)
+    if isinstance(query, ast.Join):
+        left = _free_refs(query.left, schema)
+        right = _free_refs(query.right, schema)
+        attrs = output_attributes(query, schema)
+        own = unresolved(_predicate_refs(query.predicate), attrs)
+        return _union(left, right, own)
+    if isinstance(query, ast.UnionOp):
+        return _union(_free_refs(query.left, schema), _free_refs(query.right, schema))
+    if isinstance(query, ast.GroupBy):
+        inner = _free_refs(query.query, schema)
+        attrs = output_attributes(query.query, schema)
+        key_refs = (
+            _union(*(_expression_refs(k) for k in query.keys)) if query.keys else set()
+        )
+        own = unresolved(
+            _union(key_refs, _columns_refs(query.columns), _predicate_refs(query.having)),
+            attrs,
+        )
+        return _union(inner, own)
+    if isinstance(query, ast.OrderBy):
+        inner = _free_refs(query.query, schema)
+        attrs = output_attributes(query.query, schema)
+        own = unresolved(
+            _union(*(_expression_refs(k) for k in query.keys)) if query.keys else set(),
+            attrs,
+        )
+        return _union(inner, own)
+    return None  # WithQuery bindings and unknown nodes: be conservative
+
+
+def _replace(query: ast.Query, target: ast.Query, name: str) -> ast.Query:
+    if query == target:
+        return ast.Relation(name)
+    return ast.map_children(query, lambda q: _replace(q, target, name))

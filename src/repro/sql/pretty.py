@@ -129,23 +129,7 @@ def _fresh_cte_name(stem: str, used: set[str]) -> str:
 
 
 def _hoist_children(node: ast.Query, hoist) -> ast.Query:
-    if isinstance(node, ast.Projection):
-        return ast.Projection(hoist(node.query), node.columns, node.distinct)
-    if isinstance(node, ast.Selection):
-        return ast.Selection(hoist(node.query), node.predicate)
-    if isinstance(node, ast.Renaming):
-        return ast.Renaming(node.name, hoist(node.query))
-    if isinstance(node, ast.Join):
-        return ast.Join(node.kind, hoist(node.left), hoist(node.right), node.predicate)
-    if isinstance(node, ast.UnionOp):
-        return ast.UnionOp(hoist(node.left), hoist(node.right), node.all)
-    if isinstance(node, ast.GroupBy):
-        return ast.GroupBy(hoist(node.query), node.keys, node.columns, node.having)
-    if isinstance(node, ast.WithQuery):
-        return ast.WithQuery(node.name, hoist(node.definition), hoist(node.body))
-    if isinstance(node, ast.OrderBy):
-        return ast.OrderBy(hoist(node.query), node.keys, node.ascending, node.limit)
-    return node
+    return ast.map_children(node, hoist)
 
 
 def create_table_ddl(
@@ -203,16 +187,27 @@ class _FromScope:
 
 
 class _Source:
-    """A flattened FROM clause with its column scope."""
+    """A flattened FROM clause with its column scope.
 
-    __slots__ = ("from_sql", "scope", "dialect")
+    *predicates* are rendered filter fragments collected from ``Selection``
+    nodes flattened inside the join tree; the enclosing SELECT layer must
+    AND them into its WHERE clause (they are always safe there — see
+    :meth:`_Renderer._as_source`).
+    """
+
+    __slots__ = ("from_sql", "scope", "dialect", "predicates")
 
     def __init__(
-        self, from_sql: str, scope: _FromScope, dialect: SqlDialect = SQLITE
+        self,
+        from_sql: str,
+        scope: _FromScope,
+        dialect: SqlDialect = SQLITE,
+        predicates: list[str] | None = None,
     ) -> None:
         self.from_sql = from_sql
         self.scope = scope
         self.dialect = dialect
+        self.predicates = predicates or []
 
     @property
     def columns(self) -> list[str]:
@@ -252,7 +247,27 @@ class _Renderer:
 
     def _as_source(self, query: ast.Query, ctes: dict[str, _Rendered]) -> "_Source | None":
         """Flatten *query* into a FROM clause when it is a join tree over
-        (renamed) base relations; ``None`` when a subselect is required."""
+        (renamed, possibly filtered) base relations; ``None`` when a
+        subselect is required.
+
+        ``Selection`` nodes inside the tree flatten too: their predicates
+        travel upward as pending WHERE fragments.  That is sound because a
+        filter on the *left* input of a CROSS/INNER/LEFT join commutes with
+        the join (its columns survive unchanged), and a filter on the
+        *right* input of a LEFT join folds into the ON condition
+        (``A ⟕_q σ_p(B) ≡ A ⟕_{q∧p} B``).
+        """
+        if isinstance(query, ast.Selection):
+            source = self._as_source(query.query, ctes)
+            if source is None:
+                return None
+            predicate = self._predicate(query.predicate, source.scope, ctes)
+            return _Source(
+                source.from_sql,
+                source.scope,
+                self.dialect,
+                source.predicates + [predicate],
+            )
         if isinstance(query, ast.Relation) and query.name not in ctes:
             relation = self.schema.relation(query.name)
             fragments = {
@@ -287,13 +302,24 @@ class _Renderer:
             fragments = dict(left.scope.fragments)
             fragments.update(right.scope.fragments)
             scope = _FromScope(fragments)
+            pending = list(left.predicates)
             if query.kind is ast.JoinKind.CROSS:
+                pending += right.predicates
                 from_sql = f"{left.from_sql} CROSS JOIN {right.from_sql}"
             else:
                 keyword = "JOIN" if query.kind is ast.JoinKind.INNER else "LEFT JOIN"
-                predicate = self._predicate(query.predicate, scope, ctes)
-                from_sql = f"{left.from_sql} {keyword} {right.from_sql} ON {predicate}"
-            return _Source(from_sql, scope, self.dialect)
+                on_parts = [self._predicate(query.predicate, scope, ctes)]
+                if query.kind is ast.JoinKind.LEFT:
+                    # Right-input filters must not survive to WHERE (they
+                    # would kill null-padded rows); fold them into ON.
+                    on_parts += right.predicates
+                else:
+                    pending += right.predicates
+                from_sql = (
+                    f"{left.from_sql} {keyword} {right.from_sql} "
+                    f"ON {' AND '.join(on_parts)}"
+                )
+            return _Source(from_sql, scope, self.dialect, pending)
         return None
 
     def _source_of(self, query: ast.Query, ctes: dict[str, _Rendered]) -> "_Source":
@@ -317,8 +343,15 @@ class _Renderer:
         if isinstance(query, ast.Selection):
             source = self._source_of(query.query, ctes)
             predicate = self._predicate(query.predicate, source.scope, ctes)
-            return source, predicate
-        return self._source_of(query, ctes), ""
+            return source, self._where_of(source, predicate)
+        source = self._source_of(query, ctes)
+        return source, self._where_of(source)
+
+    @staticmethod
+    def _where_of(source: "_Source", extra: str = "") -> str:
+        """AND-combine the source's pending filters with *extra* ("" = none)."""
+        parts = source.predicates + ([extra] if extra else [])
+        return " AND ".join(parts)
 
     # -- queries -----------------------------------------------------------
 
@@ -338,10 +371,7 @@ class _Renderer:
         if isinstance(query, ast.GroupBy):
             return self._render_group_by(query, ctes)
         if isinstance(query, ast.WithQuery):
-            definition = self.render(query.definition, ctes)
-            extended = dict(ctes)
-            extended[query.name] = definition
-            return self.render(query.body, extended)
+            return self._render_with(query, ctes)
         if isinstance(query, ast.OrderBy):
             return self._render_order_by(query, ctes)
         raise SemanticsError(f"cannot render query node {type(query).__name__}")
@@ -370,8 +400,9 @@ class _Renderer:
     def _render_selection(self, query: ast.Selection, ctes: dict[str, _Rendered]) -> _Rendered:
         source = self._source_of(query.query, ctes)
         predicate = self._predicate(query.predicate, source.scope, ctes)
+        where = self._where_of(source, predicate)
         text = (
-            f"SELECT {source.select_all()} FROM {source.from_sql} WHERE {predicate}"
+            f"SELECT {source.select_all()} FROM {source.from_sql} WHERE {where}"
         )
         return _Rendered(text, source.columns)
 
@@ -402,10 +433,10 @@ class _Renderer:
     def _render_join(self, query: ast.Join, ctes: dict[str, _Rendered]) -> _Rendered:
         flattened = self._as_source(query, ctes)
         if flattened is not None:
-            return _Rendered(
-                f"SELECT {flattened.select_all()} FROM {flattened.from_sql}",
-                flattened.columns,
-            )
+            text = f"SELECT {flattened.select_all()} FROM {flattened.from_sql}"
+            if flattened.predicates:
+                text += f" WHERE {self._where_of(flattened)}"
+            return _Rendered(text, flattened.columns)
         left = self.render(query.left, ctes)
         right = self.render(query.right, ctes)
         left_alias = self._fresh()
@@ -437,6 +468,30 @@ class _Renderer:
                 f"AS {right_alias} ON {predicate}"
             )
         return _Rendered(f"SELECT {select} FROM {join_sql}", columns)
+
+    def _render_with(self, query: ast.WithQuery, ctes: dict[str, _Rendered]) -> _Rendered:
+        """``With(Q1, R, Q2)`` as a real ``WITH R AS (...)`` clause.
+
+        Every later reference to *R* renders as a scan of the CTE name, so
+        engines evaluate the definition once (hash-consed subplans rely on
+        this).  Directly nested ``WithQuery`` bodies fold into one comma-
+        separated WITH clause; a WITH-prefixed subquery is legal wherever
+        the body would otherwise appear (SQLite, DuckDB, MySQL 8, ANSI).
+        """
+        definition = self.render(query.definition, ctes)
+        reference = "SELECT " + ", ".join(
+            f"{self._q(query.name)}.{self._q(c)} AS {self._q(c)}"
+            for c in definition.columns
+        ) + f" FROM {self._q(query.name)}"
+        extended = dict(ctes)
+        extended[query.name] = _Rendered(reference, definition.columns)
+        body = self.render(query.body, extended)
+        clause = f"{self._q(query.name)} AS ({definition.text})"
+        if body.text.startswith("WITH "):
+            text = f"WITH {clause}, {body.text[len('WITH '):]}"
+        else:
+            text = f"WITH {clause} {body.text}"
+        return _Rendered(text, body.columns)
 
     def _render_union(self, query: ast.UnionOp, ctes: dict[str, _Rendered]) -> _Rendered:
         left = self.render(query.left, ctes)
@@ -472,6 +527,8 @@ class _Renderer:
     def _render_order_by(self, query: ast.OrderBy, ctes: dict[str, _Rendered]) -> _Rendered:
         source = self._source_of(query.query, ctes)
         text = f"SELECT {source.select_all()} FROM {source.from_sql}"
+        if source.predicates:
+            text += f" WHERE {self._where_of(source)}"
         if query.keys:
             keys = ", ".join(
                 f"{self._expression(k, source.scope)} {'ASC' if asc else 'DESC'}"

@@ -1,0 +1,62 @@
+"""Table statistics for cardinality estimation.
+
+The optimizer's join planner (:mod:`repro.sql.planner`) ranks candidate
+join orders by estimated output cardinality.  The estimates come from two
+numbers per base table, collected in one pass over the data at bulk-load
+time (:meth:`repro.backends.base.DbApiBackend.bulk_load` and
+:meth:`repro.backends.service.GraphitiService.load_database`):
+
+* the row count, and
+* the number of distinct non-null values per column (NDV).
+
+When no statistics are available the estimator falls back to the textbook
+Selinger defaults (see :class:`repro.sql.planner.CardinalityEstimator`),
+so plans are still produced — just ranked by heuristics instead of data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.relational.instance import Database
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one base relation."""
+
+    row_count: int
+    distinct: Mapping[str, int] = field(default_factory=dict)
+
+    def distinct_of(self, column: str) -> int | None:
+        """NDV of *column* (local name), or ``None`` when unknown."""
+        return self.distinct.get(column)
+
+
+#: Relation name → its statistics.
+DatabaseStats = Mapping[str, TableStats]
+
+
+def collect_stats(database: "Database") -> dict[str, TableStats]:
+    """One-pass row-count + NDV collection over every table of *database*."""
+    from repro.common.values import is_null
+
+    stats: dict[str, TableStats] = {}
+    for name, table in database.tables.items():
+        seen: list[set] = [set() for _ in table.attributes]
+        rows = 0
+        for row in table.rows:
+            rows += 1
+            for index, value in enumerate(row):
+                if not is_null(value):
+                    seen[index].add(value)
+        stats[name] = TableStats(
+            rows,
+            {
+                attribute: len(seen[index])
+                for index, attribute in enumerate(table.attributes)
+            },
+        )
+    return stats

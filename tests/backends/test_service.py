@@ -121,3 +121,83 @@ class TestLoading:
             assert len(svc.run(SCAN_QUERY)) == 5
             svc.load_mock(9)
             assert len(svc.run(SCAN_QUERY)) == 9
+
+
+class TestOptLevels:
+    def test_levels_are_distinct_cache_entries(self, service):
+        for level in (0, 1, 2):
+            service.prepare(JOIN_QUERY, opt_level=level)
+        assert service.cache_info().currsize == 3
+
+    def test_prepared_query_records_level(self, service):
+        assert service.prepare(JOIN_QUERY, opt_level=1).opt_level == 1
+        assert service.prepare(JOIN_QUERY).opt_level == service.opt_level
+
+    def test_level_two_is_the_default(self, emp_dept_schema):
+        with GraphitiService(emp_dept_schema) as svc:
+            assert svc.opt_level == 2
+
+    def test_unknown_level_rejected(self, emp_dept_schema, service):
+        with pytest.raises(ValueError, match="optimization level"):
+            GraphitiService(emp_dept_schema, opt_level=9)
+        with pytest.raises(ValueError, match="optimization level"):
+            service.prepare(SCAN_QUERY, opt_level=9)
+
+    def test_levels_agree_on_results(self, service):
+        results = [service.run(JOIN_QUERY, opt_level=level) for level in (0, 1, 2)]
+        for left, right in zip(results, results[1:]):
+            assert tables_equivalent(left, right)
+
+    def test_reload_replans_level_two_only(self, emp_dept_schema):
+        # Fresh statistics can change the level-2 plan, so a data reload
+        # must invalidate level-2 entries; level-1 plans are stats-free.
+        with GraphitiService(emp_dept_schema) as svc:
+            svc.load_mock(10)
+            svc.prepare(JOIN_QUERY, opt_level=1)
+            svc.prepare(JOIN_QUERY, opt_level=2)
+            svc.load_mock(20)
+            svc.prepare(JOIN_QUERY, opt_level=1)
+            info = svc.cache_info()
+            assert (info.hits, info.misses) == (1, 2)
+            svc.prepare(JOIN_QUERY, opt_level=2)
+            info = svc.cache_info()
+            assert (info.hits, info.misses) == (1, 3)
+
+
+class TestStatistics:
+    def test_load_collects_stats(self, emp_dept_schema):
+        with GraphitiService(emp_dept_schema) as svc:
+            svc.load_mock(25)
+            stats = svc._stats
+            assert stats is not None
+            assert stats["EMP"].row_count == 25
+            assert stats["EMP"].distinct_of("id") == 25
+
+    def test_bulk_load_records_table_stats(self, emp_dept_schema):
+        from repro.backends import load_backend
+
+        with GraphitiService(emp_dept_schema) as svc:
+            svc.load_mock(12)
+            backend = load_backend("sqlite-memory", svc.database)
+            try:
+                assert backend.table_stats is not None
+                assert backend.table_stats["DEPT"].row_count == 12
+            finally:
+                backend.close()
+
+
+class TestQueryStats:
+    def test_run_and_time_are_recorded(self, service):
+        service.run(SCAN_QUERY)
+        service.run(SCAN_QUERY)
+        service.time(JOIN_QUERY, repeats=2)
+        stats = {s.cypher_text: s for s in service.query_stats()}
+        assert stats[SCAN_QUERY].executions == 2
+        assert stats[SCAN_QUERY].total_seconds >= stats[SCAN_QUERY].last_seconds
+        assert stats[JOIN_QUERY].executions == 1
+        assert stats[JOIN_QUERY].mean_seconds >= 0.0
+
+    def test_reset(self, service):
+        service.run(SCAN_QUERY)
+        service.reset_query_stats()
+        assert service.query_stats() == ()

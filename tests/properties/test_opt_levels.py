@@ -1,0 +1,57 @@
+"""Property: optimization levels agree everywhere.
+
+For a deterministic spread of benchmark-suite queries (every universe and
+category), levels 0, 1, and 2 must produce bag-equivalent results both
+under the reference evaluator and when executed on sqlite-memory.  This is
+the per-PR safety net behind the full-suite cross-validation the
+optimizer benchmark performs (``benchmarks/bench_optimizer.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import GraphitiService
+from repro.benchmarks.suite import benchmark_suite
+from repro.relational.instance import tables_equivalent
+
+#: Every SAMPLE_STEP-th benchmark — ~41 queries spanning all six universes
+#: and every template family, small enough for the tier-1 suite.
+SAMPLE_STEP = 10
+ROWS_PER_TABLE = 5
+
+_SUITE = benchmark_suite()[::SAMPLE_STEP]
+_SERVICES: dict[str, GraphitiService] = {}
+
+
+def _service_for(case) -> GraphitiService:
+    service = _SERVICES.get(case.universe.name)
+    if service is None:
+        service = GraphitiService(case.graph_schema)
+        service.load_mock(ROWS_PER_TABLE, seed=11)
+        _SERVICES[case.universe.name] = service
+    return service
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _close_services():
+    yield
+    for service in _SERVICES.values():
+        service.close()
+    _SERVICES.clear()
+
+
+@pytest.mark.parametrize("case", _SUITE, ids=[b.id for b in _SUITE])
+def test_opt_levels_agree(case):
+    service = _service_for(case)
+    expected = service.reference(case.cypher_text, opt_level=0)
+    for level in (1, 2):
+        evaluated = service.reference(case.cypher_text, opt_level=level)
+        assert tables_equivalent(expected, evaluated), (
+            f"reference evaluation diverges at opt level {level}"
+        )
+    for level in (0, 1, 2):
+        executed = service.run(case.cypher_text, opt_level=level)
+        assert tables_equivalent(expected, executed), (
+            f"sqlite-memory execution diverges at opt level {level}"
+        )
