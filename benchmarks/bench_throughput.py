@@ -1,0 +1,123 @@
+"""Throughput benchmark: concurrent query serving over pooled connections.
+
+Thin entry point over :mod:`repro.backends.throughput` (the CLI's
+``repro bench-throughput`` drives the same harness).  Persists the tracked
+baseline ``BENCH_throughput.json`` at the repo root: QPS serial vs 2/4/8
+workers per backend, a speedup table, bag-equivalence validation of every
+concurrent result, the single-transaction bulk-load win, and persistent
+transpilation-cache hit counters (run the script twice: the second, cold
+process reports hits for every query the first one prepared).
+
+Run directly::
+
+    python benchmarks/bench_throughput.py [--rows N] [--batch B] [--quick]
+
+or under pytest (asserts the acceptance criteria; the ≥2× speedup bar is
+only asserted when more than one CPU is actually available — worker
+threads cannot beat serial on a single time-sliced core)::
+
+    pytest benchmarks/bench_throughput.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.backends.throughput import (
+    available_cpus,
+    format_report,
+    run_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_throughput.json"
+
+
+def test_bench_throughput(benchmark, report_rows, tmp_path):
+    report = benchmark.pedantic(
+        run_bench,
+        kwargs={
+            "rows_per_table": 1000,
+            "batch_size": 24,
+            "repeats": 2,
+            # Keep the committed baseline and the user's cache intact;
+            # pytest runs are smoke.
+            "out_path": tmp_path / "BENCH_throughput.json",
+            "cache_path": tmp_path / "transpilations.sqlite",
+        },
+        iterations=1,
+        rounds=1,
+    )
+    report_rows.extend(format_report(report))
+    summary = report["summary"]
+    assert summary["all_concurrent_results_valid"]
+    assert summary["all_batches_consistent_with_serial"]
+    assert report["bulk_load"]["speedup"] > 1.0
+    assert report["persistent_cache"]["cross_service_demo"]["cold_hit_every_query"]
+    if available_cpus() >= 2:
+        # The acceptance bar: pooled workers at least double QPS somewhere.
+        assert summary["best_speedup_at_4_workers"] >= 2.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=2000, help="mock rows per table")
+    parser.add_argument("--batch", type=int, default=40, help="queries per batch")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        help="backend to include (repeatable; default: every available one)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller batch/repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent-cache directory (default: the user cache dir)",
+    )
+    arguments = parser.parse_args(argv)
+    from repro.backends import BackendUnavailable
+
+    try:
+        report = _run(arguments)
+    except BackendUnavailable as error:
+        print(error, file=sys.stderr)
+        return 1
+    print("\n".join(format_report(report)))
+    print(f"wrote {arguments.out}")
+    # Exit status reflects correctness only — QPS scaling depends on the
+    # host's core count and must not flake CI smoke runs.
+    summary = report["summary"]
+    failed = not (
+        summary["all_concurrent_results_valid"]
+        and summary["all_batches_consistent_with_serial"]
+    )
+    return 1 if failed else 0
+
+
+def _run(arguments) -> dict:
+    return run_bench(
+        rows_per_table=min(arguments.rows, 800) if arguments.quick else arguments.rows,
+        batch_size=24 if arguments.quick else arguments.batch,
+        repeats=2 if arguments.quick else arguments.repeats,
+        backends=tuple(arguments.backends) if arguments.backends else None,
+        out_path=arguments.out,
+        cache_path=(
+            arguments.cache_dir / "transpilations.sqlite"
+            if arguments.cache_dir
+            else None
+        ),
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,8 +12,14 @@ The subsystem has four layers:
   ``sqlite-file``; always available) and
   :mod:`repro.backends.duckdb_backend` (``duckdb``; skipped when the
   package is absent).  Importing this package registers all of them.
+* :mod:`repro.backends.pool` — :class:`ConnectionPool`: per-backend pools
+  of warmed, schema-loaded connections (checkout/checkin, lazy growth,
+  clone-based members where the engine shares storage).
+* :mod:`repro.backends.cache` — :class:`PersistentQueryCache`: the
+  cross-process on-disk transpilation store.
 * :mod:`repro.backends.service` — the :class:`GraphitiService` facade:
-  schema → SDT → cached transpile → execute, multi-engine.
+  schema → SDT → cached transpile → pooled, thread-safe execution
+  (``run_many`` fans batches across worker threads), multi-engine.
 
 Adding an engine: subclass :class:`DbApiBackend` (or
 :class:`ExecutionBackend` for exotic engines), give it a ``name`` and a
@@ -42,12 +48,15 @@ from repro.backends import sqlite as _sqlite  # noqa: F401
 from repro.backends import duckdb_backend as _duckdb  # noqa: F401
 from repro.backends.sqlite import SqliteFileBackend, SqliteMemoryBackend
 from repro.backends.duckdb_backend import DuckDbBackend
+from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
+from repro.backends.cache import PersistentQueryCache, default_cache_dir
 from repro.backends.service import (
     CacheInfo,
     GraphitiService,
     PreparedQuery,
     QueryStat,
     schema_fingerprint,
+    stats_digest,
 )
 from repro.backends.comparison import (
     DEFAULT_WORKLOAD,
@@ -70,11 +79,17 @@ __all__ = [
     "SqliteFileBackend",
     "SqliteMemoryBackend",
     "DuckDbBackend",
+    "ConnectionPool",
+    "PoolClosed",
+    "PoolTimeout",
+    "PersistentQueryCache",
+    "default_cache_dir",
     "CacheInfo",
     "GraphitiService",
     "PreparedQuery",
     "QueryStat",
     "schema_fingerprint",
+    "stats_digest",
     "DEFAULT_WORKLOAD",
     "BackendTiming",
     "compare_backends",

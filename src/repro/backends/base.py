@@ -14,6 +14,13 @@ connection (qmark paramstyle); concrete engines usually only provide
 imported in the current environment raise :class:`BackendUnavailable` from
 ``connect`` and report ``is_available() == False`` so callers (registry,
 benchmarks, tests) can skip them gracefully.
+
+Threading: one backend instance is one connection and must only be used by
+one thread at a time.  Concurrency comes from *many* instances — see
+:class:`repro.backends.pool.ConnectionPool`, which keeps warmed instances
+and uses :meth:`ExecutionBackend.clone_for_pool` to stamp out additional
+members cheaply (sharing a database file or an in-memory engine) instead of
+re-loading the data per member where the engine allows it.
 """
 
 from __future__ import annotations
@@ -83,6 +90,19 @@ class ExecutionBackend(ABC):
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def clone_for_pool(self) -> "ExecutionBackend | None":
+        """A new, connected backend sharing this one's loaded data — or
+        ``None`` when the engine cannot share storage between connections.
+
+        :class:`~repro.backends.pool.ConnectionPool` calls this on its
+        primary (warmed, schema-loaded) member when growing; a ``None``
+        return makes the pool fall back to loading a fresh member from the
+        source database (per-worker clone loading).  Implementations must
+        return a backend that is safe to use from a different thread than
+        the one that created the primary.
+        """
+        return None
+
     # -- loading -----------------------------------------------------------
 
     @abstractmethod
@@ -91,8 +111,16 @@ class ExecutionBackend(ABC):
         relation: str,
         rows: Iterable[Sequence[Value]],
         batch_size: int = 1000,
+        commit_mode: str = "end",
     ) -> None:
-        """Append *rows* to *relation*, committing per batch."""
+        """Append *rows* to *relation* in *batch_size* ``executemany`` chunks.
+
+        *commit_mode* is ``"end"`` (one commit when all rows are in — the
+        default and the fast path), ``"batch"`` (a commit per chunk; only
+        useful to measure what the single-transaction load saves), or
+        ``"none"`` (the caller owns the transaction, as :meth:`bulk_load`
+        does to wrap a whole multi-table load in one commit).
+        """
 
     def bulk_load(
         self,
@@ -100,20 +128,26 @@ class ExecutionBackend(ABC):
         batch_size: int = 1000,
         stats: dict[str, TableStats] | None = None,
     ) -> None:
-        """Load every table of *database* (schemas must agree).
+        """Load every table of *database* (schemas must agree) in a single
+        transaction — one commit once every table is in.
 
         Also makes per-table statistics (row counts, distinct values per
         column) available through :attr:`table_stats` — collected lazily on
         first access, so loads whose statistics nobody reads cost nothing
         extra.  A caller that has already collected statistics for
         *database* (the service does, at ``load_database`` time) passes
-        them as *stats*.  Every call rebinds the statistics, which
-        therefore describe the most recently loaded database.
+        them as *stats*, so the same data is never scanned twice.  Every
+        call rebinds the statistics, which therefore describe the most
+        recently loaded database.
         """
         for name, table in database.tables.items():
-            self.insert_rows(name, table.rows, batch_size=batch_size)
+            self.insert_rows(name, table.rows, batch_size=batch_size, commit_mode="none")
+        self._commit_load()
         self._table_stats = stats
         self._stats_source = None if stats is not None else database
+
+    def _commit_load(self) -> None:
+        """Commit an in-flight bulk load (hook; no-op for autocommit engines)."""
 
     @abstractmethod
     def create_indexes(self) -> None:
@@ -223,7 +257,10 @@ class DbApiBackend(ExecutionBackend):
         relation: str,
         rows: Iterable[Sequence[Value]],
         batch_size: int = 1000,
+        commit_mode: str = "end",
     ) -> None:
+        if commit_mode not in ("end", "batch", "none"):
+            raise ValueError(f"unknown commit mode {commit_mode!r}")
         self._ensure_connected()
         relation_def = self.schema.relation(relation)
         placeholders = ", ".join("?" for _ in relation_def.attributes)
@@ -235,11 +272,16 @@ class DbApiBackend(ExecutionBackend):
             batch.append(tuple(self._to_db(v) for v in row))
             if len(batch) >= batch_size:
                 self.connection.executemany(statement, batch)
-                self._commit()
+                if commit_mode == "batch":
+                    self._commit()
                 batch.clear()
         if batch:
             self.connection.executemany(statement, batch)
+        if commit_mode != "none":
             self._commit()
+
+    def _commit_load(self) -> None:
+        self._commit()
 
     def create_indexes(self) -> None:
         self._ensure_connected()

@@ -52,6 +52,23 @@ class DuckDbBackend(DbApiBackend):
             self._type_hints = infer_column_types(database, self.dialect)
         super().bulk_load(database, batch_size=batch_size, stats=stats)
 
+    def clone_for_pool(self):
+        """Another connection into the same in-memory DuckDB database.
+
+        ``duckdb.Connection.cursor()`` returns an independent connection
+        sharing the parent's database (DuckDB supports concurrent readers),
+        so pool members see the primary's loaded tables without re-loading.
+        Closing the clone closes only its own cursor, never the shared
+        database — that stays owned by the primary member.
+        """
+        clone = DuckDbBackend(self.schema)
+        clone._type_hints = self._type_hints
+        clone.connection = self.connection.cursor()
+        clone._schema_created = True
+        clone._table_stats = self._table_stats
+        clone._stats_source = self._stats_source
+        return clone
+
     def explain(self, sql_text: str) -> str:
         self._ensure_connected()
         cursor = self.connection.execute(

@@ -1,0 +1,286 @@
+"""Per-backend connection pooling for concurrent query serving.
+
+A :class:`ConnectionPool` owns up to *capacity* warmed, schema-loaded
+:class:`~repro.backends.base.ExecutionBackend` members for one engine and
+one loaded database.  The first member (the *primary*) is created eagerly
+at construction — connect, DDL, single-transaction bulk load, indexes — so
+the pool is immediately serviceable; further members are spawned lazily,
+only when a checkout finds no idle member and the pool is below capacity.
+
+Growth prefers :meth:`~repro.backends.base.ExecutionBackend.clone_for_pool`
+on the primary — extra read connections to a shared database file
+(``sqlite-file``) or extra cursors into a shared in-memory engine
+(``duckdb``) — and falls back to per-worker clone loading (a fresh
+bulk-loaded member, as ``sqlite-memory`` needs) when the engine cannot
+share storage.  Either way every member carries the same pre-collected
+table statistics; the pool never re-scans the source data.
+
+Checkout/checkin follow the classic discipline: a member is used by at
+most one thread at a time, ``checkout`` blocks (with optional timeout)
+when all members are busy and the pool is at capacity, and the
+:meth:`connection` context manager guarantees checkin on all paths.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.relational.instance import Database
+from repro.sql.stats import TableStats
+
+from repro.backends.base import ExecutionBackend
+from repro.backends.registry import load_backend
+
+
+class PoolClosed(RuntimeError):
+    """Checkout attempted on a closed pool."""
+
+
+class PoolTimeout(RuntimeError):
+    """Checkout timed out waiting for a free member."""
+
+
+class ConnectionPool:
+    """A pool of warmed, schema-loaded backends for one engine + dataset."""
+
+    def __init__(
+        self,
+        backend_name: str,
+        database: Database,
+        capacity: int = 4,
+        batch_size: int = 1000,
+        indexes: bool = True,
+        stats: dict[str, TableStats] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"pool capacity must be >= 1, got {capacity}")
+        self.backend_name = backend_name
+        self._database = database
+        self._batch_size = batch_size
+        self._indexes = indexes
+        self._stats = stats
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._idle: list[ExecutionBackend] = []
+        self._spawning = 0
+        self._size = 0
+        self._checked_out = 0
+        self._closed = False
+        # Serialises clone_for_pool calls on the template: a backend is a
+        # single connection and must never be driven from two threads.
+        self._clone_lock = threading.Lock()
+        # Warm the primary eagerly: its load pays the one-time DDL +
+        # single-transaction bulk load.  Engines whose storage is shareable
+        # keep it as a *template* that is never handed out — clones are
+        # always stamped from a connection no worker thread is using.
+        # Non-shareable engines put the primary straight into rotation.
+        primary = self._load_member()
+        first_clone = primary.clone_for_pool()
+        if first_clone is None:
+            self._template: ExecutionBackend | None = None
+            self._size = 1
+            self._idle.append(primary)
+        else:
+            self._template = primary
+            self._size = 1
+            self._idle.append(first_clone)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of members the pool may grow to."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Members created so far (idle + checked out)."""
+        with self._lock:
+            return self._size
+
+    @property
+    def idle_count(self) -> int:
+        with self._lock:
+            return len(self._idle)
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return self._checked_out
+
+    # -- sizing ------------------------------------------------------------
+
+    def grow_to(self, capacity: int) -> None:
+        """Raise the capacity ceiling (never shrinks, never spawns)."""
+        with self._lock:
+            self._capacity = max(self._capacity, capacity)
+
+    def warm(self, members: int) -> None:
+        """Eagerly spawn until at least ``min(members, capacity)`` exist.
+
+        Benchmarks call this before timing so member creation (which for
+        clone-loading engines repeats the bulk load) does not count against
+        the first concurrent batch.
+        """
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise PoolClosed(f"pool for {self.backend_name!r} is closed")
+                target = min(members, self._capacity)
+                if self._size + self._spawning >= target:
+                    return
+                self._spawning += 1
+            self._spawn_reserved()
+
+    # -- checkout / checkin ------------------------------------------------
+
+    def checkout(self, timeout: float | None = None) -> ExecutionBackend:
+        """A member for exclusive use; blocks while at capacity and busy."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._available:
+            while True:
+                if self._closed:
+                    raise PoolClosed(f"pool for {self.backend_name!r} is closed")
+                if self._idle:
+                    member = self._idle.pop()
+                    self._checked_out += 1
+                    return member
+                if self._size + self._spawning < self._capacity:
+                    self._spawning += 1
+                    break
+                # A real deadline, not a per-wakeup timeout: a waiter that
+                # keeps being notified but loses the race to a faster
+                # thread must still time out after *timeout* seconds total.
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise PoolTimeout(
+                        f"no free {self.backend_name!r} member within {timeout}s "
+                        f"(capacity {self._capacity})"
+                    )
+                self._available.wait(remaining)
+        member = self._spawn_reserved(checkout=True)
+        return member
+
+    def checkin(self, member: ExecutionBackend) -> None:
+        """Return *member* to the idle set (closes it if the pool closed)."""
+        with self._available:
+            self._checked_out -= 1
+            if self._closed:
+                self._size -= 1
+                closing = member
+            else:
+                self._idle.append(member)
+                closing = None
+            self._available.notify()
+        if closing is not None:
+            closing.close()
+            self._teardown_template_if_due()
+
+    @contextmanager
+    def connection(self, timeout: float | None = None) -> Iterator[ExecutionBackend]:
+        """``with pool.connection() as engine: engine.execute(...)``."""
+        member = self.checkout(timeout=timeout)
+        try:
+            yield member
+        finally:
+            self.checkin(member)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close idle members and refuse new checkouts.
+
+        Members currently checked out are closed as they are checked back
+        in, so no connection is ever torn down under a running query; the
+        template (owner of any shared storage) is closed only once the
+        last outstanding member has returned.
+        """
+        with self._available:
+            if self._closed:
+                return
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._size -= len(idle)
+            self._available.notify_all()
+        for member in idle:
+            member.close()
+        self._teardown_template_if_due()
+
+    def _teardown_template_if_due(self) -> None:
+        """Close the template once it can no longer be needed.
+
+        The template owns any shared storage (the database file, the parent
+        in-memory connection), so it must outlive every member *and* every
+        in-flight spawn; the last of close()/checkin()/_spawn_reserved() to
+        observe the closed, fully drained pool tears it down.
+        """
+        template = None
+        with self._available:
+            if (
+                self._closed
+                and self._checked_out == 0
+                and self._spawning == 0
+                and self._template is not None
+            ):
+                template, self._template = self._template, None
+        if template is not None:
+            with self._clone_lock:  # never under an in-flight clone
+                template.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _load_member(self) -> ExecutionBackend:
+        return load_backend(
+            self.backend_name,
+            self._database,
+            batch_size=self._batch_size,
+            indexes=self._indexes,
+            stats=self._stats,
+        )
+
+    def _spawn_reserved(self, checkout: bool = False) -> ExecutionBackend:
+        """Create the member a caller reserved a slot for (``_spawning``)."""
+        member: ExecutionBackend | None = None
+        discard = False
+        try:
+            if self._template is not None:
+                with self._clone_lock:
+                    template = self._template  # may have been taken meanwhile
+                    member = template.clone_for_pool() if template else None
+            if member is None:
+                member = self._load_member()
+        finally:
+            # The member's fate is decided under the lock — a close() racing
+            # with this spawn either sees the member in the pool's books and
+            # handles it, or we discard it ourselves, never both.
+            with self._available:
+                self._spawning -= 1
+                if member is None:
+                    # Spawn failed: wake a waiter so it can reserve the slot
+                    # (or observe the pool's closure) instead of hanging.
+                    self._available.notify()
+                elif self._closed:
+                    discard = True
+                else:
+                    self._size += 1
+                    if checkout:
+                        self._checked_out += 1
+                    else:
+                        self._idle.append(member)
+                        self._available.notify()
+        if discard:
+            member.close()
+            self._teardown_template_if_due()
+            raise PoolClosed(f"pool for {self.backend_name!r} is closed")
+        assert member is not None
+        return member

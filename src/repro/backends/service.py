@@ -5,26 +5,40 @@ The service wires the whole paper pipeline behind one object so callers
 
 * the induced relational schema and standard transformer are computed once
   per service (``infer_sdt``);
-* transpilation + dialect rendering is memoised in an LRU cache keyed by
-  ``(schema fingerprint, Cypher text, dialect)`` — repeated queries on hot
-  paths skip parsing, translation, optimisation, and rendering entirely;
-* execution backends are resolved through the registry, created lazily per
-  name, and bulk-loaded (batched) from the service's current database, so
-  one loaded dataset serves any number of engines side by side.
+* transpilation + dialect rendering is memoised in two tiers — a
+  process-local LRU keyed by ``(schema fingerprint, Cypher text, dialect,
+  opt level, statistics digest)``, and an optional persistent on-disk store
+  (:class:`~repro.backends.cache.PersistentQueryCache`) under the same
+  logical key, so even a *cold process* skips parsing, translation,
+  optimisation, and rendering for previously prepared queries;
+* execution backends are resolved through the registry and served from
+  per-backend :class:`~repro.backends.pool.ConnectionPool`\\ s of warmed,
+  bulk-loaded connections, so one loaded dataset serves any number of
+  engines — and any number of *threads* — side by side.
+
+The service is thread-safe: the LRU, the query-statistics counters, and
+the pool map are lock-protected, and every execution path checks a
+connection out of a pool for exclusive use.  :meth:`GraphitiService.run_many`
+fans a batch of Cypher texts across a worker-thread pool (results come back
+in batch order), which is where pooled connections turn into throughput —
+see ``benchmarks/bench_throughput.py`` for the tracked numbers.
 
 The schema fingerprint in the cache key makes cache entries safe to share
 between services over the *same* schema and impossible to confuse between
-different ones (and keeps keys meaningful if an external cache store is
-ever plugged in).
+different ones; the statistics digest does the same for level-2 plans,
+which legitimately change when fresh data changes the estimated join order.
 """
 
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Iterator
+from pathlib import Path
+from typing import Iterator, Sequence
 
 from repro.core.sdt import infer_sdt
 from repro.core.transpile import transpile
@@ -40,10 +54,14 @@ from repro.sql.semantics import evaluate_query as evaluate_sql
 from repro.sql.stats import DatabaseStats, collect_stats
 from repro.transformer.semantics import transform_graph
 
-from repro.backends.base import ExecutionBackend
-from repro.backends.registry import available_backends, load_backend
+from repro.backends.cache import PersistentQueryCache, cache_key
+from repro.backends.pool import ConnectionPool
+from repro.backends.registry import available_backends
 
 DEFAULT_BACKEND = "sqlite-memory"
+
+#: Per-query latency samples kept for percentile reporting (most recent).
+MAX_LATENCY_SAMPLES = 512
 
 
 def schema_fingerprint(graph_schema: GraphSchema) -> str:
@@ -57,6 +75,24 @@ def schema_fingerprint(graph_schema: GraphSchema) -> str:
         )
     canonical = "\n".join(sorted(parts))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def stats_digest(stats: DatabaseStats | None) -> str:
+    """A stable content digest of table statistics (cache-key component).
+
+    Processes that load the same data derive the same digest, so level-2
+    plans are shareable across processes through the persistent cache;
+    different data yields a different digest, invalidating exactly the
+    entries whose chosen join order the new statistics could change.
+    """
+    if stats is None:
+        return ""
+    parts = []
+    for name in sorted(stats):
+        table = stats[name]
+        distinct = ",".join(f"{c}={n}" for c, n in sorted(table.distinct.items()))
+        parts.append(f"{name}:{table.row_count}:{distinct}")
+    return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)
@@ -99,51 +135,76 @@ class QueryStat:
     repeats as one measurement (the repeats exist to stabilise that
     number, not as independent work).  ``mean_seconds`` is therefore the
     mean *per-execution* wall-clock — the typical cost of running the
-    query once.
+    query once.  ``samples`` retains the most recent
+    :data:`MAX_LATENCY_SAMPLES` measurements so throughput runs can report
+    tail latency (:attr:`p50_seconds`, :attr:`p95_seconds`), not just
+    totals.
     """
 
     cypher_text: str
     executions: int
     total_seconds: float
     last_seconds: float
+    samples: tuple[float, ...] = ()
 
     @property
     def mean_seconds(self) -> float:
         return self.total_seconds / self.executions if self.executions else 0.0
 
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the retained samples (0 if none)."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    @property
+    def p50_seconds(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95_seconds(self) -> float:
+        return self.percentile(0.95)
+
 
 class _LruCache:
-    """A small LRU map with hit/miss accounting (no external deps)."""
+    """A small, thread-safe LRU map with hit/miss accounting (stdlib only)."""
 
     def __init__(self, maxsize: int) -> None:
         self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self._lock = threading.Lock()
         self._entries: OrderedDict[object, object] = OrderedDict()
 
     def get(self, key: object) -> object | None:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: object, value: object) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def info(self) -> CacheInfo:
-        return CacheInfo(self.hits, self.misses, self.maxsize, len(self._entries))
+        with self._lock:
+            return CacheInfo(self.hits, self.misses, self.maxsize, len(self._entries))
 
 
 class GraphitiService:
@@ -154,7 +215,16 @@ class GraphitiService:
         service = GraphitiService(graph_schema)
         service.load_graph(property_graph)        # or load_database / load_mock
         table = service.run("MATCH (n:EMP) RETURN n.name")
+        tables = service.run_many([q1, q2, q3, q4], workers=4)
         timings = {b: service.time(q, backend=b) for b in service.backends()}
+
+    *pool_size* caps how many pooled connections each backend may grow to;
+    :meth:`run_many` raises the cap when asked for more workers.
+    *persistent_cache* enables the cross-process transpilation store: pass
+    ``True`` for the default location (see
+    :func:`repro.backends.cache.default_cache_dir`), a path, or a
+    :class:`~repro.backends.cache.PersistentQueryCache` to share one store
+    between services.
     """
 
     def __init__(
@@ -165,9 +235,13 @@ class GraphitiService:
         batch_size: int = 1000,
         indexes: bool = True,
         opt_level: int = DEFAULT_OPT_LEVEL,
+        pool_size: int = 4,
+        persistent_cache: PersistentQueryCache | str | Path | bool | None = None,
     ) -> None:
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
         self.graph_schema = graph_schema
         self.sdt = infer_sdt(graph_schema)
         self.fingerprint = schema_fingerprint(graph_schema)
@@ -175,14 +249,30 @@ class GraphitiService:
         self.batch_size = batch_size
         self.indexes = indexes
         self.opt_level = opt_level
+        self.pool_size = pool_size
         self._cache = _LruCache(cache_size)
+        self._persistent, self._owns_persistent = self._open_persistent(
+            persistent_cache
+        )
         self._database = Database(self.sdt.schema)
-        self._backends: dict[str, ExecutionBackend] = {}
         self._stats: DatabaseStats | None = None
-        #: Bumped on every data load; part of the cache key at level 2,
-        #: where fresh statistics can legitimately change the chosen plan.
-        self._stats_epoch = 0
+        self._stats_digest = ""
+        #: Guards the pool map, loaded data swap, and query statistics.
+        self._lock = threading.RLock()
+        self._pools: dict[str, ConnectionPool] = {}
         self._query_stats: dict[str, QueryStat] = {}
+
+    @staticmethod
+    def _open_persistent(
+        setting: PersistentQueryCache | str | Path | bool | None,
+    ) -> tuple[PersistentQueryCache | None, bool]:
+        if setting is None or setting is False:
+            return None, False
+        if isinstance(setting, PersistentQueryCache):
+            return setting, False  # shared store: caller owns its lifetime
+        if setting is True:
+            return PersistentQueryCache(), True
+        return PersistentQueryCache(setting), True
 
     # -- data --------------------------------------------------------------
 
@@ -192,15 +282,21 @@ class GraphitiService:
         return self._database
 
     def load_database(self, database: Database) -> None:
-        """Serve queries over *database* (an induced-schema instance)."""
+        """Serve queries over *database* (an induced-schema instance).
+
+        Statistics are collected here, once, and handed down to every pool
+        member — backends never re-scan the same data.
+        """
         if database.schema.relations != self.sdt.schema.relations:
             raise ValueError(
                 "database schema does not match the induced schema of this service"
             )
-        self._reset_backends()
-        self._database = database
-        self._stats = collect_stats(database)
-        self._stats_epoch += 1
+        stats = collect_stats(database)
+        with self._lock:
+            self._reset_pools()
+            self._database = database
+            self._stats = stats
+            self._stats_digest = stats_digest(stats)
 
     def load_graph(self, graph: object) -> None:
         """Serve queries over a property graph, via the standard transformer."""
@@ -221,11 +317,13 @@ class GraphitiService:
         dialect: str | SqlDialect | None = None,
         opt_level: int | None = None,
     ) -> PreparedQuery:
-        """Parse, transpile, optimize, and render *cypher_text* (LRU-cached).
+        """Parse, transpile, optimize, and render *cypher_text* (cached).
 
-        *opt_level* overrides the service default for this query.  The cache
-        key includes the level and (at level 2) the statistics epoch, since
-        reloaded data can legitimately change the chosen join order.
+        Lookup order: in-memory LRU, then the persistent store (when
+        enabled), then the full pipeline.  *opt_level* overrides the
+        service default for this query.  The cache key includes the level
+        and (at level 2) the statistics digest, since reloaded data can
+        legitimately change the chosen join order.
         """
         if dialect is None:
             dialect = self._dialect_of(self.default_backend)
@@ -233,18 +331,27 @@ class GraphitiService:
         level = self.opt_level if opt_level is None else opt_level
         if level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {level!r}")
-        epoch = self._stats_epoch if level >= 2 else 0
-        key = (self.fingerprint, cypher_text, dialect.name, level, epoch)
+        with self._lock:  # a racing load_database must not tear stats/digest
+            stats, digest = self._stats, self._stats_digest
+        if level < 2:
+            digest = ""
+        key = (self.fingerprint, cypher_text, dialect.name, level, digest)
         cached = self._cache.get(key)
         if cached is not None:
             assert isinstance(cached, PreparedQuery)
             return cached
+        if self._persistent is not None:
+            disk_key = cache_key(self.fingerprint, cypher_text, dialect.name, level, digest)
+            stored = self._persistent.get(disk_key)
+            if isinstance(stored, PreparedQuery):
+                self._cache.put(key, stored)
+                return stored
         query = parse_cypher(cypher_text, self.graph_schema)
         translated = optimize(
             transpile(query, self.graph_schema, self.sdt),
             level=level,
             schema=self.sdt.schema,
-            stats=self._stats,
+            stats=stats,
         )
         rendered = to_sql_text(
             translated, self.sdt.schema, optimized=False, dialect=dialect
@@ -253,6 +360,8 @@ class GraphitiService:
             cypher_text, translated, rendered, dialect.name, self.fingerprint, level
         )
         self._cache.put(key, prepared)
+        if self._persistent is not None:
+            self._persistent.put(disk_key, cypher_text, prepared)
         return prepared
 
     def transpile_to_sql(
@@ -261,11 +370,22 @@ class GraphitiService:
         dialect: str | SqlDialect | None = None,
         opt_level: int | None = None,
     ) -> str:
-        """The rendered SQL text for *cypher_text* (LRU-cached)."""
+        """The rendered SQL text for *cypher_text* (cached)."""
         return self.prepare(cypher_text, dialect, opt_level=opt_level).sql_text
 
     def cache_info(self) -> CacheInfo:
         return self._cache.info()
+
+    def persistent_cache_info(self) -> CacheInfo | None:
+        """Hit/miss counters of the persistent store (``None`` if disabled)."""
+        if self._persistent is None:
+            return None
+        return CacheInfo(
+            self._persistent.hits,
+            self._persistent.misses,
+            -1,  # unbounded
+            len(self._persistent),
+        )
 
     def clear_cache(self) -> None:
         self._cache.clear()
@@ -278,13 +398,64 @@ class GraphitiService:
         backend: str | None = None,
         opt_level: int | None = None,
     ) -> Table:
-        """Execute *cypher_text* on *backend* over the loaded data."""
-        engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
-        start = time.perf_counter()
-        result = engine.execute(prepared.sql_text)
-        self._record(cypher_text, time.perf_counter() - start)
+        """Execute *cypher_text* on *backend* over the loaded data.
+
+        Thread-safe: the query runs on a pooled connection checked out for
+        exclusive use, so any number of threads may call this concurrently.
+        """
+        name = backend or self.default_backend
+        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        pool = self._pool(name)
+        with pool.connection() as engine:
+            start = time.perf_counter()
+            result = engine.execute(prepared.sql_text)
+            self._record(cypher_text, time.perf_counter() - start)
         return result
+
+    def run_many(
+        self,
+        cypher_texts: Sequence[str],
+        workers: int = 4,
+        backend: str | None = None,
+        opt_level: int | None = None,
+    ) -> list[Table]:
+        """Execute a batch of Cypher texts concurrently; results in order.
+
+        Fans the batch across *workers* threads, each executing on its own
+        pooled connection (the pool's capacity grows to *workers* if it was
+        smaller).  Transpilation happens up front on the calling thread —
+        it is cached and GIL-bound anyway — so worker time is pure engine
+        execution.  ``results[i]`` is the table for ``cypher_texts[i]``.
+        """
+        texts = list(cypher_texts)
+        if not texts:
+            return []
+        name = backend or self.default_backend
+        workers = max(1, min(workers, len(texts)))
+        dialect = self._dialect_of(name)
+        prepared = {
+            text: self.prepare(text, dialect, opt_level=opt_level)
+            for text in dict.fromkeys(texts)  # each distinct text once
+        }
+        pool = self._pool(name, min_capacity=workers)
+        results: list[Table | None] = [None] * len(texts)
+
+        def execute_one(index: int) -> None:
+            text = texts[index]
+            with pool.connection() as engine:
+                start = time.perf_counter()
+                results[index] = engine.execute(prepared[text].sql_text)
+                self._record(text, time.perf_counter() - start)
+
+        if workers == 1:
+            for index in range(len(texts)):
+                execute_one(index)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                # list() drains the iterator so worker exceptions propagate.
+                list(executor.map(execute_one, range(len(texts))))
+        assert all(table is not None for table in results)
+        return results  # type: ignore[return-value]
 
     def reference(self, cypher_text: str, opt_level: int | None = None) -> Table:
         """The reference bag-semantics evaluation of the transpiled query."""
@@ -297,9 +468,10 @@ class GraphitiService:
         backend: str | None = None,
         opt_level: int | None = None,
     ) -> str:
-        engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
-        return engine.explain(prepared.sql_text)
+        name = backend or self.default_backend
+        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        with self._pool(name).connection() as engine:
+            return engine.explain(prepared.sql_text)
 
     def time(
         self,
@@ -309,32 +481,53 @@ class GraphitiService:
         opt_level: int | None = None,
     ) -> float:
         """Median execution seconds of *cypher_text* on *backend*."""
-        engine = self._backend(backend or self.default_backend)
-        prepared = self.prepare(cypher_text, engine.dialect, opt_level=opt_level)
-        seconds = engine.time(prepared.sql_text, repeats=repeats)
+        name = backend or self.default_backend
+        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        with self._pool(name).connection() as engine:
+            seconds = engine.time(prepared.sql_text, repeats=repeats)
         self._record(cypher_text, seconds)
         return seconds
+
+    # -- pooling -----------------------------------------------------------
+
+    def pool(self, backend: str | None = None) -> ConnectionPool:
+        """The connection pool serving *backend* (created on first use)."""
+        return self._pool(backend or self.default_backend)
+
+    def warm_pool(self, backend: str | None = None, members: int | None = None) -> None:
+        """Eagerly spawn pool members (benchmarks: pay load cost up front)."""
+        members = self.pool_size if members is None else members
+        self._pool(backend or self.default_backend, min_capacity=members).warm(members)
 
     # -- observability -----------------------------------------------------
 
     def query_stats(self) -> tuple[QueryStat, ...]:
         """Per-query execution accounting (insertion order), for ``--stats``."""
-        return tuple(self._query_stats.values())
+        with self._lock:
+            return tuple(self._query_stats.values())
 
     def reset_query_stats(self) -> None:
-        self._query_stats.clear()
+        with self._lock:
+            self._query_stats.clear()
 
     def _record(self, cypher_text: str, seconds: float) -> None:
-        previous = self._query_stats.get(cypher_text)
-        if previous is None:
-            self._query_stats[cypher_text] = QueryStat(cypher_text, 1, seconds, seconds)
-        else:
-            self._query_stats[cypher_text] = QueryStat(
-                cypher_text,
-                previous.executions + 1,
-                previous.total_seconds + seconds,
-                seconds,
-            )
+        with self._lock:
+            previous = self._query_stats.get(cypher_text)
+            if previous is None:
+                self._query_stats[cypher_text] = QueryStat(
+                    cypher_text, 1, seconds, seconds, (seconds,)
+                )
+            else:
+                samples = previous.samples + (seconds,)
+                if len(samples) > MAX_LATENCY_SAMPLES:
+                    samples = samples[-MAX_LATENCY_SAMPLES:]
+                self._query_stats[cypher_text] = QueryStat(
+                    cypher_text,
+                    previous.executions + 1,
+                    previous.total_seconds + seconds,
+                    seconds,
+                    samples,
+                )
 
     def backends(self) -> tuple[str, ...]:
         """Backends this service could run on here (registry availability)."""
@@ -343,7 +536,10 @@ class GraphitiService:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        self._reset_backends()
+        with self._lock:
+            self._reset_pools()
+        if self._owns_persistent and self._persistent is not None:
+            self._persistent.close()
 
     def __enter__(self) -> "GraphitiService":
         return self
@@ -353,28 +549,32 @@ class GraphitiService:
 
     # -- internals ---------------------------------------------------------
 
-    def _backend(self, name: str) -> ExecutionBackend:
-        engine = self._backends.get(name)
-        if engine is None:
-            engine = load_backend(
-                name,
-                self._database,
-                batch_size=self.batch_size,
-                indexes=self.indexes,
-                stats=dict(self._stats) if self._stats is not None else None,
-            )
-            self._backends[name] = engine
-        return engine
+    def _pool(self, name: str, min_capacity: int = 1) -> ConnectionPool:
+        with self._lock:
+            pool = self._pools.get(name)
+            if pool is None:
+                pool = ConnectionPool(
+                    name,
+                    self._database,
+                    capacity=max(self.pool_size, min_capacity),
+                    batch_size=self.batch_size,
+                    indexes=self.indexes,
+                    stats=self._stats,
+                )
+                self._pools[name] = pool
+            elif pool.capacity < min_capacity:
+                pool.grow_to(min_capacity)
+            return pool
 
     def _dialect_of(self, backend_name: str) -> SqlDialect:
         from repro.backends.registry import backend_info
 
         return backend_info(backend_name).backend_class.dialect
 
-    def _reset_backends(self) -> None:
-        for engine in self._backends.values():
-            engine.close()
-        self._backends.clear()
+    def _reset_pools(self) -> None:
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
 
     def _loaded_backends(self) -> Iterator[str]:
-        return iter(self._backends)
+        return iter(self._pools)

@@ -6,6 +6,19 @@ file-backed variant exists because its performance profile differs (page
 cache, fsync on commit) — useful as a second data point in
 ``bench-backends`` — and because it demonstrates backends that own on-disk
 state they must clean up on ``close``.
+
+Connections are opened with ``check_same_thread=False`` so a pooled backend
+can be checked out by whichever worker thread is free; the pool guarantees
+one thread at a time per member, which is the actual safety requirement.
+Pooling strategies differ by storage:
+
+* ``sqlite-file`` clones cheaply — extra pool members are additional
+  read connections to the primary member's database file (SQLite allows
+  any number of concurrent readers);
+* ``sqlite-memory`` cannot share a plain ``:memory:`` database between
+  connections, so it reports ``clone_for_pool() -> None`` and the pool
+  falls back to per-worker clone loading (each member gets its own
+  loaded copy — embarrassingly parallel reads at the cost of memory).
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ import tempfile
 from repro.relational.schema import RelationalSchema
 from repro.sql.dialect import SQLITE
 
-from repro.backends.base import DbApiBackend
+from repro.backends.base import DbApiBackend, ExecutionBackend
 from repro.backends.registry import register_backend
 
 
@@ -30,7 +43,10 @@ class _SqliteBackend(DbApiBackend):
         return ":memory:"
 
     def _open_connection(self) -> sqlite3.Connection:
-        return sqlite3.connect(self._database_path())
+        # check_same_thread=False: members of a ConnectionPool migrate
+        # between worker threads (never concurrently — the pool serialises
+        # checkout/checkin), which the default same-thread guard would veto.
+        return sqlite3.connect(self._database_path(), check_same_thread=False)
 
 
 @register_backend
@@ -60,6 +76,21 @@ class SqliteFileBackend(_SqliteBackend):
 
     def _database_path(self) -> str:
         return self.path
+
+    def clone_for_pool(self) -> ExecutionBackend | None:
+        """Another read connection to the same database file.
+
+        The clone does not own the file (the primary's ``close`` removes
+        it), skips DDL (the schema already exists on disk), and shares the
+        primary's already-collected table statistics instead of rescanning
+        the data.
+        """
+        clone = SqliteFileBackend(self.schema, path=self.path)
+        clone.connect()
+        clone._schema_created = True
+        clone._table_stats = self._table_stats
+        clone._stats_source = self._stats_source
+        return clone
 
     def close(self) -> None:
         super().close()

@@ -20,18 +20,28 @@ Subcommands
             --transformer t.txt --cypher "..." --sql "..." --backend deductive
 
 ``run``
-    Execute a Cypher query end-to-end on a registered execution backend
-    (schema → SDT → cached transpile → bulk-load → execute)::
+    Execute Cypher queries end-to-end on a registered execution backend
+    (schema → SDT → cached transpile → bulk-load → execute).  ``--cypher``
+    repeats; ``--workers N`` fans the batch across N pooled connections::
 
         python -m repro run --example emp-dept --rows 1000 \\
             --backend sqlite-memory \\
             --cypher "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name"
+        python -m repro run --example emp-dept --workers 4 \\
+            --cypher "MATCH (n:EMP) RETURN n.name" \\
+            --cypher "MATCH (m:DEPT) RETURN m.dname"
 
 ``bench-backends``
     Compare execution time of a standard workload across every available
     backend (results cross-checked against the reference evaluator)::
 
         python -m repro bench-backends --rows 5000 --repeats 5
+
+``bench-throughput``
+    Measure concurrent-serving QPS (serial vs pooled worker threads) and
+    write the tracked baseline ``BENCH_throughput.json``::
+
+        python -m repro bench-throughput --rows 2000 --batch 40
 
 ``backends``
     List registered execution backends and their availability.
@@ -86,6 +96,7 @@ def main(argv: list[str] | None = None) -> int:
         "check": _command_check,
         "run": _command_run,
         "bench-backends": _command_bench_backends,
+        "bench-throughput": _command_bench_throughput,
         "backends": _command_backends,
         "tables": _command_tables,
         "suite": _command_suite,
@@ -138,9 +149,15 @@ def _build_parser() -> argparse.ArgumentParser:
     check_parser.add_argument("--budget", type=float, default=10.0)
 
     run_parser = subparsers.add_parser(
-        "run", help="execute a Cypher query on an execution backend"
+        "run", help="execute Cypher queries on an execution backend"
     )
-    run_parser.add_argument("--cypher", required=True, help="Cypher query text")
+    run_parser.add_argument(
+        "--cypher",
+        required=True,
+        action="append",
+        dest="cyphers",
+        help="Cypher query text (repeatable; a batch runs via the pool)",
+    )
     run_parser.add_argument(
         "--graph-schema", type=Path, help="graph schema declaration file"
     )
@@ -170,6 +187,18 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="optimization level: 0 raw, 1 rule rewrites, 2 cost-based (default 2)",
     )
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker threads executing the batch over pooled connections "
+        "(default 1: serial)",
+    )
+    run_parser.add_argument(
+        "--persistent-cache",
+        action="store_true",
+        help="use the on-disk transpilation cache (cross-process reuse)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench-backends", help="compare the standard workload across backends"
@@ -185,6 +214,32 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         dest="backends",
         help="backend to include (repeatable; default: every available one)",
+    )
+
+    throughput_parser = subparsers.add_parser(
+        "bench-throughput",
+        help="measure concurrent-serving QPS and write BENCH_throughput.json",
+    )
+    throughput_parser.add_argument(
+        "--rows", type=int, default=2000, help="mock rows per table (default 2000)"
+    )
+    throughput_parser.add_argument(
+        "--batch", type=int, default=40, help="queries per batch (default 40)"
+    )
+    throughput_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best reported)"
+    )
+    throughput_parser.add_argument(
+        "--backend",
+        action="append",
+        dest="backends",
+        help="backend to include (repeatable; default: every available one)",
+    )
+    throughput_parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("BENCH_throughput.json"),
+        help="output JSON path (default ./BENCH_throughput.json)",
     )
 
     backends_parser = subparsers.add_parser(
@@ -247,35 +302,78 @@ def _command_run(arguments) -> int:
     from repro.common.errors import GraphitiError
 
     schema = _load_graph_schema(arguments)
+    queries = list(arguments.cyphers)
+    workers = max(1, arguments.workers)
     with GraphitiService(
-        schema, default_backend=arguments.backend, opt_level=arguments.opt
+        schema,
+        default_backend=arguments.backend,
+        opt_level=arguments.opt,
+        pool_size=max(4, workers),
+        persistent_cache=arguments.persistent_cache or None,
     ) as service:
         service.load_mock(arguments.rows, seed=arguments.seed)
         try:
             if arguments.show_sql:
-                print("-- rendered SQL")
-                print(service.transpile_to_sql(arguments.cypher))
-                print()
+                for text in queries:
+                    print("-- rendered SQL")
+                    print(service.transpile_to_sql(text))
+                    print()
             if arguments.explain:
-                print("-- query plan")
-                print(service.explain(arguments.cypher))
-                print()
+                for text in queries:
+                    print("-- query plan")
+                    print(service.explain(text))
+                    print()
             start = time.perf_counter()
-            result = service.run(arguments.cypher)
+            results = service.run_many(queries, workers=workers)
             seconds = time.perf_counter() - start
         except (BackendUnavailable, GraphitiError) as error:
             raise SystemExit(str(error))
-        shown = result.rows[: arguments.limit]
-        print(" | ".join(result.attributes))
-        for row in shown:
-            print(" | ".join(repr(v) for v in row))
-        if len(result.rows) > len(shown):
-            print(f"... ({len(result.rows)} rows total)")
+        for index, result in enumerate(results):
+            if len(queries) > 1:
+                print(f"-- [{index + 1}/{len(queries)}] {queries[index]}")
+            shown = result.rows[: arguments.limit]
+            print(" | ".join(result.attributes))
+            for row in shown:
+                print(" | ".join(repr(v) for v in row))
+            if len(result.rows) > len(shown):
+                print(f"... ({len(result.rows)} rows total)")
+        total_rows = sum(len(result.rows) for result in results)
+        batch = f" ({len(queries)} queries, {workers} workers)" if len(queries) > 1 else ""
         print(
-            f"-- {len(result.rows)} rows on {arguments.backend} "
+            f"-- {total_rows} rows on {arguments.backend}{batch} "
             f"({seconds * 1000:.2f} ms)"
         )
+        if arguments.persistent_cache:
+            info = service.persistent_cache_info()
+            print(
+                f"-- persistent cache: hits={info.hits} misses={info.misses} "
+                f"entries={info.currsize}"
+            )
     return 0
+
+
+def _command_bench_throughput(arguments) -> int:
+    from repro.backends import BackendUnavailable
+    from repro.backends.throughput import format_report, run_bench
+
+    try:
+        report = run_bench(
+            rows_per_table=arguments.rows,
+            batch_size=arguments.batch,
+            repeats=arguments.repeats,
+            backends=tuple(arguments.backends) if arguments.backends else None,
+            out_path=arguments.out,
+        )
+    except BackendUnavailable as error:
+        raise SystemExit(str(error))
+    print("\n".join(format_report(report)))
+    print(f"wrote {arguments.out}")
+    summary = report["summary"]
+    ok = (
+        summary["all_concurrent_results_valid"]
+        and summary["all_batches_consistent_with_serial"]
+    )
+    return 0 if ok else 1
 
 
 def _command_bench_backends(arguments) -> int:
@@ -341,6 +439,8 @@ def _print_backend_stats(rows_per_table: int) -> None:
             print(
                 f"{label:10} runs={stat.executions}  "
                 f"mean={stat.mean_seconds * 1000:7.2f} ms  "
+                f"p50={stat.p50_seconds * 1000:7.2f} ms  "
+                f"p95={stat.p95_seconds * 1000:7.2f} ms  "
                 f"last={stat.last_seconds * 1000:7.2f} ms"
             )
 

@@ -1,0 +1,190 @@
+"""ConnectionPool behaviour: checkout/checkin, lazy growth, clones, close."""
+
+import threading
+import time
+
+import pytest
+
+from repro.backends import ConnectionPool, PoolClosed, PoolTimeout, available_backends
+from repro.core.sdt import infer_sdt
+from repro.execution.datagen import MockDataGenerator
+from repro.sql.stats import collect_stats
+
+
+@pytest.fixture
+def emp_dept_db(emp_dept_schema):
+    sdt = infer_sdt(emp_dept_schema)
+    return MockDataGenerator(emp_dept_schema, sdt, seed=3).induced_instance(30)
+
+
+QUERY = 'SELECT COUNT(*) FROM "EMP"'
+
+
+class TestCheckoutCheckin:
+    def test_primary_is_warm_and_loaded(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            assert pool.size == 1  # primary created eagerly
+            with pool.connection() as engine:
+                assert engine.execute(QUERY).rows[0][0] == 30
+
+    def test_checkin_returns_member_to_idle(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=4)
+        member = pool.checkout()
+        assert (pool.idle_count, pool.in_use) == (0, 1)
+        pool.checkin(member)
+        assert (pool.idle_count, pool.in_use) == (1, 0)
+        # The same warmed member is reused, not a new one.
+        assert pool.checkout() is member
+        pool.close()
+
+    def test_grows_lazily_up_to_capacity(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=3) as pool:
+            members = [pool.checkout() for _ in range(3)]
+            assert pool.size == 3
+            assert len({id(m) for m in members}) == 3
+            for member in members:
+                assert member.execute(QUERY).rows[0][0] == 30
+                pool.checkin(member)
+
+    def test_blocks_at_capacity_until_checkin(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=1)
+        member = pool.checkout()
+        acquired = []
+
+        def blocked_checkout():
+            other = pool.checkout(timeout=5)
+            acquired.append(other)
+            pool.checkin(other)
+
+        thread = threading.Thread(target=blocked_checkout)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired  # still blocked
+        pool.checkin(member)
+        thread.join(timeout=5)
+        assert acquired == [member]
+        pool.close()
+
+    def test_checkout_timeout(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=1)
+        member = pool.checkout()
+        with pytest.raises(PoolTimeout):
+            pool.checkout(timeout=0.05)
+        pool.checkin(member)
+        pool.close()
+
+    def test_invalid_capacity_rejected(self, emp_dept_db):
+        with pytest.raises(ValueError, match="capacity"):
+            ConnectionPool("sqlite-memory", emp_dept_db, capacity=0)
+
+
+class TestGrowthAndWarm:
+    def test_warm_spawns_members_eagerly(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=4) as pool:
+            pool.warm(3)
+            assert pool.size == 3
+            assert pool.idle_count == 3
+
+    def test_warm_respects_capacity(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            pool.warm(10)
+            assert pool.size == 2
+
+    def test_grow_to_raises_ceiling_only(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            pool.grow_to(5)
+            assert pool.capacity == 5
+            pool.grow_to(1)  # never shrinks
+            assert pool.capacity == 5
+
+    def test_members_share_precollected_stats(self, emp_dept_db):
+        stats = collect_stats(emp_dept_db)
+        with ConnectionPool(
+            "sqlite-memory", emp_dept_db, capacity=2, stats=stats
+        ) as pool:
+            pool.warm(2)
+            first = pool.checkout()
+            second = pool.checkout()
+            # Same mapping object: nobody re-scanned the database.
+            assert first.table_stats is stats
+            assert second.table_stats is stats
+            pool.checkin(first)
+            pool.checkin(second)
+
+
+class TestSharedStorageClones:
+    def test_file_backend_clones_share_one_database_file(self, emp_dept_db):
+        with ConnectionPool("sqlite-file", emp_dept_db, capacity=3) as pool:
+            members = [pool.checkout() for _ in range(3)]
+            paths = {member.path for member in members}
+            assert len(paths) == 1  # one file, three connections
+            for member in members:
+                assert member.execute(QUERY).rows[0][0] == 30
+                pool.checkin(member)
+
+    def test_clone_does_not_delete_shared_file_on_checkin_close(self, emp_dept_db):
+        import os
+
+        pool = ConnectionPool("sqlite-file", emp_dept_db, capacity=2)
+        first = pool.checkout()
+        second = pool.checkout()
+        primary_path = first.path
+        pool.checkin(first)
+        pool.checkin(second)
+        assert os.path.exists(primary_path)
+        pool.close()
+        assert not os.path.exists(primary_path)  # primary cleaned up
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_every_available_backend_pools(self, name, emp_dept_db):
+        with ConnectionPool(name, emp_dept_db, capacity=2) as pool:
+            pool.warm(2)
+            first = pool.checkout()
+            second = pool.checkout()
+            try:
+                for member in (first, second):
+                    assert member.execute(QUERY).rows[0][0] == 30
+            finally:
+                pool.checkin(first)
+                pool.checkin(second)
+
+
+class TestClose:
+    def test_checkout_after_close_raises(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=2)
+        pool.close()
+        with pytest.raises(PoolClosed):
+            pool.checkout()
+
+    def test_close_is_idempotent(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=2)
+        pool.close()
+        pool.close()
+
+    def test_outstanding_member_closed_on_checkin(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=2)
+        member = pool.checkout()
+        pool.close()
+        assert member.connection is not None  # not torn down mid-use
+        pool.checkin(member)
+        assert member.connection is None  # closed on the way in
+        assert pool.size == 0
+
+    def test_concurrent_checkouts_from_threads(self, emp_dept_db):
+        errors = []
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=4) as pool:
+
+            def worker():
+                try:
+                    for _ in range(20):
+                        with pool.connection(timeout=10) as engine:
+                            assert engine.execute(QUERY).rows[0][0] == 30
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not errors
