@@ -3,14 +3,17 @@
 Thin entry point over :mod:`repro.backends.throughput` (the CLI's
 ``repro bench-throughput`` drives the same harness).  Persists the tracked
 baseline ``BENCH_throughput.json`` at the repo root: QPS serial vs 2/4/8
-workers per backend, a speedup table, bag-equivalence validation of every
-concurrent result, the single-transaction bulk-load win, and persistent
-transpilation-cache hit counters (run the script twice: the second, cold
-process reports hits for every query the first one prepared).
+worker threads vs the asyncio lane (``AsyncGraphitiService`` at concurrency
+2/4/8) per backend, per-lane p50/p95 tail latency, bag-equivalence
+validation of every concurrent result in both lanes, the
+single-transaction bulk-load win, and persistent transpilation-cache hit
+counters (run the script twice: the second, cold process reports hits for
+every query the first one prepared).
 
 Run directly::
 
     python benchmarks/bench_throughput.py [--rows N] [--batch B] [--quick]
+    python benchmarks/bench_throughput.py --mode async
 
 or under pytest (asserts the acceptance criteria; the ≥2× speedup bar is
 only asserted when more than one CPU is actually available — worker
@@ -53,9 +56,14 @@ def test_bench_throughput(benchmark, report_rows, tmp_path):
     report_rows.extend(format_report(report))
     summary = report["summary"]
     assert summary["all_concurrent_results_valid"]
+    assert summary["async_results_valid"]
     assert summary["all_batches_consistent_with_serial"]
     assert report["bulk_load"]["speedup"] > 1.0
     assert report["persistent_cache"]["cross_service_demo"]["cold_hit_every_query"]
+    # The async lane must be present with QPS + tail latency per backend.
+    for entry in report["results"]:
+        assert entry["async"], f"async lane missing for {entry['backend']}"
+        assert entry["latency"]["async"]
     if available_cpus() >= 2:
         # The acceptance bar: pooled workers at least double QPS somewhere.
         assert summary["best_speedup_at_4_workers"] >= 2.0
@@ -74,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller batch/repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("threads", "async", "both"),
+        default="both",
+        help="measurement lanes (default both)",
     )
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
@@ -105,12 +119,15 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _run(arguments) -> dict:
+    from repro.backends.throughput import MODES
+
     return run_bench(
         rows_per_table=min(arguments.rows, 800) if arguments.quick else arguments.rows,
         batch_size=24 if arguments.quick else arguments.batch,
         repeats=2 if arguments.quick else arguments.repeats,
         backends=tuple(arguments.backends) if arguments.backends else None,
         out_path=arguments.out,
+        modes=MODES if arguments.mode == "both" else (arguments.mode,),
         cache_path=(
             arguments.cache_dir / "transpilations.sqlite"
             if arguments.cache_dir

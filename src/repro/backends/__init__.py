@@ -20,6 +20,10 @@ The subsystem has four layers:
 * :mod:`repro.backends.service` — the :class:`GraphitiService` facade:
   schema → SDT → cached transpile → pooled, thread-safe execution
   (``run_many`` fans batches across worker threads), multi-engine.
+* :mod:`repro.backends.async_service` — :class:`AsyncGraphitiService`:
+  the asyncio serving layer over the same pools and caches (``await
+  run``/``run_many``, semaphore backpressure, executor offload for the
+  blocking drivers; sync and async callers coexist on one pool).
 
 Adding an engine: subclass :class:`DbApiBackend` (or
 :class:`ExecutionBackend` for exotic engines), give it a ``name`` and a
@@ -58,6 +62,7 @@ from repro.backends.service import (
     schema_fingerprint,
     stats_digest,
 )
+from repro.backends.async_service import AsyncGraphitiService
 from repro.backends.comparison import (
     DEFAULT_WORKLOAD,
     BackendTiming,
@@ -85,6 +90,7 @@ __all__ = [
     "PersistentQueryCache",
     "default_cache_dir",
     "CacheInfo",
+    "AsyncGraphitiService",
     "GraphitiService",
     "PreparedQuery",
     "QueryStat",

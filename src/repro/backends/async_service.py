@@ -1,0 +1,424 @@
+"""The :class:`AsyncGraphitiService`: asyncio-native serving over the pool.
+
+:class:`~repro.backends.service.GraphitiService` serves concurrent traffic
+by *blocking* worker threads on pool checkout and engine execution.  That
+is the right shape for a fixed batch (``run_many``), but a high-fan-out
+server — thousands of in-flight requests, most of them waiting — wastes a
+thread per waiter.  This module keeps the exact same pipeline and swaps
+the waiting discipline:
+
+* **prepare stays sync** — transpilation is cached, GIL-bound, and
+  microseconds-fast after the first hit, so it runs inline on the event
+  loop, sharing the service's LRU *and* persistent store;
+* **execution awaits** — the blocking DB driver call is offloaded to a
+  small thread-pool executor, so the event loop never stalls on a query;
+* **checkout awaits** — the pool's non-blocking protocol
+  (:meth:`~repro.backends.pool.ConnectionPool.try_checkout` /
+  :meth:`~repro.backends.pool.ConnectionPool.try_reserve` /
+  :meth:`~repro.backends.pool.ConnectionPool.add_waiter`) lets a
+  coroutine wait for a free member on an :class:`asyncio.Event` wired to
+  checkin wakeups, while sync callers keep blocking on the same pool's
+  condition variable — one pool, both worlds;
+* **backpressure, not queueing** — an :class:`asyncio.Semaphore` caps the
+  number of in-flight executions (``max_concurrency``), and an exhausted
+  pool raises :class:`~repro.backends.pool.PoolTimeout` after
+  ``checkout_timeout`` seconds instead of queueing unboundedly.
+
+The async service can own its :class:`GraphitiService` (pass a
+:class:`~repro.graph.schema.GraphSchema`) or wrap an existing one (pass
+the service), in which case caches, pools, and statistics are shared with
+sync callers — ``await async_service.run(q)`` and ``service.run(q)`` are
+interchangeable and feed the same :class:`~repro.backends.service.QueryStat`
+accounting.
+
+Typical use::
+
+    async def main():
+        async with AsyncGraphitiService(graph_schema) as service:
+            await service.load_mock(1000)
+            table = await service.run("MATCH (n:EMP) RETURN n.name")
+            tables = await service.run_many(batch, concurrency=8)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.graph.schema import GraphSchema
+from repro.relational.instance import Database, Table
+
+from repro.backends.pool import ConnectionPool, PoolTimeout
+from repro.backends.service import GraphitiService, PreparedQuery
+
+#: Default cap on concurrently executing queries per event loop.
+DEFAULT_MAX_CONCURRENCY = 8
+
+#: Default seconds an awaited checkout may wait before raising PoolTimeout.
+DEFAULT_CHECKOUT_TIMEOUT = 30.0
+
+
+class AsyncGraphitiService:
+    """Async facade over :class:`GraphitiService`: ``await run(cypher)``.
+
+    Parameters
+    ----------
+    service_or_schema:
+        An existing :class:`GraphitiService` to share (its caches, pools,
+        and stats serve sync and async callers side by side), or a
+        :class:`GraphSchema` from which to build an owned service
+        (``**service_kwargs`` forwarded; the owned service is closed with
+        this object).
+    max_concurrency:
+        Ceiling on simultaneously *executing* queries per event loop —
+        the backpressure valve.  Also sizes the offload executor.
+    checkout_timeout:
+        Seconds an awaited pool checkout may wait when the pool is
+        exhausted at capacity before raising
+        :class:`~repro.backends.pool.PoolTimeout` (``None``: wait
+        forever).
+    executor:
+        An optional shared :class:`ThreadPoolExecutor` for the blocking
+        driver calls; by default the service lazily creates (and owns)
+        one sized ``max_concurrency + 1``.
+    """
+
+    def __init__(
+        self,
+        service_or_schema: GraphitiService | GraphSchema,
+        *,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        checkout_timeout: float | None = DEFAULT_CHECKOUT_TIMEOUT,
+        executor: ThreadPoolExecutor | None = None,
+        **service_kwargs: Any,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ValueError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if isinstance(service_or_schema, GraphitiService):
+            if service_kwargs:
+                raise TypeError(
+                    "service keyword arguments only apply when constructing "
+                    "from a GraphSchema, not when wrapping an existing service"
+                )
+            self._service = service_or_schema
+            self._owns_service = False
+        else:
+            self._service = GraphitiService(service_or_schema, **service_kwargs)
+            self._owns_service = True
+        self.max_concurrency = max_concurrency
+        self.checkout_timeout = checkout_timeout
+        self._executor = executor
+        self._owns_executor = executor is None
+        self._closed = False
+        # asyncio primitives bind to the running loop on first use, so one
+        # semaphore cannot serve several asyncio.run() lifetimes; keep one
+        # per loop, dropped automatically when the loop is garbage collected.
+        self._semaphores: weakref.WeakKeyDictionary[
+            asyncio.AbstractEventLoop, asyncio.Semaphore
+        ] = weakref.WeakKeyDictionary()
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> GraphitiService:
+        """The wrapped synchronous service (shared caches, pools, stats)."""
+        return self._service
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        loop = asyncio.get_running_loop()
+        semaphore = self._semaphores.get(loop)
+        if semaphore is None:
+            semaphore = asyncio.Semaphore(self.max_concurrency)
+            self._semaphores[loop] = semaphore
+        return semaphore
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("AsyncGraphitiService is closed")
+        if self._executor is None:
+            # +1 so a long bulk load cannot starve query execution slots.
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_concurrency + 1,
+                thread_name_prefix="graphiti-async",
+            )
+        return self._executor
+
+    async def _offload(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run blocking *fn* on the executor without stalling the loop.
+
+        NOTE: cancelling the awaiting task raises here *immediately* even
+        while the executor thread is still inside *fn* — asyncio marks the
+        wrapper future cancelled and only best-effort-cancels the
+        concurrent one.  Callers whose *fn* holds pool state must therefore
+        not clean up in a ``finally`` around this await; they defer cleanup
+        to the concurrent future's done-callback instead (see
+        :meth:`_execute` / :meth:`_spawn_reserved`).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._ensure_executor(), fn, *args)
+
+    async def _acquire(self, pool: ConnectionPool):
+        """An exclusive pool member, without ever blocking the event loop.
+
+        Fast path: pop an idle member.  Growth path: reserve a slot and
+        spawn the member on the executor (spawning may repeat a bulk
+        load).  Exhausted path: register a waiter callback that trips an
+        :class:`asyncio.Event` from whichever thread checks a member in,
+        and await it — re-polling on every wakeup, since a woken waiter
+        races blocking ``checkout`` callers for the freed member.
+        """
+        loop = asyncio.get_running_loop()
+        timeout = self.checkout_timeout
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            member = pool.try_checkout()
+            if member is not None:
+                return member
+            if pool.try_reserve():
+                return await self._spawn_reserved(pool)
+            event = asyncio.Event()
+            token = pool.add_waiter(
+                lambda: loop.call_soon_threadsafe(event.set)
+            )
+            try:
+                # Close the race with a checkin that happened between the
+                # failed try_checkout above and the waiter registration.
+                member = pool.try_checkout()
+                if member is not None:
+                    return member
+                remaining = None if deadline is None else deadline - loop.time()
+                if remaining is not None and remaining <= 0:
+                    raise PoolTimeout(
+                        f"no free {pool.backend_name!r} member within "
+                        f"{timeout}s (capacity {pool.capacity})"
+                    )
+                try:
+                    await asyncio.wait_for(event.wait(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    raise PoolTimeout(
+                        f"no free {pool.backend_name!r} member within "
+                        f"{timeout}s (capacity {pool.capacity})"
+                    ) from None
+            except BaseException:
+                # Exiting without retrying: if our wakeup hint was already
+                # consumed (callback popped — fired, or in flight on the
+                # loop), hand it to the next waiter so the freed member it
+                # advertises is not stranded behind sleeping waiters.
+                if not pool.remove_waiter(token):
+                    pool.wake_waiter()
+                raise
+            else:
+                pool.remove_waiter(token)
+
+    async def _spawn_reserved(self, pool: ConnectionPool):
+        """Run a reserved spawn on the executor, leak-proofed.
+
+        The reservation made by ``try_reserve`` obliges ``spawn_reserved``
+        to run exactly once, and the spawned member arrives *checked out*.
+        The await can fail with the spawn never started (service closed,
+        or the dispatch cancelled while queued) — then the reservation
+        must be released — or with the executor thread still mid-spawn
+        (cancellation is delivered immediately, not on thread completion)
+        — then cleanup must wait for the thread: a done-callback on the
+        concurrent future checks the orphaned member back in, or releases
+        the reservation if the queued job was chain-cancelled.
+        """
+        future = self._ensure_executor().submit(pool.spawn_reserved)
+        try:
+            return await asyncio.wrap_future(future)
+        except BaseException:
+            if future.cancel():
+                # Never started: the reservation is still held — release it.
+                pool.cancel_reservation()
+            else:
+
+                def reclaim(done) -> None:
+                    if done.cancelled():
+                        pool.cancel_reservation()
+                    elif done.exception() is None:
+                        pool.checkin(done.result())  # orphan goes back
+                    # spawn_reserved raised: it released the slot itself.
+
+                # Fires immediately if already finished, else on the
+                # executor thread the moment the spawn completes.
+                future.add_done_callback(reclaim)
+            raise
+
+    async def _execute(
+        self, pool: ConnectionPool, prepared: PreparedQuery
+    ) -> Table:
+        """Checkout → offloaded execute → record → guaranteed checkin.
+
+        The checkin must *never* run while the executor thread is still
+        driving the member (one backend = one connection = one thread at a
+        time), but cancelling the awaiting task raises immediately even
+        mid-query.  So the member is reclaimed via the concurrent future:
+        right away when the job finished or was cancelled before starting,
+        otherwise from a done-callback the moment the engine call returns.
+        """
+        async with self._semaphore():
+            member = await self._acquire(pool)
+            future = self._ensure_executor().submit(
+                self._execute_recorded, member, prepared
+            )
+            try:
+                return await asyncio.wrap_future(future)
+            finally:
+                if future.cancel() or future.done():
+                    pool.checkin(member)  # never ran, or already finished
+                else:
+                    # Cancelled mid-execution: the thread still owns the
+                    # member; hand it back only once the engine call ends.
+                    future.add_done_callback(lambda done: pool.checkin(member))
+
+    def _execute_recorded(self, member, prepared: PreparedQuery) -> Table:
+        # Runs on an executor thread; timing and stats mirror the sync path.
+        start = time.perf_counter()
+        result = member.execute(prepared.sql_text)
+        self._service.record_execution(
+            prepared.cypher_text, time.perf_counter() - start
+        )
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    async def run(
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        opt_level: int | None = None,
+    ) -> Table:
+        """Execute *cypher_text* on *backend*; the engine call is awaited.
+
+        Any number of coroutines may call this concurrently; executions
+        beyond ``max_concurrency`` wait their turn (backpressure), and an
+        exhausted pool raises :class:`PoolTimeout` after
+        ``checkout_timeout`` seconds rather than queueing without bound.
+        """
+        name = backend or self._service.default_backend
+        prepared = self._service.prepare(
+            cypher_text, self._service.dialect_of(name), opt_level=opt_level
+        )
+        return await self._execute(self._service.pool(name), prepared)
+
+    async def run_many(
+        self,
+        cypher_texts: Sequence[str],
+        concurrency: int = 4,
+        backend: str | None = None,
+        opt_level: int | None = None,
+    ) -> list[Table]:
+        """Execute a batch concurrently; ``results[i]`` answers ``texts[i]``.
+
+        At most ``min(concurrency, max_concurrency)`` queries are in
+        flight at once (the pool's capacity is raised to match), each on
+        its own pooled connection via the executor.  All transpilation
+        happens up front on the calling task — cached and fast — so the
+        awaited work is pure engine execution.  If any query fails, the
+        remaining ones finish (their connections are checked back in) and
+        the first failure is re-raised.
+        """
+        texts = list(cypher_texts)
+        if not texts:
+            return []
+        name = backend or self._service.default_backend
+        dialect = self._service.dialect_of(name)
+        prepared = {
+            text: self._service.prepare(text, dialect, opt_level=opt_level)
+            for text in dict.fromkeys(texts)  # each distinct text once
+        }
+        fan_out = max(1, min(concurrency, self.max_concurrency, len(texts)))
+        pool = self._service.pool(name, min_capacity=fan_out)
+        batch_slots = asyncio.Semaphore(fan_out)
+
+        async def one(text: str) -> Table:
+            async with batch_slots:
+                return await self._execute(pool, prepared[text])
+
+        outcomes = await asyncio.gather(
+            *(one(text) for text in texts), return_exceptions=True
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(outcomes)
+
+    # -- data / pool management (offloaded: loading is blocking I/O) -------
+
+    async def warm_pool(
+        self, backend: str | None = None, members: int | None = None
+    ) -> None:
+        """Eagerly spawn pool members without stalling the event loop."""
+        await self._offload(self._service.warm_pool, backend, members)
+
+    async def load_database(self, database: Database) -> None:
+        await self._offload(self._service.load_database, database)
+
+    async def load_graph(self, graph: object) -> None:
+        await self._offload(self._service.load_graph, graph)
+
+    async def load_mock(self, rows_per_table: int, seed: int = 42) -> None:
+        await self._offload(self._service.load_mock, rows_per_table, seed)
+
+    async def reference(
+        self, cypher_text: str, opt_level: int | None = None
+    ) -> Table:
+        """The reference bag-semantics evaluation (offloaded: it's slow)."""
+        return await self._offload(self._service.reference, cypher_text, opt_level)
+
+    # -- sync delegates (cheap, loop-safe) ----------------------------------
+
+    def prepare(
+        self,
+        cypher_text: str,
+        dialect: object | None = None,
+        opt_level: int | None = None,
+    ) -> PreparedQuery:
+        """Cached transpilation — sync on purpose: micro-fast after first hit."""
+        return self._service.prepare(cypher_text, dialect, opt_level=opt_level)
+
+    def transpile_to_sql(
+        self, cypher_text: str, dialect: object | None = None,
+        opt_level: int | None = None,
+    ) -> str:
+        return self._service.transpile_to_sql(cypher_text, dialect, opt_level)
+
+    def backends(self) -> tuple[str, ...]:
+        return self._service.backends()
+
+    def cache_info(self):
+        return self._service.cache_info()
+
+    def query_stats(self):
+        return self._service.query_stats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the executor (and the inner service when owned).
+
+        Safe to call from sync code; an owned executor's threads are only
+        idle once no coroutine is mid-execution, so close after awaiting
+        outstanding work (the async context manager does).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_executor and self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._owns_service:
+            self._service.close()
+
+    async def aclose(self) -> None:
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    async def __aenter__(self) -> "AsyncGraphitiService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.aclose()

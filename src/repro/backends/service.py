@@ -326,7 +326,7 @@ class GraphitiService:
         legitimately change the chosen join order.
         """
         if dialect is None:
-            dialect = self._dialect_of(self.default_backend)
+            dialect = self.dialect_of(self.default_backend)
         dialect = dialect_for(dialect)
         level = self.opt_level if opt_level is None else opt_level
         if level not in OPT_LEVELS:
@@ -404,7 +404,7 @@ class GraphitiService:
         exclusive use, so any number of threads may call this concurrently.
         """
         name = backend or self.default_backend
-        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level=opt_level)
         pool = self._pool(name)
         with pool.connection() as engine:
             start = time.perf_counter()
@@ -432,7 +432,7 @@ class GraphitiService:
             return []
         name = backend or self.default_backend
         workers = max(1, min(workers, len(texts)))
-        dialect = self._dialect_of(name)
+        dialect = self.dialect_of(name)
         prepared = {
             text: self.prepare(text, dialect, opt_level=opt_level)
             for text in dict.fromkeys(texts)  # each distinct text once
@@ -469,7 +469,7 @@ class GraphitiService:
         opt_level: int | None = None,
     ) -> str:
         name = backend or self.default_backend
-        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level=opt_level)
         with self._pool(name).connection() as engine:
             return engine.explain(prepared.sql_text)
 
@@ -482,7 +482,7 @@ class GraphitiService:
     ) -> float:
         """Median execution seconds of *cypher_text* on *backend*."""
         name = backend or self.default_backend
-        prepared = self.prepare(cypher_text, self._dialect_of(name), opt_level=opt_level)
+        prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level=opt_level)
         with self._pool(name).connection() as engine:
             seconds = engine.time(prepared.sql_text, repeats=repeats)
         self._record(cypher_text, seconds)
@@ -490,9 +490,14 @@ class GraphitiService:
 
     # -- pooling -----------------------------------------------------------
 
-    def pool(self, backend: str | None = None) -> ConnectionPool:
-        """The connection pool serving *backend* (created on first use)."""
-        return self._pool(backend or self.default_backend)
+    def pool(self, backend: str | None = None, min_capacity: int = 1) -> ConnectionPool:
+        """The connection pool serving *backend* (created on first use).
+
+        *min_capacity* raises the pool's capacity ceiling when a caller —
+        :meth:`run_many`, or the async layer fanning out a batch — is about
+        to drive that many connections concurrently.
+        """
+        return self._pool(backend or self.default_backend, min_capacity=min_capacity)
 
     def warm_pool(self, backend: str | None = None, members: int | None = None) -> None:
         """Eagerly spawn pool members (benchmarks: pay load cost up front)."""
@@ -509,6 +514,15 @@ class GraphitiService:
     def reset_query_stats(self) -> None:
         with self._lock:
             self._query_stats.clear()
+
+    def record_execution(self, cypher_text: str, seconds: float) -> None:
+        """Account one execution of *cypher_text* (thread-safe).
+
+        Public so serving layers that execute on their own schedule — the
+        async service runs queries on executor threads — feed the same
+        :class:`QueryStat` accounting as :meth:`run`/:meth:`run_many`.
+        """
+        self._record(cypher_text, seconds)
 
     def _record(self, cypher_text: str, seconds: float) -> None:
         with self._lock:
@@ -566,7 +580,8 @@ class GraphitiService:
                 pool.grow_to(min_capacity)
             return pool
 
-    def _dialect_of(self, backend_name: str) -> SqlDialect:
+    def dialect_of(self, backend_name: str) -> SqlDialect:
+        """The SQL dialect *backend_name*'s SQL text must be rendered in."""
         from repro.backends.registry import backend_info
 
         return backend_info(backend_name).backend_class.dialect

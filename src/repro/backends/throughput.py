@@ -1,18 +1,24 @@
-"""Concurrent-serving benchmark: QPS serial vs. pooled worker threads.
+"""Concurrent-serving benchmark: QPS serial vs. threads vs. asyncio.
 
 The second tracked perf baseline (``BENCH_throughput.json``, alongside
 ``BENCH_optimizer.json``'s latency/plan-quality one).  For every available
 execution backend it measures the queries-per-second of a fixed mixed batch
-of Cypher texts driven through :meth:`GraphitiService.run_many` at 1 (the
-serial baseline), 2, 4, and 8 workers over a warmed
-:class:`~repro.backends.pool.ConnectionPool`, and reports per-query
-p50/p95 tail latency from the service's :class:`~repro.backends.service.QueryStat`
-samples.
+of Cypher texts over a warmed :class:`~repro.backends.pool.ConnectionPool`
+in two lanes sharing the same dataset and serial baseline:
 
-Correctness gates the numbers twice:
+* **threads** — :meth:`GraphitiService.run_many` at 1 (the serial
+  baseline), 2, 4, and 8 worker threads;
+* **async** — :meth:`AsyncGraphitiService.run_many` at concurrency 2, 4,
+  and 8 (semaphore-bounded coroutines, executor-offloaded driver calls).
 
-* on a small instance every *concurrently produced* result is checked
-  bag-equivalent against the reference evaluator, and
+Each lane reports per-query p50/p95 tail latency from the service's
+:class:`~repro.backends.service.QueryStat` samples (statistics are reset
+between lanes so the percentiles describe one lane each).
+
+Correctness gates the numbers twice per lane:
+
+* on a small instance every *concurrently produced* result (threaded and
+  async) is checked bag-equivalent against the reference evaluator, and
 * at bench scale every concurrent batch is checked element-wise against the
   serial batch (any cross-query corruption or lost result fails the run).
 
@@ -32,6 +38,7 @@ two CPUs are actually available (CI runners are multi-core).
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import time
@@ -41,6 +48,7 @@ from pathlib import Path
 from repro.benchmarks.universes import SOCIAL
 from repro.relational.instance import tables_equivalent
 
+from repro.backends.async_service import AsyncGraphitiService
 from repro.backends.cache import PersistentQueryCache
 from repro.backends.registry import available_backends, create_backend
 from repro.backends.service import GraphitiService
@@ -72,6 +80,9 @@ WORKLOAD: dict[str, str] = {
 
 WORKER_COUNTS = (1, 2, 4, 8)
 
+#: Measurement lanes: threaded ``run_many`` and the asyncio service.
+MODES = ("threads", "async")
+
 
 def build_batch(size: int, workload: dict[str, str] | None = None) -> list[str]:
     """A mixed batch of *size* texts, round-robin over the workload."""
@@ -96,27 +107,79 @@ def validate_concurrent(
     workers: int = 4,
     check_rows: int = 25,
     seed: int = 42,
-) -> dict[str, bool]:
+    modes: tuple[str, ...] = MODES,
+) -> dict[str, dict[str, bool]]:
     """Bag-equivalence of every concurrently produced result against the
-    reference evaluator, per backend (small instance — the reference
-    evaluator nested-loops joins)."""
-    verdicts: dict[str, bool] = {}
+    reference evaluator, per backend and per lane (small instance — the
+    reference evaluator nested-loops joins).
+
+    The async lane drives the *same* service through
+    :class:`AsyncGraphitiService`, so a verdict of ``True`` in both lanes
+    means threaded and asyncio serving agree with the reference (and hence
+    with each other) on every query of the batch.
+    """
+    verdicts: dict[str, dict[str, bool]] = {name: {} for name in backends}
     with GraphitiService(SOCIAL.graph_schema) as service:
         service.load_mock(check_rows, seed=seed)
         expected = {text: service.reference(text) for text in WORKLOAD.values()}
         batch = build_batch(3 * len(WORKLOAD))
-        for name in backends:
-            results = service.run_many(batch, workers=workers, backend=name)
-            verdicts[name] = all(
+
+        def equivalent(results) -> bool:
+            return all(
                 tables_equivalent(expected[text], result)
                 for text, result in zip(batch, results)
             )
+
+        if "threads" in modes:
+            for name in backends:
+                results = service.run_many(batch, workers=workers, backend=name)
+                verdicts[name]["threads"] = equivalent(results)
+        if "async" in modes:
+
+            async def check_async() -> None:
+                async with AsyncGraphitiService(
+                    service, max_concurrency=workers
+                ) as async_service:
+                    for name in backends:
+                        results = await async_service.run_many(
+                            batch, concurrency=workers, backend=name
+                        )
+                        verdicts[name]["async"] = equivalent(results)
+
+            asyncio.run(check_async())
     return verdicts
 
 
 # ---------------------------------------------------------------------------
-# throughput: QPS per worker count per backend
+# throughput: QPS per worker count / async concurrency per backend
 # ---------------------------------------------------------------------------
+
+
+def _latency_snapshot(service: GraphitiService) -> dict[str, dict | None]:
+    """Per-workload p50/p95 from the service's current QueryStat samples."""
+    return {
+        label: next(
+            (
+                {
+                    "p50_ms": round(stat.p50_seconds * 1000, 3),
+                    "p95_ms": round(stat.p95_seconds * 1000, 3),
+                    "executions": stat.executions,
+                }
+                for stat in service.query_stats()
+                if stat.cypher_text == text
+            ),
+            None,
+        )
+        for label, text in WORKLOAD.items()
+    }
+
+
+def _lane_step(qps: float, wall: float, serial_qps: float) -> dict:
+    return {
+        "qps": round(qps, 1),
+        "wall_ms": round(wall * 1000, 2),
+        "speedup_vs_serial": round(qps / serial_qps, 3) if serial_qps else 0.0,
+    }
 
 
 def measure_throughput(
@@ -127,76 +190,128 @@ def measure_throughput(
     backends: tuple[str, ...] | None = None,
     seed: int = 42,
     persistent_cache: PersistentQueryCache | None = None,
+    modes: tuple[str, ...] = MODES,
 ) -> list[dict]:
-    """Per-backend QPS at each worker count, with tail latency and an
-    element-wise consistency check of every concurrent batch against the
-    serial one."""
+    """Per-backend QPS in every requested lane, sharing one dataset and one
+    serial baseline, with per-lane tail latency and an element-wise
+    consistency check of every concurrent batch against the serial one.
+
+    The serial baseline (``run_many(workers=1)``) is always measured; the
+    *threads* lane adds the multi-worker counts, the *async* lane drives
+    the same pooled connections through :class:`AsyncGraphitiService` at
+    matching concurrency levels.  Query statistics are reset between lanes
+    so each latency snapshot (``serial``, ``threads``, ``async``) describes
+    only its own lane's executions.  A lane that is not measured reports
+    ``None`` for its consistency verdict — never a vacuous pass.
+    """
     names = backends or available_backends()
     batch = build_batch(batch_size)
     max_workers = max(worker_counts)
+    fan_out_counts = tuple(count for count in worker_counts if count > 1)
     results: list[dict] = []
     with GraphitiService(
         SOCIAL.graph_schema, persistent_cache=persistent_cache
     ) as service:
         service.load_mock(rows_per_table, seed=seed)
-        for name in names:
-            # Pay member creation (bulk loads for clone-loading engines)
-            # before the clock starts.
-            service.warm_pool(name, max_workers)
-            service.reset_query_stats()
-            serial_reference: dict[str, object] = {}
-            per_worker: dict[str, dict] = {}
-            serial_qps = 0.0
-            consistent = True
-            for workers in worker_counts:
+        async_service = AsyncGraphitiService(service, max_concurrency=max_workers)
+        try:
+            for name in names:
+                # Pay member creation (bulk loads for clone-loading engines)
+                # before the clock starts.
+                service.warm_pool(name, max_workers)
+
+                # Serial baseline — shared denominator for both lanes.
+                service.reset_query_stats()
+                serial_tables: list | None = None
                 best_wall = float("inf")
-                for repeat in range(repeats):
+                for _ in range(repeats):
                     start = time.perf_counter()
-                    tables = service.run_many(batch, workers=workers, backend=name)
-                    wall = time.perf_counter() - start
-                    best_wall = min(best_wall, wall)
-                    if workers == 1 and not serial_reference:
-                        serial_reference = dict(zip(batch, tables))
-                    elif repeat == 0 and serial_reference:
-                        consistent = consistent and all(
-                            tables_equivalent(serial_reference[text], table)
-                            for text, table in zip(batch, tables)
+                    tables = service.run_many(batch, workers=1, backend=name)
+                    best_wall = min(best_wall, time.perf_counter() - start)
+                    if serial_tables is None:
+                        serial_tables = tables
+                serial_qps = len(batch) / best_wall
+                serial_reference = dict(zip(batch, serial_tables))
+                per_worker = {"1": _lane_step(serial_qps, best_wall, serial_qps)}
+                latency: dict[str, dict] = {"serial": _latency_snapshot(service)}
+                # None = lane not measured this run (recorded as null, never
+                # as a vacuous pass).
+                consistent: dict[str, bool | None] = {
+                    "threads": True if "threads" in modes else None,
+                    "async": True if "async" in modes else None,
+                }
+
+                def batch_consistent(tables) -> bool:
+                    return all(
+                        tables_equivalent(serial_reference[text], table)
+                        for text, table in zip(batch, tables)
+                    )
+
+                if "threads" in modes:
+                    service.reset_query_stats()
+                    for workers in fan_out_counts:
+                        best_wall = float("inf")
+                        for repeat in range(repeats):
+                            start = time.perf_counter()
+                            tables = service.run_many(
+                                batch, workers=workers, backend=name
+                            )
+                            best_wall = min(best_wall, time.perf_counter() - start)
+                            if repeat == 0:
+                                consistent["threads"] = consistent[
+                                    "threads"
+                                ] and batch_consistent(tables)
+                        per_worker[str(workers)] = _lane_step(
+                            len(batch) / best_wall, best_wall, serial_qps
                         )
-                qps = len(batch) / best_wall
-                if workers == 1:
-                    serial_qps = qps
-                per_worker[str(workers)] = {
-                    "qps": round(qps, 1),
-                    "wall_ms": round(best_wall * 1000, 2),
-                    "speedup_vs_serial": round(qps / serial_qps, 3)
-                    if serial_qps
-                    else 0.0,
-                }
-            latencies = {
-                label: next(
-                    (
-                        {
-                            "p50_ms": round(stat.p50_seconds * 1000, 3),
-                            "p95_ms": round(stat.p95_seconds * 1000, 3),
-                            "executions": stat.executions,
-                        }
-                        for stat in service.query_stats()
-                        if stat.cypher_text == text
-                    ),
-                    None,
+                    latency["threads"] = _latency_snapshot(service)
+
+                per_async: dict[str, dict] = {}
+                if "async" in modes:
+
+                    async def timed_async_batch(concurrency: int):
+                        # Clock inside the running loop: event-loop setup/
+                        # teardown and lazy executor spin-up must not be
+                        # charged to the lane being measured.
+                        start = time.perf_counter()
+                        tables = await async_service.run_many(
+                            batch, concurrency=concurrency, backend=name
+                        )
+                        return tables, time.perf_counter() - start
+
+                    # Untimed warmup: spin up the offload executor.
+                    asyncio.run(timed_async_batch(fan_out_counts[0] if fan_out_counts else 1))
+                    service.reset_query_stats()
+                    for concurrency in fan_out_counts:
+                        best_wall = float("inf")
+                        for repeat in range(repeats):
+                            tables, wall = asyncio.run(
+                                timed_async_batch(concurrency)
+                            )
+                            best_wall = min(best_wall, wall)
+                            if repeat == 0:
+                                consistent["async"] = consistent[
+                                    "async"
+                                ] and batch_consistent(tables)
+                        per_async[str(concurrency)] = _lane_step(
+                            len(batch) / best_wall, best_wall, serial_qps
+                        )
+                    latency["async"] = _latency_snapshot(service)
+
+                results.append(
+                    {
+                        "backend": name,
+                        "pool_size": service.pool(name).size,
+                        "serial_qps": round(serial_qps, 1),
+                        "workers": per_worker,
+                        "async": per_async,
+                        "latency": latency,
+                        "consistent_with_serial": consistent["threads"],
+                        "async_consistent_with_serial": consistent["async"],
+                    }
                 )
-                for label, text in WORKLOAD.items()
-            }
-            results.append(
-                {
-                    "backend": name,
-                    "pool_size": service.pool(name).size,
-                    "serial_qps": round(serial_qps, 1),
-                    "workers": per_worker,
-                    "latency": latencies,
-                    "consistent_with_serial": consistent,
-                }
-            )
+        finally:
+            async_service.close()
     return results
 
 
@@ -279,15 +394,24 @@ def persistent_cache_demo(cache_path: Path, rows_per_table: int = 50) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def summarize(results: list[dict], valid: dict[str, bool]) -> dict:
-    def speedup_at(entry: dict, workers: int) -> float:
-        data = entry["workers"].get(str(workers))
+def summarize(results: list[dict], valid: dict[str, dict[str, bool]]) -> dict:
+    def speedup_at(entry: dict, lane: str, count: int) -> float:
+        data = entry.get(lane, {}).get(str(count))
         return data["speedup_vs_serial"] if data else 0.0
 
     best = max(
         (
-            (speedup_at(entry, 4), entry["backend"])
+            (speedup_at(entry, "workers", 4), entry["backend"])
             for entry in results
+            if "4" in entry["workers"]
+        ),
+        default=(0.0, None),
+    )
+    best_async = max(
+        (
+            (speedup_at(entry, "async", 4), entry["backend"])
+            for entry in results
+            if entry.get("async")
         ),
         default=(0.0, None),
     )
@@ -295,10 +419,27 @@ def summarize(results: list[dict], valid: dict[str, bool]) -> dict:
         "backends": [entry["backend"] for entry in results],
         "best_speedup_at_4_workers": best[0],
         "best_speedup_backend": best[1],
+        "best_async_speedup_at_4": best_async[0],
+        "best_async_backend": best_async[1],
         "target_2x_at_4_workers_met": best[0] >= 2.0,
-        "all_concurrent_results_valid": all(valid.values()),
+        "all_concurrent_results_valid": all(
+            verdict for lanes in valid.values() for verdict in lanes.values()
+        ),
+        # None when the async lane was not measured — a skipped lane must
+        # not read as a validated one.
+        "async_results_valid": (
+            all(lanes["async"] for lanes in valid.values())
+            if all("async" in lanes for lanes in valid.values()) and valid
+            else None
+        ),
         "all_batches_consistent_with_serial": all(
-            entry["consistent_with_serial"] for entry in results
+            verdict
+            for entry in results
+            for verdict in (
+                entry["consistent_with_serial"],
+                entry["async_consistent_with_serial"],
+            )
+            if verdict is not None
         ),
     }
 
@@ -312,17 +453,21 @@ def run_bench(
     out_path: Path | None = None,
     cache_path: Path | None = None,
     seed: int = 42,
+    modes: tuple[str, ...] = MODES,
 ) -> dict:
     """The full benchmark; writes *out_path* and returns the report dict."""
     started = time.time()
     names = backends or available_backends()
+    unknown = set(modes) - set(MODES)
+    if unknown or not modes:
+        raise ValueError(f"modes must be a non-empty subset of {MODES}, got {modes!r}")
     if cache_path is None:
         from repro.backends.cache import CACHE_FILE_NAME, default_cache_dir
 
         cache_path = default_cache_dir() / CACHE_FILE_NAME
     run_cache = PersistentQueryCache(cache_path)
     try:
-        valid = validate_concurrent(names, seed=seed)
+        valid = validate_concurrent(names, seed=seed, modes=modes)
         results = measure_throughput(
             rows_per_table=rows_per_table,
             batch_size=batch_size,
@@ -331,6 +476,7 @@ def run_bench(
             backends=names,
             seed=seed,
             persistent_cache=run_cache,
+            modes=modes,
         )
         run_cache_stats = {
             "path": str(cache_path),
@@ -349,6 +495,7 @@ def run_bench(
             "batch_size": batch_size,
             "repeats": repeats,
             "worker_counts": list(worker_counts),
+            "modes": list(modes),
             "backends": list(names),
             "universe": SOCIAL.name,
             "cpu_count": available_cpus(),
@@ -381,7 +528,8 @@ def format_report(report: dict) -> list[str]:
         f"batch {meta['batch_size']}, {meta['cpu_count']} cpu) =="
     ]
     for entry in report["results"]:
-        check = "ok" if report["validation"][entry["backend"]] else "MISMATCH"
+        lanes = report["validation"][entry["backend"]]
+        check = "ok" if all(lanes.values()) else "MISMATCH"
         steps = "  ".join(
             f"w{workers}={data['qps']:.0f}qps(x{data['speedup_vs_serial']:.2f})"
             for workers, data in entry["workers"].items()
@@ -390,6 +538,12 @@ def format_report(report: dict) -> list[str]:
             f"{entry['backend']:15} serial={entry['serial_qps']:7.1f} qps  "
             f"{steps}  [{check}]"
         )
+        if entry.get("async"):
+            async_steps = "  ".join(
+                f"c{count}={data['qps']:.0f}qps(x{data['speedup_vs_serial']:.2f})"
+                for count, data in entry["async"].items()
+            )
+            lines.append(f"{'':15}  async  {async_steps}")
     load = report["bulk_load"]
     lines.append(
         f"bulk load: single txn {load['single_transaction_ms']:.0f} ms vs "
@@ -404,11 +558,17 @@ def format_report(report: dict) -> list[str]:
         f"misses={cache['cross_service_demo']['cold_service']['misses']}"
     )
     summary = report["summary"]
-    lines.append(
-        f"best speedup at 4 workers: x{summary['best_speedup_at_4_workers']} "
-        f"({summary['best_speedup_backend']}); 2x target met: "
-        f"{summary['target_2x_at_4_workers_met']}"
-    )
+    if summary.get("best_speedup_backend"):
+        lines.append(
+            f"best speedup at 4 workers: x{summary['best_speedup_at_4_workers']} "
+            f"({summary['best_speedup_backend']}); 2x target met: "
+            f"{summary['target_2x_at_4_workers_met']}"
+        )
+    if summary.get("best_async_backend"):
+        lines.append(
+            f"best async speedup at concurrency 4: "
+            f"x{summary['best_async_speedup_at_4']} ({summary['best_async_backend']})"
+        )
     if meta["note"]:
         lines.append(f"note: {meta['note']}")
     return lines

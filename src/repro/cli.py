@@ -22,12 +22,15 @@ Subcommands
 ``run``
     Execute Cypher queries end-to-end on a registered execution backend
     (schema → SDT → cached transpile → bulk-load → execute).  ``--cypher``
-    repeats; ``--workers N`` fans the batch across N pooled connections::
+    repeats; ``--workers N`` fans the batch across N pooled connections
+    on worker threads, ``--async-workers N`` drives it through the
+    asyncio service (:class:`~repro.backends.async_service.AsyncGraphitiService`)
+    at concurrency N instead::
 
         python -m repro run --example emp-dept --rows 1000 \\
             --backend sqlite-memory \\
             --cypher "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name"
-        python -m repro run --example emp-dept --workers 4 \\
+        python -m repro run --example emp-dept --async-workers 4 \\
             --cypher "MATCH (n:EMP) RETURN n.name" \\
             --cypher "MATCH (m:DEPT) RETURN m.dname"
 
@@ -38,10 +41,12 @@ Subcommands
         python -m repro bench-backends --rows 5000 --repeats 5
 
 ``bench-throughput``
-    Measure concurrent-serving QPS (serial vs pooled worker threads) and
-    write the tracked baseline ``BENCH_throughput.json``::
+    Measure concurrent-serving QPS (serial vs pooled worker threads vs the
+    asyncio lane; ``--mode`` picks lanes) and write the tracked baseline
+    ``BENCH_throughput.json``::
 
         python -m repro bench-throughput --rows 2000 --batch 40
+        python -m repro bench-throughput --mode async
 
 ``backends``
     List registered execution backends and their availability.
@@ -195,6 +200,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 1: serial)",
     )
     run_parser.add_argument(
+        "--async-workers",
+        type=int,
+        default=0,
+        dest="async_workers",
+        metavar="N",
+        help="drive the batch through the asyncio service at concurrency N "
+        "instead of worker threads (0, the default, stays sync)",
+    )
+    run_parser.add_argument(
         "--persistent-cache",
         action="store_true",
         help="use the on-disk transpilation cache (cross-process reuse)",
@@ -234,6 +248,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="append",
         dest="backends",
         help="backend to include (repeatable; default: every available one)",
+    )
+    throughput_parser.add_argument(
+        "--mode",
+        choices=("threads", "async", "both"),
+        default="both",
+        help="measurement lanes: worker threads, the asyncio service, or "
+        "both (default both)",
     )
     throughput_parser.add_argument(
         "--out",
@@ -303,12 +324,18 @@ def _command_run(arguments) -> int:
 
     schema = _load_graph_schema(arguments)
     queries = list(arguments.cyphers)
+    if arguments.async_workers > 0 and arguments.workers != 1:
+        raise SystemExit(
+            "--workers and --async-workers are mutually exclusive: pick the "
+            "threaded or the asyncio lane"
+        )
     workers = max(1, arguments.workers)
+    async_workers = max(0, arguments.async_workers)
     with GraphitiService(
         schema,
         default_backend=arguments.backend,
         opt_level=arguments.opt,
-        pool_size=max(4, workers),
+        pool_size=max(4, workers, async_workers),
         persistent_cache=arguments.persistent_cache or None,
     ) as service:
         service.load_mock(arguments.rows, seed=arguments.seed)
@@ -324,7 +351,10 @@ def _command_run(arguments) -> int:
                     print(service.explain(text))
                     print()
             start = time.perf_counter()
-            results = service.run_many(queries, workers=workers)
+            if async_workers:
+                results = _run_batch_async(service, queries, async_workers)
+            else:
+                results = service.run_many(queries, workers=workers)
             seconds = time.perf_counter() - start
         except (BackendUnavailable, GraphitiError) as error:
             raise SystemExit(str(error))
@@ -338,7 +368,12 @@ def _command_run(arguments) -> int:
             if len(result.rows) > len(shown):
                 print(f"... ({len(result.rows)} rows total)")
         total_rows = sum(len(result.rows) for result in results)
-        batch = f" ({len(queries)} queries, {workers} workers)" if len(queries) > 1 else ""
+        if len(queries) <= 1:
+            batch = ""
+        elif async_workers:
+            batch = f" ({len(queries)} queries, async concurrency {async_workers})"
+        else:
+            batch = f" ({len(queries)} queries, {workers} workers)"
         print(
             f"-- {total_rows} rows on {arguments.backend}{batch} "
             f"({seconds * 1000:.2f} ms)"
@@ -352,10 +387,26 @@ def _command_run(arguments) -> int:
     return 0
 
 
+def _run_batch_async(service, queries: list[str], concurrency: int) -> list:
+    """Drive *queries* through the asyncio serving layer (``--async-workers``)."""
+    import asyncio
+
+    from repro.backends import AsyncGraphitiService
+
+    async def drive() -> list:
+        async with AsyncGraphitiService(
+            service, max_concurrency=concurrency
+        ) as async_service:
+            return await async_service.run_many(queries, concurrency=concurrency)
+
+    return asyncio.run(drive())
+
+
 def _command_bench_throughput(arguments) -> int:
     from repro.backends import BackendUnavailable
-    from repro.backends.throughput import format_report, run_bench
+    from repro.backends.throughput import MODES, format_report, run_bench
 
+    modes = MODES if arguments.mode == "both" else (arguments.mode,)
     try:
         report = run_bench(
             rows_per_table=arguments.rows,
@@ -363,6 +414,7 @@ def _command_bench_throughput(arguments) -> int:
             repeats=arguments.repeats,
             backends=tuple(arguments.backends) if arguments.backends else None,
             out_path=arguments.out,
+            modes=modes,
         )
     except BackendUnavailable as error:
         raise SystemExit(str(error))

@@ -1,0 +1,145 @@
+"""Cross-backend differential test harness.
+
+The reusable template every execution backend must pass: for each
+``(backend, optimization level)`` combination in the registry, every query
+of the example corpus must return a table bag-equivalent (Definition 4.4)
+to the reference evaluator's result over the same loaded data.
+
+Future backends get this coverage for free — registering an engine makes
+``available_backends()`` include it, which parametrizes these tests over
+it on the next run.  Adding a workload means adding an entry to
+:data:`CORPUS`; adding an engine means making it importable.  The helper
+:func:`assert_differential` is importable from engine-specific test files
+that want the same check on hand-picked queries::
+
+    from tests.backends.test_differential import assert_differential
+
+The corpus spans three universes so the harness exercises edge-table *and*
+self-referential designs: the Figure-14 EMP/DEPT schema (joins, outer
+joins, aggregation, correlated EXISTS), the SOCIAL universe (multi-hop
+joins, self-joins over FOLLOWS, filters), and the COMPANY universe
+(property filters and aggregation over a salaried workforce).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import GraphitiService, available_backends
+from repro.backends.comparison import DEFAULT_SCHEMA, DEFAULT_WORKLOAD
+from repro.backends.throughput import WORKLOAD as SOCIAL_WORKLOAD
+from repro.benchmarks.universes import COMPANY, SOCIAL
+from repro.relational.instance import tables_equivalent
+from repro.sql.optimize import OPT_LEVELS
+
+#: Rows per table for the differential instances — small, because the
+#: reference evaluator nested-loops its joins; variety comes from the
+#: corpus, not the data volume.
+ROWS_PER_TABLE = 15
+
+COMPANY_WORKLOAD: dict[str, str] = {
+    "scan-filter": "MATCH (e:EMP) WHERE e.salary = 5 RETURN e.ename",
+    "join": (
+        "MATCH (e:EMP)-[w:WORK_AT]->(d:DEPT) RETURN e.ename, d.dname"
+    ),
+    "join-agg": (
+        "MATCH (e:EMP)-[w:WORK_AT]->(d:DEPT) RETURN d.dname, Count(*)"
+    ),
+    "optional": (
+        "MATCH (d:DEPT) OPTIONAL MATCH (e:EMP)-[w:WORK_AT]->(d:DEPT) "
+        "RETURN d.dname, e.ename"
+    ),
+}
+
+#: The example corpus: universe label → (graph schema, {query label → Cypher}).
+CORPUS = {
+    "emp-dept": (DEFAULT_SCHEMA, DEFAULT_WORKLOAD),
+    "social": (SOCIAL.graph_schema, SOCIAL_WORKLOAD),
+    "company": (COMPANY.graph_schema, COMPANY_WORKLOAD),
+}
+
+CASES = [
+    pytest.param(universe, label, id=f"{universe}/{label}")
+    for universe, (_, workload) in CORPUS.items()
+    for label in workload
+]
+
+
+def assert_differential(
+    service: GraphitiService, backend: str, cypher: str, opt_level: int
+) -> None:
+    """One differential check: backend execution vs the reference evaluator.
+
+    The reference always evaluates the *default-level* plan — the raw
+    (level-0) one-node-per-rule nesting would make the materialising
+    evaluator enumerate full cross products, which is combinatorially
+    infeasible even on tiny instances.  The backend runs at *opt_level*,
+    so the assertion covers the whole pipeline: a failure means the
+    optimizer broke bag semantics at that level, or the backend (render,
+    load, engine) diverges from the reference.
+    """
+    expected = service.reference(cypher)
+    actual = service.run(cypher, backend=backend, opt_level=opt_level)
+    assert tables_equivalent(expected, actual), (
+        f"{backend} (opt {opt_level}) diverges from the reference evaluator "
+        f"on {cypher!r}\nreference:\n{expected}\nbackend:\n{actual}"
+    )
+
+
+@pytest.fixture(scope="module")
+def differential_services():
+    """Lazily created, module-shared services — one per universe.
+
+    One service serves every backend × opt level over one mock instance:
+    the pool map gives each backend its own loaded connections, and
+    ``opt_level`` is a per-call override, so nothing is re-loaded between
+    parametrizations.
+    """
+    services: dict[str, GraphitiService] = {}
+
+    def service_for(universe: str) -> GraphitiService:
+        service = services.get(universe)
+        if service is None:
+            schema, _ = CORPUS[universe]
+            service = GraphitiService(schema)
+            # Seed chosen so every corpus query returns rows (guarded by
+            # test_corpus_is_nontrivial) — vacuous bag-equivalence of empty
+            # tables would not exercise marshalling at all.
+            service.load_mock(ROWS_PER_TABLE, seed=42)
+            services[universe] = service
+        return service
+
+    yield service_for
+    for service in services.values():
+        service.close()
+
+
+class TestDifferentialHarness:
+    @pytest.mark.parametrize("backend_name", available_backends())
+    @pytest.mark.parametrize("opt_level", sorted(OPT_LEVELS))
+    @pytest.mark.parametrize(("universe", "label"), CASES)
+    def test_backend_matches_reference(
+        self, universe, label, opt_level, backend_name, differential_services
+    ):
+        _, workload = CORPUS[universe]
+        assert_differential(
+            differential_services(universe),
+            backend_name,
+            workload[label],
+            opt_level,
+        )
+
+    def test_corpus_is_nontrivial(self, differential_services):
+        """Guard the harness itself: every corpus query returns rows on the
+        mock instances, so a backend returning empty tables cannot pass by
+        vacuous bag-equivalence."""
+        for universe, (_, workload) in CORPUS.items():
+            service = differential_services(universe)
+            for label, cypher in workload.items():
+                rows = len(service.reference(cypher))
+                assert rows > 0, f"{universe}/{label} returns no rows"
+
+    def test_every_available_backend_is_covered(self):
+        """The parametrization tracks the registry — a newly registered,
+        importable engine is automatically subject to the harness."""
+        assert set(available_backends()) >= {"sqlite-memory", "sqlite-file"}

@@ -1,7 +1,9 @@
-"""ConnectionPool behaviour: checkout/checkin, lazy growth, clones, close."""
+"""ConnectionPool behaviour: checkout/checkin, lazy growth, clones, close,
+and the non-blocking protocol async callers ride on (try_checkout /
+try_reserve + spawn_reserved / waiter callbacks)."""
 
+import asyncio
 import threading
-import time
 
 import pytest
 
@@ -50,18 +52,23 @@ class TestCheckoutCheckin:
         pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=1)
         member = pool.checkout()
         acquired = []
+        entered = threading.Event()
 
         def blocked_checkout():
-            other = pool.checkout(timeout=5)
+            entered.set()
+            other = pool.checkout(timeout=10)
             acquired.append(other)
             pool.checkin(other)
 
         thread = threading.Thread(target=blocked_checkout)
         thread.start()
-        time.sleep(0.05)
-        assert not acquired  # still blocked
+        # No sleep-based timing: the pool is at capacity with its only
+        # member checked out here, so the thread *cannot* have acquired
+        # anything until our checkin below, however it is scheduled.
+        assert entered.wait(timeout=10)
+        assert not acquired
         pool.checkin(member)
-        thread.join(timeout=5)
+        thread.join(timeout=10)
         assert acquired == [member]
         pool.close()
 
@@ -188,3 +195,239 @@ class TestClose:
             for thread in threads:
                 thread.join()
         assert not errors
+
+
+class TestNonBlockingProtocol:
+    """The seam async callers use instead of the blocking ``checkout``."""
+
+    def test_try_checkout_pops_idle_member(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            member = pool.try_checkout()
+            assert member is not None
+            assert member.execute(QUERY).rows[0][0] == 30
+            pool.checkin(member)
+
+    def test_try_checkout_returns_none_when_busy(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            assert pool.try_checkout() is None  # no block, no spawn
+            pool.checkin(member)
+
+    def test_try_reserve_and_spawn_grow_the_pool(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            first = pool.checkout()
+            assert pool.try_reserve() is True
+            second = pool.spawn_reserved()  # arrives checked out
+            assert second is not first
+            assert pool.size == 2
+            assert pool.try_reserve() is False  # at capacity now
+            pool.checkin(first)
+            pool.checkin(second)
+
+    def test_try_checkout_after_close_raises(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=1)
+        pool.close()
+        with pytest.raises(PoolClosed):
+            pool.try_checkout()
+        with pytest.raises(PoolClosed):
+            pool.try_reserve()
+
+    def test_waiter_fires_on_checkin(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            fired = threading.Event()
+            pool.add_waiter(fired.set)
+            assert not fired.is_set()
+            pool.checkin(member)
+            assert fired.wait(timeout=5)
+
+    def test_waiter_fires_on_close(self, emp_dept_db):
+        pool = ConnectionPool("sqlite-memory", emp_dept_db, capacity=1)
+        fired = threading.Event()
+        pool.add_waiter(fired.set)
+        pool.close()
+        assert fired.wait(timeout=5)
+
+    def test_cancel_reservation_restores_capacity(self, emp_dept_db):
+        """A reservation whose spawn never runs (cancelled dispatch) must
+        release its slot, or the pool can never grow to capacity again."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            first = pool.checkout()
+            assert pool.try_reserve() is True
+            assert pool.try_reserve() is False  # slot held
+            pool.cancel_reservation()
+            assert pool.try_reserve() is True  # slot is back
+            second = pool.spawn_reserved()
+            pool.checkin(first)
+            pool.checkin(second)
+
+    def test_remove_waiter_reports_consumed_hint(self, emp_dept_db):
+        """remove_waiter returns False once the callback was popped for
+        firing — the signal a timed-out waiter uses to hand its hint on."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            fired = threading.Event()
+            token = pool.add_waiter(fired.set)
+            pool.checkin(member)
+            assert fired.wait(timeout=5)
+            assert pool.remove_waiter(token) is False  # already consumed
+            live = pool.add_waiter(lambda: None)
+            assert pool.remove_waiter(live) is True
+
+    def test_wake_waiter_hands_hint_to_next_in_line(self, emp_dept_db):
+        """The lost-wakeup fix: a woken waiter that cannot use its hint
+        (timeout, cancellation) re-fires it so the next waiter proceeds."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            first, second = threading.Event(), threading.Event()
+            token = pool.add_waiter(first.set)
+            pool.add_waiter(second.set)
+            pool.checkin(member)  # wakes the first waiter only
+            assert first.wait(timeout=5)
+            assert not second.is_set()
+            # First waiter times out instead of retrying: pass the hint on.
+            assert pool.remove_waiter(token) is False
+            pool.wake_waiter()
+            assert second.wait(timeout=5)
+
+    def test_removed_waiter_never_fires(self, emp_dept_db):
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            fired = threading.Event()
+            token = pool.add_waiter(fired.set)
+            pool.remove_waiter(token)
+            pool.remove_waiter(token)  # idempotent
+            pool.checkin(member)
+            assert not fired.is_set()
+
+    def test_waiter_exceptions_do_not_break_checkin(self, emp_dept_db):
+        """A dead event loop's callback raising must not poison the pool."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            pool.add_waiter(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+            pool.checkin(member)  # must not raise
+            assert pool.idle_count == 1
+
+    def test_waiters_fire_once_per_registration(self, emp_dept_db):
+        """One freed member wakes one waiter (FIFO), not the whole herd."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=1) as pool:
+            member = pool.checkout()
+            first, second = threading.Event(), threading.Event()
+            pool.add_waiter(first.set)
+            pool.add_waiter(second.set)
+            pool.checkin(member)
+            assert first.wait(timeout=5)
+            assert not second.is_set()
+            other = pool.checkout()
+            pool.checkin(other)
+            assert second.wait(timeout=5)
+
+
+class TestAsyncEdgeCases:
+    """Pool discipline under the asyncio serving layer."""
+
+    def test_checkin_on_exception_during_awaited_execution(
+        self, emp_dept_schema, monkeypatch
+    ):
+        """A query failing *inside* an awaited execution must check its
+        connection back in — the classic leak in async serving layers."""
+        from repro.backends import AsyncGraphitiService, GraphitiService
+        from repro.backends.sqlite import SqliteMemoryBackend
+
+        query = "MATCH (n:EMP) RETURN n.name"
+        with GraphitiService(emp_dept_schema, pool_size=2) as service:
+            service.load_mock(20, seed=9)
+            async_svc = AsyncGraphitiService(service, max_concurrency=2)
+            try:
+                pool = service.pool()  # created (and loaded) before the poison
+
+                def always_failing(self, sql_text):
+                    raise RuntimeError("engine crashed mid-query")
+
+                monkeypatch.setattr(SqliteMemoryBackend, "execute", always_failing)
+                for _ in range(3):
+                    with pytest.raises(RuntimeError, match="engine crashed"):
+                        asyncio.run(async_svc.run(query))
+                assert pool.in_use == 0
+                assert pool.idle_count == pool.size  # fully drained back
+                # The pool still serves good queries once the engine heals.
+                monkeypatch.undo()
+                table = asyncio.run(async_svc.run(query))
+                assert len(table) == 20
+            finally:
+                async_svc.close()
+
+    def test_template_member_never_handed_out_under_mixed_load(
+        self, emp_dept_schema, monkeypatch
+    ):
+        """sqlite-file keeps a template member owning the shared database
+        file; under simultaneous sync-thread and asyncio load it must never
+        execute a query — only clones are handed out."""
+        from repro.backends import AsyncGraphitiService, GraphitiService
+        from repro.backends.sqlite import SqliteFileBackend
+
+        executed_on: set[int] = set()
+        original = SqliteFileBackend.execute
+
+        def spying_execute(self, sql_text):
+            executed_on.add(id(self))
+            return original(self, sql_text)
+
+        monkeypatch.setattr(SqliteFileBackend, "execute", spying_execute)
+        query = "MATCH (n:EMP) RETURN n.name"
+        with GraphitiService(
+            emp_dept_schema, default_backend="sqlite-file", pool_size=3
+        ) as service:
+            service.load_mock(20, seed=9)
+            async_svc = AsyncGraphitiService(service, max_concurrency=3)
+            errors: list[Exception] = []
+
+            def sync_load():
+                try:
+                    for _ in range(6):
+                        service.run(query)
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            async def async_load():
+                await asyncio.gather(
+                    *(async_svc.run(query) for _ in range(6))
+                )
+
+            try:
+                threads = [threading.Thread(target=sync_load) for _ in range(2)]
+                for thread in threads:
+                    thread.start()
+                asyncio.run(async_load())
+                for thread in threads:
+                    thread.join(timeout=30)
+                assert not errors
+                pool = service.pool()
+                template = pool._template
+                assert template is not None  # sqlite-file pools via clones
+                assert id(template) not in executed_on
+                assert executed_on  # the spy actually saw the clones work
+            finally:
+                async_svc.close()
+
+    def test_spawn_reserved_slot_released_on_failure(self, emp_dept_db, monkeypatch):
+        """A failed spawn must release its reserved slot so capacity is not
+        leaked (the async layer spawns on executor threads)."""
+        with ConnectionPool("sqlite-memory", emp_dept_db, capacity=2) as pool:
+            first = pool.checkout()
+            assert pool.try_reserve() is True
+
+            def broken_load(*args, **kwargs):
+                raise RuntimeError("engine exploded")
+
+            monkeypatch.setattr(
+                "repro.backends.pool.load_backend", broken_load
+            )
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                pool.spawn_reserved()
+            # The slot is free again: a new reservation must succeed.
+            assert pool.try_reserve() is True
+            monkeypatch.undo()
+            second = pool.spawn_reserved()
+            pool.checkin(first)
+            pool.checkin(second)
