@@ -82,6 +82,52 @@ def main() -> None:
     if refutation.counterexample is not None:
         print(refutation.counterexample.describe())
 
+    traversal_demo()
+
+
+def traversal_demo() -> None:
+    """Path queries: friend-of-friend reachability on a tiny social graph.
+
+    Variable-length patterns ``-[:KNOWS*lo..hi]->`` transpile to recursive
+    CTEs (``WITH RECURSIVE``) — or, at opt level 2 with a small bound, to an
+    unrolled UNION of k-hop joins — and execute on any registered backend.
+    """
+    from repro.backends import GraphitiService
+    from repro.graph.builder import GraphBuilder
+
+    social = GraphSchema.of(
+        [NodeType("PERSON", ("pid", "pname"))],
+        [EdgeType("KNOWS", "PERSON", "PERSON", ("kid",))],
+    )
+    builder = GraphBuilder(social)
+    people = {
+        name: builder.add_node("PERSON", pid=i, pname=name)
+        for i, name in enumerate(["Ada", "Bo", "Cy", "Dee", "Eli"], start=1)
+    }
+    friendships = [
+        ("Ada", "Bo"), ("Bo", "Cy"), ("Cy", "Dee"), ("Dee", "Bo"), ("Cy", "Eli"),
+    ]
+    for kid, (source, target) in enumerate(friendships, start=1):
+        builder.add_edge("KNOWS", people[source], people[target], kid=kid)
+
+    with GraphitiService(social) as service:
+        service.load_graph(builder.build())
+        fof = (
+            "MATCH (a:PERSON)-[:KNOWS*2..3]->(b:PERSON) "
+            "RETURN a.pname, b.pname ORDER BY a.pname, b.pname"
+        )
+        print("\nfriend-of-friend reachability (2..3 hops), per backend:")
+        print("  " + service.transpile_to_sql(fof)[:100] + " ...")
+        for backend in service.backends():
+            table = service.run(fof, backend=backend)
+            pairs = ", ".join(f"{a}->{b}" for a, b in table.rows)
+            print(f"  {backend:14} {pairs}")
+        everyone = service.run(
+            "MATCH (a:PERSON)-[:KNOWS*]->(b:PERSON) RETURN a.pname, Count(*)"
+        )
+        print("  reachable-peer counts (unbounded *):",
+              ", ".join(f"{name}:{count}" for name, count in everyone.rows))
+
 
 if __name__ == "__main__":
     main()

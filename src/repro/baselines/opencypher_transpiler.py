@@ -150,6 +150,8 @@ def _clause_gate(clause: cy.Clause, depth: int) -> str | None:
 
 def _pattern_gate(pattern: cy.PathPattern) -> str | None:
     for element in pattern:
+        if isinstance(element, cy.VarLengthEdgePattern):
+            return "variable-length relationship patterns are not supported"
         if isinstance(element, cy.EdgePattern) and element.direction is cy.Direction.BOTH:
             return "undirected edge patterns are not supported"
     return None

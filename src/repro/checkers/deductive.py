@@ -43,7 +43,12 @@ from repro.checkers.cq import (
 )
 from repro.common.errors import UnsupportedError
 from repro.relational.schema import RelationalSchema
-from repro.sql.analysis import uses_aggregation, uses_order_by, uses_outer_join
+from repro.sql.analysis import (
+    uses_aggregation,
+    uses_order_by,
+    uses_outer_join,
+    uses_recursion,
+)
 from repro.transformer.dsl import Constant, Rule, Transformer, Variable, Wildcard
 
 _MAX_HEAD_PERMUTATIONS = 5040  # 7! — beyond this only identity is tried
@@ -74,6 +79,8 @@ class DeductiveChecker:
                 return _outcome(Verdict.UNSUPPORTED, started, "outer join")
             if uses_order_by(query):
                 return _outcome(Verdict.UNSUPPORTED, started, "order by")
+            if uses_recursion(query):
+                return _outcome(Verdict.UNSUPPORTED, started, "recursive CTE")
         try:
             left = Normalizer(request.induced_schema).normalize(request.induced_query)
             right_raw = Normalizer(request.target_schema).normalize(request.target_query)

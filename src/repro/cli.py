@@ -87,6 +87,12 @@ _EXAMPLE_SCHEMAS = {
         node DEPT(dnum, dname)
         edge WORK_AT(wid): EMP -> DEPT
     """,
+    # Self-referential FOLLOWS edge: the smallest schema on which
+    # variable-length path queries (``-[:FOLLOWS*1..3]->``) typecheck.
+    "social": """
+        node USER(uid, uname)
+        edge FOLLOWS(fid): USER -> USER
+    """,
 }
 
 
@@ -275,6 +281,12 @@ def _build_parser() -> argparse.ArgumentParser:
     backends_parser.add_argument(
         "--rows", type=int, default=500, help="mock rows per table for --stats"
     )
+    backends_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON (registry listing; with --stats also "
+        "cache hit/miss counters and per-query timing percentiles)",
+    )
 
     tables_parser = subparsers.add_parser(
         "tables", help="regenerate a paper evaluation table"
@@ -448,23 +460,43 @@ def _command_bench_backends(arguments) -> int:
 
 
 def _command_backends(arguments) -> int:
+    import json
+
     from repro.backends import backend_info, registered_backends
 
-    for name in registered_backends():
-        info = backend_info(name)
-        status = "available" if info.available else "unavailable"
-        detail = f"  — {info.description}" if info.description else ""
-        print(f"{name:15} [{status}]  dialect={info.backend_class.dialect.name}{detail}")
+    as_json = getattr(arguments, "json", False)
+    registry = [
+        {
+            "name": name,
+            "available": backend_info(name).available,
+            "dialect": backend_info(name).backend_class.dialect.name,
+            "description": backend_info(name).description,
+        }
+        for name in registered_backends()
+    ]
+    if not as_json:
+        for entry in registry:
+            status = "available" if entry["available"] else "unavailable"
+            detail = f"  — {entry['description']}" if entry["description"] else ""
+            print(f"{entry['name']:15} [{status}]  dialect={entry['dialect']}{detail}")
+    stats_document = None
     if getattr(arguments, "stats", False):
-        _print_backend_stats(arguments.rows)
+        stats_document = _collect_backend_stats(arguments.rows, echo=not as_json)
+    if as_json:
+        document = {"backends": registry}
+        if stats_document is not None:
+            document.update(stats_document)
+        print(json.dumps(document, indent=2))
     return 0
 
 
-def _print_backend_stats(rows_per_table: int) -> None:
-    """Run the standard workload twice and show cache + timing counters.
+def _collect_backend_stats(rows_per_table: int, echo: bool = True) -> dict:
+    """Run the standard workload twice; report cache + timing counters.
 
     The second round should be all cache hits — the visible proof that the
     optimizer's (costlier) level-2 planning is paid once per query text.
+    Returns the machine-readable document (``repro backends --stats --json``);
+    with *echo* the human-format tables are printed as before.
     """
     from repro.backends import GraphitiService
     from repro.backends.comparison import DEFAULT_SCHEMA, DEFAULT_WORKLOAD
@@ -475,26 +507,52 @@ def _print_backend_stats(rows_per_table: int) -> None:
             for text in DEFAULT_WORKLOAD.values():
                 service.run(text)
         info = service.cache_info()
-        print()
-        print(f"== transpilation cache (opt level {service.opt_level}) ==")
-        print(
-            f"hits={info.hits} misses={info.misses} "
-            f"size={info.currsize}/{info.maxsize}"
-        )
-        print()
-        print("== per-query timings ==")
+        queries = []
         for stat in service.query_stats():
             label = next(
                 (k for k, v in DEFAULT_WORKLOAD.items() if v == stat.cypher_text),
                 stat.cypher_text[:30],
             )
-            print(
-                f"{label:10} runs={stat.executions}  "
-                f"mean={stat.mean_seconds * 1000:7.2f} ms  "
-                f"p50={stat.p50_seconds * 1000:7.2f} ms  "
-                f"p95={stat.p95_seconds * 1000:7.2f} ms  "
-                f"last={stat.last_seconds * 1000:7.2f} ms"
+            queries.append(
+                {
+                    "label": label,
+                    "cypher": stat.cypher_text,
+                    "executions": stat.executions,
+                    "mean_ms": round(stat.mean_seconds * 1000, 3),
+                    "p50_ms": round(stat.p50_seconds * 1000, 3),
+                    "p95_ms": round(stat.p95_seconds * 1000, 3),
+                    "last_ms": round(stat.last_seconds * 1000, 3),
+                }
             )
+        document = {
+            "meta": {"rows_per_table": rows_per_table, "rounds": 2},
+            "opt_level": service.opt_level,
+            "cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "currsize": info.currsize,
+                "maxsize": info.maxsize,
+            },
+            "queries": queries,
+        }
+        if echo:
+            print()
+            print(f"== transpilation cache (opt level {service.opt_level}) ==")
+            print(
+                f"hits={info.hits} misses={info.misses} "
+                f"size={info.currsize}/{info.maxsize}"
+            )
+            print()
+            print("== per-query timings ==")
+            for row in queries:
+                print(
+                    f"{row['label']:10} runs={row['executions']}  "
+                    f"mean={row['mean_ms']:7.2f} ms  "
+                    f"p50={row['p50_ms']:7.2f} ms  "
+                    f"p95={row['p95_ms']:7.2f} ms  "
+                    f"last={row['last_ms']:7.2f} ms"
+                )
+        return document
 
 
 def _command_check(arguments) -> int:

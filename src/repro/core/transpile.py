@@ -22,6 +22,17 @@ Cypher path patterns become chains of inner joins whose predicates connect
 edge-table ``SRC``/``TGT`` foreign keys to endpoint primary keys (PT-Path);
 ``MATCH`` accumulation becomes an inner join on shared-variable primary keys
 (C-Match2); ``OPTIONAL MATCH`` becomes a left outer join (C-OptMatch).
+
+Variable-length relationship patterns (PT-Reach, this library's extension)
+become *recursive CTEs*: each ``-[r:REL*lo..hi]->`` occurrence contributes a
+``WITH RECURSIVE`` fixpoint over the oriented one-hop ``(src, tgt)`` pairs of
+the induced edge table — depth-tracked, distinct-union (cycle-safe), with the
+depth saturating at ``max(lo, 1)`` when the upper bound is open — whose
+distinct qualifying endpoint pairs are cross-joined into the pattern and
+connected to the endpoint scans like an ordinary edge occurrence.  A
+``min_hops`` of 0 unions in the identity pairs of the endpoint node table.
+The fixpoint carries :class:`repro.sql.ast.ReachInfo` so the cost-based
+planner can later unroll small bounded traversals into k-hop join chains.
 """
 
 from __future__ import annotations
@@ -38,6 +49,11 @@ from repro.sql import ast as sq
 
 #: Maps a (variable, induced attribute) pair to an attribute reference string.
 Naming = Callable[[str, str], str]
+
+#: Output columns of a variable-length reach relation (PT-Reach).
+REACH_SOURCE = "src"
+REACH_TARGET = "tgt"
+REACH_DEPTH = "depth"
 
 
 def flat(variable: str, key: str) -> str:
@@ -212,11 +228,14 @@ class Transpiler:
     # -- patterns (Figure 18) -------------------------------------------------
 
     def _translate_pattern(self, pattern: cy.PathPattern) -> ClauseOutput:
-        """PT-Node / PT-Path with flattened output attributes.
+        """PT-Node / PT-Path / PT-Reach with flattened output attributes.
 
         Repeated variables inside one pattern are scanned once per
         occurrence under a fresh alias and constrained equal on their
-        primary key, then surfaced once in the output.
+        primary key, then surfaced once in the output.  Variable-length
+        edge occurrences contribute no scan of their own: each becomes a
+        reach relation (recursive CTE over one-hop pairs) cross-joined
+        into the pattern and connected to its endpoint scans.
         """
         variables: dict[str, str] = {}
         scans: list[tuple[str, str, str]] = []  # (alias, variable, label)
@@ -237,7 +256,12 @@ class Transpiler:
             return alias
 
         for element in pattern:
-            alias_of_occurrence.append(register(element.variable, element.label))
+            if isinstance(element, cy.VarLengthEdgePattern):
+                # The traversal variable is not bindable — no scan, no
+                # output columns; the reach relation joins in below.
+                alias_of_occurrence.append("")
+            else:
+                alias_of_occurrence.append(register(element.variable, element.label))
 
         query: sq.Query | None = None
         duplicate_constraints: list[sq.Predicate] = []
@@ -265,7 +289,6 @@ class Transpiler:
         connection_predicates: list[sq.Predicate] = []
         for index in range(1, len(pattern), 2):
             edge = pattern[index]
-            assert isinstance(edge, cy.EdgePattern)
             left_alias = alias_of_occurrence[index - 1]
             edge_alias = alias_of_occurrence[index]
             right_alias = alias_of_occurrence[index + 1]
@@ -273,6 +296,32 @@ class Transpiler:
             right_node = pattern[index + 1]
             assert isinstance(left_node, cy.NodePattern)
             assert isinstance(right_node, cy.NodePattern)
+            if isinstance(edge, cy.VarLengthEdgePattern):
+                assert query is not None
+                reach_alias = self._fresh_table("VL")
+                query = sq.Join(
+                    sq.JoinKind.CROSS,
+                    query,
+                    sq.Renaming(reach_alias, self._reach_query(edge, left_node, right_node)),
+                    sq.TRUE,
+                )
+                pk = self._primary_key_of(left_node.label)
+                connection_predicates.append(
+                    sq.And(
+                        sq.Comparison(
+                            "=",
+                            sq.AttributeRef(f"{reach_alias}.{REACH_SOURCE}"),
+                            sq.AttributeRef(f"{left_alias}.{pk}"),
+                        ),
+                        sq.Comparison(
+                            "=",
+                            sq.AttributeRef(f"{reach_alias}.{REACH_TARGET}"),
+                            sq.AttributeRef(f"{right_alias}.{pk}"),
+                        ),
+                    )
+                )
+                continue
+            assert isinstance(edge, cy.EdgePattern)
             connection_predicates.append(
                 self._edge_connection(
                     edge, left_node, right_node, left_alias, edge_alias, right_alias
@@ -355,6 +404,174 @@ class Transpiler:
         if len(options) == 1:
             return options[0]
         return sq.Or(options[0], options[1])
+
+    # -- variable-length patterns (PT-Reach) ----------------------------------
+
+    def _reach_query(
+        self,
+        edge: cy.VarLengthEdgePattern,
+        left_node: cy.NodePattern,
+        right_node: cy.NodePattern,
+    ) -> sq.Query:
+        """The reach relation of one variable-length edge occurrence.
+
+        Output: distinct ``(src, tgt)`` primary-key pairs connected by a
+        walk of ``min_hops..max_hops`` hops, oriented along the pattern
+        (``src`` is always the *left* endpoint).  Shape::
+
+            WITH hop AS (oriented one-hop pairs of the edge table)
+            WITH RECURSIVE reach(src, tgt, depth) AS (
+                SELECT src, tgt, 1 FROM hop
+                UNION  -- distinct: the cycle-safety device
+                SELECT r.src, e.tgt, r.depth + Δ FROM reach r JOIN hop e
+                ON e.src = r.tgt [AND r.depth < max]
+            )
+            SELECT DISTINCT src, tgt FROM reach [WHERE depth >= min]
+
+        With an open upper bound the increment Δ is ``Cast(depth < cap)``
+        — depth saturates at ``cap = max(min_hops, 1)`` so the distinct
+        union closes over a finite state space even on cyclic data.
+        ``min_hops = 0`` unions the node table's identity pairs around the
+        fixpoint (and skips it entirely for ``*0..0``).
+        """
+        from repro.cypher.analysis import var_length_step_error
+
+        problem = var_length_step_error(edge=edge, left=left_node, right=right_node, schema=self.graph_schema)
+        if problem is not None:
+            raise TranspileError(problem)
+        edge_type = self.graph_schema.edge_type(edge.label)
+        edge_table = self.sdt.table_for(edge.label)
+        node_table = self.sdt.table_for(edge_type.source)
+        pk = self._primary_key_of(edge_type.source)
+        lo, hi = edge.min_hops, edge.max_hops
+
+        identity = sq.Projection(
+            sq.Relation(node_table),
+            (
+                sq.OutputColumn(REACH_SOURCE, sq.AttributeRef(pk)),
+                sq.OutputColumn(REACH_TARGET, sq.AttributeRef(pk)),
+            ),
+        )
+        if hi == 0:
+            return identity  # ``*0..0`` — only the zero-length walk
+
+        core = self._recursive_reach(edge, edge_table, max(lo, 1), hi)
+        if lo == 0:
+            return sq.UnionOp(identity, core, all=False)
+        return core
+
+    def _hop_pairs(self, edge: cy.VarLengthEdgePattern, edge_table: str) -> sq.Query:
+        """Oriented one-hop ``(src, tgt)`` pairs: the traversal's step relation."""
+
+        def oriented(source_attribute: str, target_attribute: str) -> sq.Query:
+            return sq.Projection(
+                sq.Relation(edge_table),
+                (
+                    sq.OutputColumn(REACH_SOURCE, sq.AttributeRef(source_attribute)),
+                    sq.OutputColumn(REACH_TARGET, sq.AttributeRef(target_attribute)),
+                ),
+            )
+
+        if edge.direction is cy.Direction.OUT:
+            return oriented(SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE)
+        if edge.direction is cy.Direction.IN:
+            return oriented(TARGET_ATTRIBUTE, SOURCE_ATTRIBUTE)
+        return sq.UnionOp(
+            oriented(SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE),
+            oriented(TARGET_ATTRIBUTE, SOURCE_ATTRIBUTE),
+            all=True,
+        )
+
+    def _recursive_reach(
+        self,
+        edge: cy.VarLengthEdgePattern,
+        edge_table: str,
+        lo: int,
+        hi: int | None,
+    ) -> sq.Query:
+        """The depth-tracked fixpoint over the hop relation (``lo >= 1``)."""
+        hop_name = self._fresh_table("hop")
+        name = self._fresh_table("reach")
+        walker = self._fresh_table("R")
+        stepper = self._fresh_table("E")
+        depth_ref = sq.AttributeRef(f"{walker}.{REACH_DEPTH}")
+
+        base = sq.Projection(
+            sq.Relation(hop_name),
+            (
+                sq.OutputColumn(REACH_SOURCE, sq.AttributeRef(REACH_SOURCE)),
+                sq.OutputColumn(REACH_TARGET, sq.AttributeRef(REACH_TARGET)),
+                sq.OutputColumn(REACH_DEPTH, sq.Literal(1)),
+            ),
+        )
+
+        join_predicate: sq.Predicate = sq.Comparison(
+            "=",
+            sq.AttributeRef(f"{stepper}.{REACH_SOURCE}"),
+            sq.AttributeRef(f"{walker}.{REACH_TARGET}"),
+        )
+        if hi is not None:
+            # Bounded: stop extending walks at the upper bound.
+            join_predicate = sq.And(
+                join_predicate, sq.Comparison("<", depth_ref, sq.Literal(hi))
+            )
+            increment: sq.Expression = sq.Literal(1)
+        else:
+            # Open: saturate the depth at ``lo`` — Cast(depth < lo) adds 1
+            # below the cap and 0 at it, closing the state space.
+            increment = sq.CastPredicate(
+                sq.Comparison("<", depth_ref, sq.Literal(lo))
+            )
+        step = sq.Projection(
+            sq.Join(
+                sq.JoinKind.INNER,
+                sq.Renaming(walker, sq.Relation(name)),
+                sq.Renaming(stepper, sq.Relation(hop_name)),
+                join_predicate,
+            ),
+            (
+                sq.OutputColumn(REACH_SOURCE, sq.AttributeRef(f"{walker}.{REACH_SOURCE}")),
+                sq.OutputColumn(REACH_TARGET, sq.AttributeRef(f"{stepper}.{REACH_TARGET}")),
+                sq.OutputColumn(REACH_DEPTH, sq.BinaryOp("+", depth_ref, increment)),
+            ),
+        )
+
+        qualifying: sq.Query = sq.Relation(name)
+        if lo > 1:
+            qualifying = sq.Selection(
+                qualifying,
+                sq.Comparison(">=", sq.AttributeRef(REACH_DEPTH), sq.Literal(lo)),
+            )
+        body = sq.Projection(
+            qualifying,
+            (
+                sq.OutputColumn(REACH_SOURCE, sq.AttributeRef(REACH_SOURCE)),
+                sq.OutputColumn(REACH_TARGET, sq.AttributeRef(REACH_TARGET)),
+            ),
+            distinct=True,
+        )
+
+        fanout = {
+            cy.Direction.OUT: (SOURCE_ATTRIBUTE,),
+            cy.Direction.IN: (TARGET_ATTRIBUTE,),
+            cy.Direction.BOTH: (SOURCE_ATTRIBUTE, TARGET_ATTRIBUTE),
+        }[edge.direction]
+        fixpoint = sq.RecursiveQuery(
+            name,
+            (REACH_SOURCE, REACH_TARGET, REACH_DEPTH),
+            base,
+            step,
+            body,
+            union_all=False,
+            reach=sq.ReachInfo(
+                edge_table=edge_table,
+                hop_relation=hop_name,
+                fanout_columns=fanout,
+                min_hops=edge.min_hops,
+                max_hops=hi,
+            ),
+        )
+        return sq.WithQuery(hop_name, self._hop_pairs(edge, edge_table), fixpoint)
 
     # -- expressions (Figure 21) ----------------------------------------------
 

@@ -3,7 +3,12 @@
 from repro.cypher import ast
 from repro.cypher.parser import parse_cypher
 from repro.cypher.semantics import evaluate_query
-from repro.cypher.analysis import ast_size, collect_variables, has_aggregate
+from repro.cypher.analysis import (
+    ast_size,
+    collect_variables,
+    has_aggregate,
+    uses_var_length,
+)
 from repro.cypher.pretty import pretty as pretty_cypher
 
 __all__ = [
@@ -13,5 +18,6 @@ __all__ = [
     "ast_size",
     "collect_variables",
     "has_aggregate",
+    "uses_var_length",
     "pretty_cypher",
 ]

@@ -2,12 +2,16 @@
 
 ``ast_size`` counts AST nodes (the metric of the paper's Table 1);
 ``collect_variables`` and ``has_aggregate`` support the transpiler and the
-benchmark infrastructure.
+benchmark infrastructure; ``var_length_step_error`` is the shared semantic
+check for variable-length relationship patterns (both the reference
+evaluator and the transpiler consult it so they reject exactly the same
+ill-typed traversals).
 """
 
 from __future__ import annotations
 
 from repro.cypher import ast
+from repro.graph.schema import GraphSchema
 
 
 def ast_size(node: object) -> int:
@@ -55,12 +59,32 @@ def ast_size(node: object) -> int:
 def _pattern_size(pattern: ast.PathPattern) -> int:
     """Pattern elements count at token granularity: a node pattern ``(X, l)``
     is three nodes (tuple, variable, label), an edge pattern ``(X, l, d)``
-    four — matching how the paper's Table 1 sizes weigh pattern-heavy
-    Cypher queries above their SQL counterparts."""
+    four and a variable-length edge ``(X, l, d, lo..hi)`` six — matching how
+    the paper's Table 1 sizes weigh pattern-heavy Cypher queries above their
+    SQL counterparts."""
     size = 0
     for element in pattern:
-        size += 3 if isinstance(element, ast.NodePattern) else 4
+        if isinstance(element, ast.NodePattern):
+            size += 3
+        elif isinstance(element, ast.VarLengthEdgePattern):
+            size += 6
+        else:
+            size += 4
     return size
+
+
+def pattern_bindable_variables(pattern: ast.PathPattern) -> dict[str, str]:
+    """Variable → label for every *bindable* element of *pattern*.
+
+    A variable-length edge variable names the whole traversal, not a graph
+    element, so it never enters the binding scope (see
+    :class:`~repro.cypher.ast.VarLengthEdgePattern`).
+    """
+    return {
+        element.variable: element.label
+        for element in pattern
+        if not isinstance(element, ast.VarLengthEdgePattern)
+    }
 
 
 def collect_variables(clause: ast.Clause) -> dict[str, str]:
@@ -69,11 +93,11 @@ def collect_variables(clause: ast.Clause) -> dict[str, str]:
         variables: dict[str, str] = {}
         if clause.previous is not None:
             variables.update(collect_variables(clause.previous))
-        variables.update({e.variable: e.label for e in clause.pattern})
+        variables.update(pattern_bindable_variables(clause.pattern))
         return variables
     if isinstance(clause, ast.OptMatch):
         variables = collect_variables(clause.previous)
-        variables.update({e.variable: e.label for e in clause.pattern})
+        variables.update(pattern_bindable_variables(clause.pattern))
         return variables
     if isinstance(clause, ast.With):
         inner = collect_variables(clause.previous)
@@ -132,3 +156,73 @@ def uses_aggregation(query: ast.Query) -> bool:
     if isinstance(query, (ast.Union, ast.UnionAll)):
         return uses_aggregation(query.left) or uses_aggregation(query.right)
     return False
+
+
+def uses_var_length(query: ast.Query) -> bool:
+    """Whether any pattern of *query* contains a variable-length edge."""
+
+    def pattern_uses(pattern: ast.PathPattern) -> bool:
+        return any(isinstance(e, ast.VarLengthEdgePattern) for e in pattern)
+
+    def predicate_uses(predicate: ast.Predicate) -> bool:
+        if isinstance(predicate, ast.Exists):
+            return pattern_uses(predicate.pattern) or predicate_uses(predicate.predicate)
+        if isinstance(predicate, (ast.And, ast.Or)):
+            return predicate_uses(predicate.left) or predicate_uses(predicate.right)
+        if isinstance(predicate, ast.Not):
+            return predicate_uses(predicate.operand)
+        return False
+
+    def clause_uses(clause: ast.Clause) -> bool:
+        if isinstance(clause, ast.Match):
+            return (
+                pattern_uses(clause.pattern)
+                or predicate_uses(clause.predicate)
+                or (clause.previous is not None and clause_uses(clause.previous))
+            )
+        if isinstance(clause, ast.OptMatch):
+            return (
+                pattern_uses(clause.pattern)
+                or predicate_uses(clause.predicate)
+                or clause_uses(clause.previous)
+            )
+        if isinstance(clause, ast.With):
+            return clause_uses(clause.previous)
+        return False
+
+    if isinstance(query, ast.Return):
+        return clause_uses(query.clause)
+    if isinstance(query, ast.OrderBy):
+        return uses_var_length(query.query)
+    if isinstance(query, (ast.Union, ast.UnionAll)):
+        return uses_var_length(query.left) or uses_var_length(query.right)
+    return False
+
+
+def var_length_step_error(
+    left: ast.NodePattern,
+    edge: ast.VarLengthEdgePattern,
+    right: ast.NodePattern,
+    schema: GraphSchema,
+) -> str | None:
+    """Why the variable-length step is ill-typed, or ``None`` when fine.
+
+    Multi-hop traversal only typechecks over a *self-referential* edge type
+    (every intermediate node carries the same label), and both endpoint
+    patterns must carry that node label.  The reference evaluator and the
+    transpiler both enforce this, so a query is rejected identically on
+    either path.
+    """
+    edge_type = schema.edge_type(edge.label)
+    if edge_type.source != edge_type.target:
+        return (
+            f"variable-length pattern over {edge.label!r} needs a self-referential "
+            f"edge type; {edge.label!r} runs {edge_type.source!r} -> {edge_type.target!r}"
+        )
+    for node in (left, right):
+        if node.label != edge_type.source:
+            return (
+                f"variable-length pattern endpoint {node.variable!r} is labelled "
+                f"{node.label!r}, but {edge.label!r} connects {edge_type.source!r} nodes"
+            )
+    return None

@@ -63,20 +63,72 @@ class EdgePattern:
     direction: Direction
 
 
+@dataclass(frozen=True)
+class VarLengthEdgePattern:
+    """``(X, l, d, lo..hi)`` — a variable-length relationship pattern.
+
+    Surface forms: ``-[r:REL*]->`` (1 or more hops), ``-[r:REL*n]->``
+    (exactly *n*), ``-[r:REL*lo..hi]->``, ``-[r:REL*lo..]->`` (unbounded
+    above), ``-[r:REL*..hi]->`` (*lo* defaults to 1).  ``max_hops is None``
+    encodes an unbounded upper bound.
+
+    Semantics are *reachability* (endpoint-distinct): the pattern binds one
+    row per distinct ``(head, last)`` node pair connected by a walk whose
+    hop count lies in ``[min_hops, max_hops]``.  The edge variable names
+    the whole traversal and is **not** a bindable element — referencing it
+    in expressions is a semantic error (a list-valued binding is outside
+    the featherweight value domain).
+    """
+
+    variable: str
+    label: str
+    direction: Direction
+    min_hops: int = 1
+    max_hops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_hops < 0:
+            raise ValueError(f"variable-length pattern needs min_hops >= 0, got {self.min_hops}")
+        if self.max_hops is not None and self.max_hops < self.min_hops:
+            raise ValueError(
+                f"variable-length pattern bounds are inverted: "
+                f"*{self.min_hops}..{self.max_hops}"
+            )
+
+    @property
+    def hops_text(self) -> str:
+        """The surface spelling of the hop bounds (``*``, ``*2``, ``*1..3``, ...)."""
+        if self.min_hops == 1 and self.max_hops is None:
+            return "*"
+        if self.max_hops is None:
+            return f"*{self.min_hops}.."
+        if self.max_hops == self.min_hops:
+            return f"*{self.min_hops}"
+        return f"*{self.min_hops}..{self.max_hops}"
+
+
 #: Alternating node/edge pattern chain of odd length:
 #: ``(NP,)`` or ``(NP, EP, NP, EP, NP, ...)``.
-PathPattern = tuple[Union[NodePattern, EdgePattern], ...]
+PathPattern = tuple[Union[NodePattern, EdgePattern, VarLengthEdgePattern], ...]
+
+#: Either edge-pattern kind (the odd positions of a path pattern).
+AnyEdgePattern = Union[EdgePattern, VarLengthEdgePattern]
 
 
-def path_pattern(*elements: NodePattern | EdgePattern) -> PathPattern:
+def path_pattern(*elements: NodePattern | EdgePattern | VarLengthEdgePattern) -> PathPattern:
     """Validate and build a path pattern from alternating node/edge patterns."""
     if not elements or len(elements) % 2 == 0:
         raise ValueError("path pattern must alternate nodes and edges, ending on a node")
     for index, element in enumerate(elements):
-        expected = NodePattern if index % 2 == 0 else EdgePattern
-        if not isinstance(element, expected):
+        if index % 2 == 0:
+            if not isinstance(element, NodePattern):
+                raise ValueError(
+                    f"path pattern element {index} should be NodePattern, "
+                    f"got {type(element).__name__}"
+                )
+        elif not isinstance(element, (EdgePattern, VarLengthEdgePattern)):
             raise ValueError(
-                f"path pattern element {index} should be {expected.__name__}, "
+                f"path pattern element {index} should be an edge pattern, "
                 f"got {type(element).__name__}"
             )
     return tuple(elements)
@@ -87,9 +139,11 @@ def pattern_nodes(pattern: PathPattern) -> tuple[NodePattern, ...]:
     return tuple(p for p in pattern if isinstance(p, NodePattern))
 
 
-def pattern_edges(pattern: PathPattern) -> tuple[EdgePattern, ...]:
-    """The edge patterns of *pattern* in order."""
-    return tuple(p for p in pattern if isinstance(p, EdgePattern))
+def pattern_edges(pattern: PathPattern) -> tuple["AnyEdgePattern", ...]:
+    """The edge patterns of *pattern* in order (fixed- and variable-length)."""
+    return tuple(
+        p for p in pattern if isinstance(p, (EdgePattern, VarLengthEdgePattern))
+    )
 
 
 def pattern_head(pattern: PathPattern) -> NodePattern:
@@ -436,16 +490,26 @@ import typing as _typing  # noqa: E402  (the class `Union` shadows typing.Union 
 Query = _typing.Union[Return, OrderBy, Union, UnionAll]
 
 
-def _pattern_str(pattern: PathPattern) -> str:
+def pattern_text(pattern: PathPattern) -> str:
+    """Render a path pattern in surface syntax, e.g. ``(n:EMP)-[e:WORK_AT]->(m:DEPT)``.
+
+    The single rendering used by both the ``__str__`` forms here and the
+    pretty-printer (:func:`repro.cypher.pretty.pattern_text` delegates).
+    """
     chunks: list[str] = []
     for element in pattern:
         if isinstance(element, NodePattern):
             chunks.append(f"({element.variable}:{element.label})")
         else:
+            hops = element.hops_text if isinstance(element, VarLengthEdgePattern) else ""
+            body = f"[{element.variable}:{element.label}{hops}]"
             arrow = {
-                Direction.OUT: f"-[{element.variable}:{element.label}]->",
-                Direction.IN: f"<-[{element.variable}:{element.label}]-",
-                Direction.BOTH: f"-[{element.variable}:{element.label}]-",
+                Direction.OUT: f"-{body}->",
+                Direction.IN: f"<-{body}-",
+                Direction.BOTH: f"-{body}-",
             }[element.direction]
             chunks.append(arrow)
     return "".join(chunks)
+
+
+_pattern_str = pattern_text

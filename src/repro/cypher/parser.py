@@ -234,18 +234,21 @@ class _Parser:
         self.stream.expect_op(")")
         return ast.NodePattern(variable, label), constraints
 
-    def _parse_edge_pattern(self) -> ast.EdgePattern:
+    def _parse_edge_pattern(self) -> ast.EdgePattern | ast.VarLengthEdgePattern:
         incoming = False
         if self.stream.take_op("<"):
             incoming = True
         self.stream.expect_op("-")
         variable = None
         label = ""
+        hops: tuple[int, int | None] | None = None
         if self.stream.take_op("["):
             if self.stream.peek().kind == "ident" and not self.stream.at_op(":"):
                 variable = self.stream.advance().text
             if self.stream.take_op(":"):
                 label = self.stream.expect_ident("edge label").text
+            if self.stream.take_op("*"):
+                hops = self._parse_hop_bounds()
             self.stream.expect_op("]")
         self.stream.expect_op("-")
         outgoing = self.stream.take_op(">")
@@ -259,7 +262,35 @@ class _Parser:
             direction = ast.Direction.OUT
         else:
             direction = ast.Direction.BOTH
+        if hops is not None:
+            return ast.VarLengthEdgePattern(variable, label, direction, *hops)
         return ast.EdgePattern(variable, label, direction)
+
+    def _parse_hop_bounds(self) -> tuple[int, int | None]:
+        """The bounds after ``*``: ``*`` | ``*n`` | ``*lo..hi`` | ``*lo..`` | ``*..hi``."""
+        min_hops = 1
+        max_hops: int | None = None
+        saw_lower = False
+        if self.stream.peek().kind == "number":
+            min_hops = self._expect_hop_count()
+            saw_lower = True
+        if self.stream.take_op(".."):
+            if self.stream.peek().kind == "number":
+                max_hops = self._expect_hop_count()
+        elif saw_lower:
+            max_hops = min_hops  # ``*n`` — exactly n hops
+        if max_hops is not None and max_hops < min_hops:
+            raise self.stream.error(
+                f"variable-length bounds are inverted: *{min_hops}..{max_hops}"
+            )
+        return min_hops, max_hops
+
+    def _expect_hop_count(self) -> int:
+        token = self._expect_number()
+        value = number_value(token)
+        if not isinstance(value, int):
+            raise self.stream.error(f"hop bound must be an integer, got {token.text}")
+        return value
 
     def _parse_property_map(self, variable: str) -> list[ast.Predicate]:
         constraints: list[ast.Predicate] = []
@@ -318,6 +349,14 @@ class _Parser:
                 if label:
                     if isinstance(element, ast.NodePattern):
                         resolved[index] = ast.NodePattern(element.variable, label)
+                    elif isinstance(element, ast.VarLengthEdgePattern):
+                        resolved[index] = ast.VarLengthEdgePattern(
+                            element.variable,
+                            label,
+                            element.direction,
+                            element.min_hops,
+                            element.max_hops,
+                        )
                     else:
                         resolved[index] = ast.EdgePattern(
                             element.variable, label, element.direction
@@ -371,7 +410,7 @@ class _Parser:
         if not left.label or not right.label:
             return ""
         edge = elements[index]
-        assert isinstance(edge, ast.EdgePattern)
+        assert isinstance(edge, (ast.EdgePattern, ast.VarLengthEdgePattern))
         if edge.direction is ast.Direction.OUT:
             candidates = list(self.schema.edges_between(left.label, right.label))
         elif edge.direction is ast.Direction.IN:

@@ -69,19 +69,7 @@ def _where(predicate: ast.Predicate) -> str:
 
 def pattern_text(pattern: ast.PathPattern) -> str:
     """Render a path pattern, e.g. ``(n:EMP)-[e:WORK_AT]->(m:DEPT)``."""
-    chunks: list[str] = []
-    for element in pattern:
-        if isinstance(element, ast.NodePattern):
-            chunks.append(f"({element.variable}:{element.label})")
-        else:
-            body = f"[{element.variable}:{element.label}]"
-            if element.direction is ast.Direction.OUT:
-                chunks.append(f"-{body}->")
-            elif element.direction is ast.Direction.IN:
-                chunks.append(f"<-{body}-")
-            else:
-                chunks.append(f"-{body}-")
-    return "".join(chunks)
+    return ast.pattern_text(pattern)
 
 
 def _expression(expression: ast.Expression) -> str:

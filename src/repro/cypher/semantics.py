@@ -287,8 +287,14 @@ def _eval_with(clause: ast.With, graph: PropertyGraph) -> list[Binding]:
 
 
 def _pattern_variables(pattern: ast.PathPattern) -> dict[str, str]:
-    """Variable → label for every node/edge pattern in *pattern*."""
-    return {element.variable: element.label for element in pattern}
+    """Variable → label for every *bindable* pattern variable.
+
+    Variable-length edge variables name a traversal, not an element, and
+    never enter the binding (so OPTIONAL MATCH does not nullify them).
+    """
+    from repro.cypher.analysis import pattern_bindable_variables
+
+    return pattern_bindable_variables(pattern)
 
 
 # ---------------------------------------------------------------------------
@@ -306,14 +312,19 @@ def match_pattern(pattern: ast.PathPattern, graph: PropertyGraph) -> list[Bindin
             for node in graph.nodes_with_label(node_pattern.label)
         ]
     first, edge, *rest = pattern
-    assert isinstance(first, ast.NodePattern) and isinstance(edge, ast.EdgePattern)
+    assert isinstance(first, ast.NodePattern)
+    assert isinstance(edge, (ast.EdgePattern, ast.VarLengthEdgePattern))
     tail = tuple(rest)
     tail_matches = match_pattern(tail, graph)
     connector = tail[0]
     assert isinstance(connector, ast.NodePattern)
+    if isinstance(edge, ast.VarLengthEdgePattern):
+        steps = _match_var_length(first, edge, connector, graph)
+    else:
+        steps = _match_step(first, edge, connector, graph)
     results: list[Binding] = []
     for tail_binding in tail_matches:
-        for step in _match_step(first, edge, connector, graph):
+        for step in steps:
             merged = merge_bindings(step, tail_binding)
             if merged is not None:
                 results.append(merged)
@@ -354,6 +365,82 @@ def _match_step(
             if binding not in results:
                 results.append(binding)
     return results
+
+
+def _match_var_length(
+    left: ast.NodePattern,
+    edge: ast.VarLengthEdgePattern,
+    right: ast.NodePattern,
+    graph: PropertyGraph,
+) -> list[Binding]:
+    """``Subgraphs(G, [NP1, EP*lo..hi, NP2])`` — reachability matches.
+
+    One binding per distinct ``(left, right)`` node pair connected by a
+    walk of ``lo..hi`` hops along *edge*'s label and direction.  The
+    frontier expansion is cycle-safe: it explores BFS states ``(node,
+    capped depth)`` — depth saturates at ``max(lo, 1)`` when the upper
+    bound is open — so it terminates on any graph, cyclic or not.
+    """
+    from repro.cypher.analysis import var_length_step_error
+
+    problem = var_length_step_error(left, edge, right, graph.schema)
+    if problem is not None:
+        raise SemanticsError(problem)
+    adjacency: dict[int, list[int]] = {}
+    for candidate in graph.edges_with_label(edge.label):
+        if edge.direction in (ast.Direction.OUT, ast.Direction.BOTH):
+            adjacency.setdefault(candidate.source_uid, []).append(candidate.target_uid)
+        if edge.direction in (ast.Direction.IN, ast.Direction.BOTH):
+            adjacency.setdefault(candidate.target_uid, []).append(candidate.source_uid)
+    results: list[Binding] = []
+    for start in graph.nodes_with_label(left.label):
+        for uid in sorted(
+            _reachable_uids(start.uid, adjacency, edge.min_hops, edge.max_hops)
+        ):
+            target = graph.node_by_uid(uid)
+            if left.variable == right.variable:
+                if target.uid != start.uid:
+                    continue
+                elements: dict[str, Element | None] = {left.variable: start}
+                labels = {left.variable: left.label}
+            else:
+                elements = {left.variable: start, right.variable: target}
+                labels = {left.variable: left.label, right.variable: right.label}
+            results.append(Binding.of(elements, labels))
+    return results
+
+
+def _reachable_uids(
+    start: int, adjacency: dict[int, list[int]], lo: int, hi: int | None
+) -> set[int]:
+    """Node uids connected to *start* by a walk of ``lo..hi`` hops."""
+    qualified: set[int] = set()
+    if lo == 0:
+        qualified.add(start)
+    if hi == 0:
+        return qualified
+    cap = max(lo, 1)  # saturation point for an open upper bound
+    seen = {(start, 0)}
+    frontier = [(start, 0)]
+    while frontier:
+        next_frontier: list[tuple[int, int]] = []
+        for uid, depth in frontier:
+            if hi is not None and depth >= hi:
+                continue
+            if hi is None:
+                new_depth = depth + 1 if depth < cap else cap
+            else:
+                new_depth = depth + 1
+            for successor in adjacency.get(uid, ()):
+                state = (successor, new_depth)
+                if state in seen:
+                    continue
+                seen.add(state)
+                next_frontier.append(state)
+                if new_depth >= lo:
+                    qualified.add(successor)
+        frontier = next_frontier
+    return qualified
 
 
 # ---------------------------------------------------------------------------

@@ -1,15 +1,18 @@
-"""SQLite execution (legacy module).
+"""SQLite execution (legacy module — **deprecated**).
 
 The original hard-coded in-memory SQLite runner, now a thin compatibility
 layer over the pluggable backend subsystem (:mod:`repro.backends`):
 :class:`SqliteDatabase` is the ``sqlite-memory`` backend with an eagerly
 opened connection, and the module-level helpers keep their historical
-signatures.  New code should go through the registry
+signatures.  Every entry point raises a :class:`DeprecationWarning`
+pointing at its replacement; new code should go through the registry
 (:func:`repro.backends.load_backend`) or the
 :class:`~repro.backends.service.GraphitiService` facade instead.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.backends.base import dedup_attributes
 from repro.backends.sqlite import SqliteMemoryBackend
@@ -20,14 +23,29 @@ from repro.sql import ast
 from repro.sql.pretty import to_sql_text
 
 
+def _warn_deprecated(legacy: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.execution.sqlite_backend.{legacy} is deprecated; use "
+        f"{replacement} (see the repro.backends registry) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class SqliteDatabase(SqliteMemoryBackend):
     """An in-memory SQLite instance over a relational schema.
+
+    .. deprecated:: use ``load_backend("sqlite-memory")`` or
+       :class:`~repro.backends.service.GraphitiService` instead.
 
     Unlike registry-created backends (which connect lazily), the legacy
     constructor opens the connection and creates the schema immediately.
     """
 
     def __init__(self, schema: RelationalSchema) -> None:
+        _warn_deprecated(
+            "SqliteDatabase", 'repro.backends.load_backend("sqlite-memory")'
+        )
         super().__init__(schema)
         self.connect()
         self._ensure_schema()
@@ -40,20 +58,38 @@ class SqliteDatabase(SqliteMemoryBackend):
 
 
 def run_query(query: ast.Query, database: Database) -> Table:
-    """Render *query* to SQLite SQL and execute it over *database*."""
-    with SqliteDatabase.from_database(database) as backend:
+    """Render *query* to SQLite SQL and execute it over *database*.
+
+    .. deprecated:: use :meth:`GraphitiService.run` or a registry backend.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        backend = SqliteDatabase.from_database(database)
+    _warn_deprecated("run_query", "GraphitiService.run")
+    with backend:
         text = to_sql_text(query, database.schema)
         return backend.execute(text)
 
 
 def run_sql_text(sql_text: str, database: Database) -> Table:
-    """Execute raw SQL text over *database* (for manually-written queries)."""
-    with SqliteDatabase.from_database(database) as backend:
+    """Execute raw SQL text over *database* (for manually-written queries).
+
+    .. deprecated:: use a registry backend's ``execute`` method.
+    """
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        backend = SqliteDatabase.from_database(database)
+    _warn_deprecated("run_sql_text", 'load_backend("sqlite-memory").execute')
+    with backend:
         return backend.execute(sql_text)
 
 
 def time_query(backend: SqliteDatabase, sql_text: str, repeats: int = 3) -> float:
-    """Median wall-clock execution time of *sql_text* in seconds."""
+    """Median wall-clock execution time of *sql_text* in seconds.
+
+    .. deprecated:: use :meth:`GraphitiService.time` or ``backend.time``.
+    """
+    _warn_deprecated("time_query", "GraphitiService.time")
     return backend.time(sql_text, repeats=repeats)
 
 

@@ -41,6 +41,8 @@ def ast_size(node: object) -> int:
         )
     if isinstance(node, ast.WithQuery):
         return 1 + ast_size(node.definition) + ast_size(node.body)
+    if isinstance(node, ast.RecursiveQuery):
+        return 1 + ast_size(node.base) + ast_size(node.step) + ast_size(node.body)
     if isinstance(node, ast.OrderBy):
         return 1 + ast_size(node.query) + sum(ast_size(k) for k in node.keys)
     if isinstance(node, (ast.AttributeRef, ast.Literal, ast.BoolLit)):
@@ -103,6 +105,11 @@ def referenced_relations(query: ast.Query) -> set[str]:
         elif isinstance(node, ast.WithQuery):
             walk_query(node.definition)
             cte_names.add(node.name)
+            walk_query(node.body)
+        elif isinstance(node, ast.RecursiveQuery):
+            walk_query(node.base)
+            cte_names.add(node.name)
+            walk_query(node.step)
             walk_query(node.body)
         elif isinstance(node, ast.OrderBy):
             walk_query(node.query)
@@ -188,6 +195,10 @@ def output_attributes(
         extended = dict(ctes)
         extended[query.name] = definition
         return output_attributes(query.body, schema, extended)
+    if isinstance(query, ast.RecursiveQuery):
+        extended = dict(ctes)
+        extended[query.name] = query.columns
+        return output_attributes(query.body, schema, extended)
     return None
 
 
@@ -212,6 +223,11 @@ def uses_outer_join(query: ast.Query) -> bool:
 
 def uses_order_by(query: ast.Query) -> bool:
     return _any_node(query, lambda n: isinstance(n, ast.OrderBy))
+
+
+def uses_recursion(query: ast.Query) -> bool:
+    """Whether any recursive CTE appears in *query*."""
+    return _any_node(query, lambda n: isinstance(n, ast.RecursiveQuery))
 
 
 def _any_node(root: object, test) -> bool:
@@ -249,6 +265,10 @@ def iter_nodes(node: object):
         yield from iter_nodes(node.having)
     elif isinstance(node, ast.WithQuery):
         yield from iter_nodes(node.definition)
+        yield from iter_nodes(node.body)
+    elif isinstance(node, ast.RecursiveQuery):
+        yield from iter_nodes(node.base)
+        yield from iter_nodes(node.step)
         yield from iter_nodes(node.body)
     elif isinstance(node, ast.OrderBy):
         yield from iter_nodes(node.query)

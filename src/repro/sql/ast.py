@@ -353,6 +353,58 @@ class OrderBy:
             raise ValueError("OrderBy needs one direction per key")
 
 
+@dataclass(frozen=True)
+class ReachInfo:
+    """Traversal metadata a :class:`RecursiveQuery` may carry.
+
+    The transpiler attaches it to the fixpoints it builds for
+    variable-length relationship patterns, recording enough structure for
+    the cost-based planner to rewrite the recursion into an equivalent
+    bounded unrolling (a UNION of k-hop join chains) without re-deriving
+    it from the algebra:
+
+    * *edge_table* / *fanout_columns* — the scanned edge relation and the
+      column(s) a hop fans out over (``SRC``, ``TGT``, or both for
+      undirected traversal), used for cardinality estimation;
+    * *hop_relation* — the name of the sibling CTE holding the oriented
+      one-hop ``(src, tgt)`` pairs, which unrolled join chains rescan;
+    * *min_hops* / *max_hops* — the hop bounds (``None`` = unbounded, in
+      which case unrolling is impossible).
+    """
+
+    edge_table: str
+    hop_relation: str
+    fanout_columns: tuple[str, ...]
+    min_hops: int
+    max_hops: int | None
+
+
+@dataclass(frozen=True)
+class RecursiveQuery:
+    """``WithRec(R, Q_base, Q_step, Q_body)`` — a recursive CTE.
+
+    Binds *name* to the fixpoint of ``base ∪ step`` (``∪`` is bag union
+    when *union_all*, else distinct union — the cycle-safe default) while
+    evaluating *body*; *step* and *body* reference the binding as
+    ``Relation(name)``.  Evaluation follows the SQL engines' queue
+    semantics: each round the step sees only the rows the previous round
+    added.  Rendered as ``WITH RECURSIVE name(columns) AS (base UNION
+    step) body``.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    base: "Query"
+    step: "Query"
+    body: "Query"
+    union_all: bool = False
+    reach: "ReachInfo | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError("recursive query needs at least one column")
+
+
 Query = typing.Union[
     Relation,
     Projection,
@@ -363,6 +415,7 @@ Query = typing.Union[
     GroupBy,
     WithQuery,
     OrderBy,
+    RecursiveQuery,
 ]
 
 
@@ -398,6 +451,16 @@ def map_children(
         return WithQuery(query.name, query_fn(query.definition), query_fn(query.body))
     if isinstance(query, OrderBy):
         return OrderBy(query_fn(query.query), query.keys, query.ascending, query.limit)
+    if isinstance(query, RecursiveQuery):
+        return RecursiveQuery(
+            query.name,
+            query.columns,
+            query_fn(query.base),
+            query_fn(query.step),
+            query_fn(query.body),
+            query.union_all,
+            query.reach,
+        )
     return query
 
 

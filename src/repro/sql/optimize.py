@@ -8,7 +8,9 @@ levels:
 * **level 1** — the semantics-preserving local rewrites below, applied
   bottom-up to a fixpoint;
 * **level 2** — level 1 plus the cost-based passes of
-  :mod:`repro.sql.planner`: join-graph extraction with predicate pushdown
+  :mod:`repro.sql.planner`: recursion unrolling (bounded variable-length
+  traversals become UNIONs of k-hop join chains when statistics say the
+  unrolled plan is cheap), join-graph extraction with predicate pushdown
   (cross products become equi-joins), greedy join reordering driven by
   table statistics, dead-column projection pruning, and common-subplan
   elimination.  Level 2 needs the relational *schema* (to reason about
@@ -87,11 +89,14 @@ def optimize(
     from repro.sql.planner import (
         CardinalityEstimator,
         common_subplans,
+        expand_recursions,
         plan_joins,
         prune_columns,
     )
 
     estimator = CardinalityEstimator(schema, stats)
+    query = expand_recursions(query, estimator)
+    query = _fixpoint(query)
     query = plan_joins(query, schema, estimator)
     query = _fixpoint(query)
     query = prune_columns(query, schema)

@@ -19,6 +19,13 @@ module implements the optimizer's *level-2* passes on top:
 * **Common-subplan elimination** (:func:`common_subplans`) — repeated
   self-contained subtrees are hash-consed into a ``WithQuery`` binding so
   they are evaluated once (the renderer emits a real ``WITH`` CTE).
+* **Recursion unrolling** (:func:`expand_recursions`) — a variable-length
+  traversal fixpoint (a :class:`~repro.sql.ast.RecursiveQuery` carrying
+  :class:`~repro.sql.ast.ReachInfo`) whose upper hop bound is small is
+  rewritten into a UNION of k-hop join chains over the same one-hop CTE,
+  which engines can reorder and index freely; the choice is cost-based —
+  estimated chain growth (edge rows × per-hop fan-out from NDV statistics)
+  must stay under :data:`UNROLL_ROW_LIMIT`, else the recursive CTE stays.
 
 Every pass is semantics-preserving under the reference bag semantics; the
 benchmark harness cross-validates level-2 plans against the reference
@@ -48,6 +55,10 @@ DEFAULT_SELECTIVITY = 0.25
 
 #: Smallest subtree worth hoisting into a CTE (AST nodes).
 CSE_MIN_SIZE = 9
+
+#: Bounds for unrolling a bounded traversal into k-hop join chains.
+UNROLL_MAX_HOPS = 4
+UNROLL_ROW_LIMIT = 250_000.0
 
 
 # ---------------------------------------------------------------------------
@@ -194,6 +205,13 @@ class CardinalityEstimator:
             return max(min(groups, inner), 1.0)
         if isinstance(query, ast.WithQuery):
             return self.cardinality(query.body)
+        if isinstance(query, ast.RecursiveQuery):
+            # A traversal fixpoint yields at most distinct endpoint pairs;
+            # estimate one extra hop's growth per bounded hop (capped).
+            base = self.cardinality(query.base)
+            info = query.reach
+            hops = info.max_hops if info is not None and info.max_hops else 4
+            return max(base * float(min(hops, 4)), 1.0)
         if isinstance(query, ast.OrderBy):
             inner = self.cardinality(query.query)
             if query.limit is not None:
@@ -353,6 +371,133 @@ def _substitute_refs(node, mapping: dict[str, str]):
     if isinstance(node, ast.Not):
         return ast.Not(_substitute_refs(node.operand, mapping))
     return node
+
+
+# ---------------------------------------------------------------------------
+# Recursion unrolling (variable-length traversals)
+# ---------------------------------------------------------------------------
+
+
+def expand_recursions(query: ast.Query, estimator: CardinalityEstimator) -> ast.Query:
+    """Rewrite cheap bounded traversal fixpoints into unrolled join chains.
+
+    Every :class:`~repro.sql.ast.RecursiveQuery` carrying traversal
+    metadata (:class:`~repro.sql.ast.ReachInfo`) with a bounded upper hop
+    count is a candidate.  The unrolled plan — ``UNION`` over ``k ∈
+    [max(lo,1), hi]`` of a *k*-way self-join of the one-hop CTE, projected
+    to distinct endpoint pairs — is bag-equivalent to the distinct-union
+    fixpoint and lets engines use ordinary join machinery, but its
+    intermediate results grow with the per-hop fan-out; the rewrite only
+    fires while :func:`_unrolled_rows` stays under
+    :data:`UNROLL_ROW_LIMIT` (statistics-driven; generous defaults apply
+    when no statistics were collected).  Open upper bounds always keep the
+    recursive CTE.
+    """
+
+    def walk_query(node: ast.Query) -> ast.Query:
+        if isinstance(node, ast.RecursiveQuery):
+            rebuilt = ast.RecursiveQuery(
+                node.name,
+                node.columns,
+                walk_query(node.base),
+                walk_query(node.step),
+                walk_query(node.body),
+                node.union_all,
+                node.reach,
+            )
+            unrolled = _unroll_reach(rebuilt, estimator)
+            return unrolled if unrolled is not None else rebuilt
+        return ast.map_children(node, walk_query, walk_predicate)
+
+    def walk_predicate(predicate: ast.Predicate) -> ast.Predicate:
+        if isinstance(predicate, ast.And):
+            return ast.And(walk_predicate(predicate.left), walk_predicate(predicate.right))
+        if isinstance(predicate, ast.Or):
+            return ast.Or(walk_predicate(predicate.left), walk_predicate(predicate.right))
+        if isinstance(predicate, ast.Not):
+            return ast.Not(walk_predicate(predicate.operand))
+        if isinstance(predicate, ast.InQuery):
+            return ast.InQuery(
+                predicate.operands, walk_query(predicate.query), predicate.negated
+            )
+        if isinstance(predicate, ast.ExistsQuery):
+            return ast.ExistsQuery(walk_query(predicate.query), predicate.negated)
+        return predicate
+
+    return walk_query(query)
+
+
+def _unroll_reach(
+    node: ast.RecursiveQuery, estimator: CardinalityEstimator
+) -> ast.Query | None:
+    """The unrolled replacement for *node*, or ``None`` to keep recursion."""
+    info = node.reach
+    if info is None or info.max_hops is None:
+        return None
+    lo = max(info.min_hops, 1)
+    hi = info.max_hops
+    if hi < lo or hi > UNROLL_MAX_HOPS:
+        return None
+    if _unrolled_rows(info, estimator) > UNROLL_ROW_LIMIT:
+        return None
+    source, target = node.columns[0], node.columns[1]
+    chains = [
+        _hop_chain(node.name, info.hop_relation, k, source, target)
+        for k in range(lo, hi + 1)
+    ]
+    unrolled = chains[0]
+    for chain in chains[1:]:
+        unrolled = ast.UnionOp(unrolled, chain, all=False)
+    return unrolled
+
+
+def _hop_chain(
+    stem: str, hop_relation: str, hops: int, source: str, target: str
+) -> ast.Query:
+    """Distinct endpoint pairs of exactly *hops* hops: a k-way join chain."""
+    aliases = [f"{stem}_h{index}" for index in range(1, hops + 1)]
+    joined: ast.Query = ast.Renaming(aliases[0], ast.Relation(hop_relation))
+    for previous, alias in zip(aliases, aliases[1:]):
+        joined = ast.Join(
+            ast.JoinKind.INNER,
+            joined,
+            ast.Renaming(alias, ast.Relation(hop_relation)),
+            ast.Comparison(
+                "=",
+                ast.AttributeRef(f"{alias}.{source}"),
+                ast.AttributeRef(f"{previous}.{target}"),
+            ),
+        )
+    return ast.Projection(
+        joined,
+        (
+            ast.OutputColumn(source, ast.AttributeRef(f"{aliases[0]}.{source}")),
+            ast.OutputColumn(target, ast.AttributeRef(f"{aliases[-1]}.{target}")),
+        ),
+        distinct=True,
+    )
+
+
+def _unrolled_rows(info: ast.ReachInfo, estimator: CardinalityEstimator) -> float:
+    """Estimated intermediate size of the longest unrolled chain.
+
+    One hop contributes the edge table's row count; every further hop
+    multiplies by the per-hop fan-out — rows over the NDV of the column(s)
+    a hop leaves from (both endpoint columns for undirected traversal).
+    Without statistics the Selinger default row count applies with a
+    conservative fan-out of 1, so small bounded traversals unroll.
+    """
+    assert info.max_hops is not None
+    rows = estimator.base_rows(info.edge_table)
+    fanout = 0.0
+    table = estimator.stats.get(info.edge_table) if estimator.stats else None
+    for column in info.fanout_columns:
+        distinct = table.distinct_of(column) if table is not None else None
+        if distinct:
+            fanout += rows / float(max(distinct, 1))
+        else:
+            fanout += 1.0
+    return rows * fanout ** max(info.max_hops - 1, 0)
 
 
 # ---------------------------------------------------------------------------

@@ -156,6 +156,26 @@ def create_table_ddl(
     return statements
 
 
+def _fold_with(clause: str, body_text: str, recursive: bool) -> str:
+    """Prefix *body_text* with one more CTE definition, folding directly
+    nested WITH clauses into a single comma-separated list.
+
+    ``RECURSIVE`` may only appear once, immediately after ``WITH``, and then
+    covers every definition in the list (recursive or not) — so the merged
+    clause is marked recursive when either side is.
+    """
+    if body_text.startswith("WITH RECURSIVE "):
+        rest = body_text[len("WITH RECURSIVE "):]
+        recursive = True
+    elif body_text.startswith("WITH "):
+        rest = body_text[len("WITH "):]
+    else:
+        keyword = "WITH RECURSIVE" if recursive else "WITH"
+        return f"{keyword} {clause} {body_text}"
+    keyword = "WITH RECURSIVE" if recursive else "WITH"
+    return f"{keyword} {clause}, {rest}"
+
+
 class _Rendered:
     """A rendered subquery: its SQL text and output column names."""
 
@@ -268,16 +288,32 @@ class _Renderer:
                 self.dialect,
                 source.predicates + [predicate],
             )
-        if isinstance(query, ast.Relation) and query.name not in ctes:
-            relation = self.schema.relation(query.name)
+        if isinstance(query, ast.Relation):
+            # A CTE in scope is referenced like a base table: FROM "name".
+            # (For WITH RECURSIVE this is not merely nicer SQL — the
+            # recursive self-reference is only legal as a bare table name
+            # in the recursive select's FROM clause, never in a subquery.)
+            cte = ctes.get(query.name)
+            attributes = (
+                tuple(cte.columns)
+                if cte is not None
+                else self.schema.relation(query.name).attributes
+            )
             fragments = {
                 attribute: f"{self._q(query.name)}.{self._q(attribute)}"
-                for attribute in relation.attributes
+                for attribute in attributes
             }
             return _Source(self._q(query.name), _FromScope(fragments), self.dialect)
         if isinstance(query, ast.Renaming) and isinstance(query.query, ast.Relation):
-            if query.query.name in ctes:
-                return None
+            cte = ctes.get(query.query.name)
+            if cte is not None:
+                fragments = {
+                    f"{query.name}.{column.replace('.', '_')}":
+                        f"{self._q(query.name)}.{self._q(column)}"
+                    for column in cte.columns
+                }
+                from_sql = f"{self._q(query.query.name)} AS {self._q(query.name)}"
+                return _Source(from_sql, _FromScope(fragments), self.dialect)
             relation = self.schema.relation(query.query.name)
             fragments = {
                 f"{query.name}.{attribute}": f"{self._q(query.name)}.{self._q(attribute)}"
@@ -372,6 +408,8 @@ class _Renderer:
             return self._render_group_by(query, ctes)
         if isinstance(query, ast.WithQuery):
             return self._render_with(query, ctes)
+        if isinstance(query, ast.RecursiveQuery):
+            return self._render_recursive(query, ctes)
         if isinstance(query, ast.OrderBy):
             return self._render_order_by(query, ctes)
         raise SemanticsError(f"cannot render query node {type(query).__name__}")
@@ -407,6 +445,20 @@ class _Renderer:
         return _Rendered(text, source.columns)
 
     def _render_renaming(self, query: ast.Renaming, ctes: dict[str, _Rendered]) -> _Rendered:
+        if isinstance(query.query, ast.Relation) and query.query.name in ctes:
+            # ρ_T over a CTE renders in one layer too: FROM cte AS T.  The
+            # bare reference is mandatory for recursive self-references.
+            cte = ctes[query.query.name]
+            new_columns = [f"{query.name}.{c.replace('.', '_')}" for c in cte.columns]
+            parts = [
+                f"{self._q(query.name)}.{self._q(old)} AS {self._q(new)}"
+                for old, new in zip(cte.columns, new_columns)
+            ]
+            text = (
+                f"SELECT {', '.join(parts)} FROM {self._q(query.query.name)} "
+                f"AS {self._q(query.name)}"
+            )
+            return _Rendered(text, new_columns)
         if isinstance(query.query, ast.Relation) and query.query.name not in ctes:
             # ρ_T over a base relation renders in one layer: FROM t AS T.
             relation = self.schema.relation(query.query.name)
@@ -487,11 +539,37 @@ class _Renderer:
         extended[query.name] = _Rendered(reference, definition.columns)
         body = self.render(query.body, extended)
         clause = f"{self._q(query.name)} AS ({definition.text})"
-        if body.text.startswith("WITH "):
-            text = f"WITH {clause}, {body.text[len('WITH '):]}"
-        else:
-            text = f"WITH {clause} {body.text}"
-        return _Rendered(text, body.columns)
+        return _Rendered(_fold_with(clause, body.text, recursive=False), body.columns)
+
+    def _render_recursive(self, query: ast.RecursiveQuery, ctes: dict[str, _Rendered]) -> _Rendered:
+        """``WithRec(R, base, step, body)`` as ``WITH RECURSIVE R(...) AS
+        (base UNION step) body``.
+
+        Inside *step* and *body* the binding is in scope like any CTE; the
+        flattened-FROM machinery references it by bare name, which is what
+        the engines' recursive selects require (the self-reference must not
+        sit inside a subquery).
+        """
+        base = self.render(query.base, ctes)
+        reference = (
+            "SELECT "
+            + ", ".join(
+                f"{self._q(query.name)}.{self._q(c)} AS {self._q(c)}"
+                for c in query.columns
+            )
+            + f" FROM {self._q(query.name)}"
+        )
+        extended = dict(ctes)
+        extended[query.name] = _Rendered(reference, list(query.columns))
+        step = self.render(query.step, extended)
+        body = self.render(query.body, extended)
+        keyword = "UNION ALL" if query.union_all else "UNION"
+        columns = ", ".join(self._q(c) for c in query.columns)
+        clause = (
+            f"{self._q(query.name)}({columns}) AS "
+            f"({base.text} {keyword} {step.text})"
+        )
+        return _Rendered(_fold_with(clause, body.text, recursive=True), body.columns)
 
     def _render_union(self, query: ast.UnionOp, ctes: dict[str, _Rendered]) -> _Rendered:
         left = self.render(query.left, ctes)

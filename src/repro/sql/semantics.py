@@ -109,6 +109,8 @@ def _eval(query: ast.Query, ctx: _Context) -> Table:
         return _eval_group_by(query, ctx)
     if isinstance(query, ast.WithQuery):
         return _eval_with(query, ctx)
+    if isinstance(query, ast.RecursiveQuery):
+        return _eval_recursive(query, ctx)
     if isinstance(query, ast.OrderBy):
         return _eval_order_by(query, ctx)
     raise SemanticsError(f"cannot evaluate query node {type(query).__name__}")
@@ -240,6 +242,58 @@ def _eval_group_by(query: ast.GroupBy, ctx: _Context) -> Table:
 def _eval_with(query: ast.WithQuery, ctx: _Context) -> Table:
     definition = _eval(query.definition, ctx)
     return _eval(query.body, ctx.with_cte(query.name, definition))
+
+
+#: Fixpoint safety rails: a well-formed distinct-union recursion saturates
+#: long before these (its state space is finite); a runaway bag-union
+#: recursion must error out instead of looping forever.
+_RECURSION_MAX_ROUNDS = 10_000
+_RECURSION_MAX_ROWS = 2_000_000
+
+
+def _eval_recursive(query: ast.RecursiveQuery, ctx: _Context) -> Table:
+    """SQL-engine queue semantics: each round the step sees the rows the
+    previous round added; with distinct union a row already accumulated is
+    never re-enqueued, which is what makes cyclic traversals terminate."""
+    base = _eval(query.base, ctx)
+    if len(base.attributes) != len(query.columns):
+        raise SemanticsError(
+            f"recursive CTE {query.name!r} declares {len(query.columns)} columns "
+            f"but its base case produces {len(base.attributes)}"
+        )
+    accumulated: list[Row] = []
+    seen: set[Row] = set()
+
+    def admit(rows: list[Row]) -> list[Row]:
+        fresh: list[Row] = []
+        for row in rows:
+            if not query.union_all:
+                if row in seen:
+                    continue
+                seen.add(row)
+            accumulated.append(row)
+            fresh.append(row)
+        return fresh
+
+    frontier = admit(list(base.rows))
+    rounds = 0
+    while frontier:
+        rounds += 1
+        if rounds > _RECURSION_MAX_ROUNDS or len(accumulated) > _RECURSION_MAX_ROWS:
+            raise SemanticsError(
+                f"recursive CTE {query.name!r} exceeded the evaluation budget "
+                f"({rounds} rounds, {len(accumulated)} rows) — diverging recursion?"
+            )
+        delta = Table(query.columns, frontier)
+        produced = _eval(query.step, ctx.with_cte(query.name, delta))
+        if len(produced.attributes) != len(query.columns):
+            raise SemanticsError(
+                f"recursive CTE {query.name!r} declares {len(query.columns)} columns "
+                f"but its recursive step produces {len(produced.attributes)}"
+            )
+        frontier = admit(list(produced.rows))
+    fixpoint = Table(query.columns, accumulated)
+    return _eval(query.body, ctx.with_cte(query.name, fixpoint))
 
 
 def _eval_order_by(query: ast.OrderBy, ctx: _Context) -> Table:

@@ -18,7 +18,12 @@ The corpus spans three universes so the harness exercises edge-table *and*
 self-referential designs: the Figure-14 EMP/DEPT schema (joins, outer
 joins, aggregation, correlated EXISTS), the SOCIAL universe (multi-hop
 joins, self-joins over FOLLOWS, filters), and the COMPANY universe
-(property filters and aggregation over a salaried workforce).
+(property filters and aggregation over a salaried workforce).  A fourth
+corpus entry reruns the SOCIAL universe with variable-length traversals
+(``*``, ``*n``, ``*lo..hi``, zero-hop, reversed, undirected, mixed with
+fixed-length hops, EXISTS and OPTIONAL MATCH) — the reachability workload
+every backend must serve through both the recursive-CTE and the unrolled
+rendering (the opt-level parametrization covers both plan shapes).
 """
 
 from __future__ import annotations
@@ -51,12 +56,47 @@ COMPANY_WORKLOAD: dict[str, str] = {
     ),
 }
 
+#: Variable-length traversals over SOCIAL's self-referential FOLLOWS edge.
+#: Level 2 unrolls the bounded ones into k-hop join chains and keeps the
+#: open-ended ones recursive, so the backend × opt-level matrix exercises
+#: both plan shapes against the same reference results.
+TRAVERSAL_WORKLOAD: dict[str, str] = {
+    "star": "MATCH (a:USER)-[:FOLLOWS*]->(b:USER) RETURN a.uid, b.uid",
+    "exact-two": "MATCH (a:USER)-[:FOLLOWS*2]->(b:USER) RETURN a.uid, b.uid",
+    "one-to-three": (
+        "MATCH (a:USER)-[:FOLLOWS*1..3]->(b:USER) RETURN a.uname, Count(*)"
+    ),
+    "zero-hop": "MATCH (a:USER)-[:FOLLOWS*0..2]->(b:USER) RETURN a.uid, b.uid",
+    "reversed": "MATCH (a:USER)<-[:FOLLOWS*2..]-(b:USER) RETURN a.uid, b.uid",
+    "undirected": "MATCH (a:USER)-[:FOLLOWS*1..2]-(b:USER) RETURN a.uid, b.uid",
+    "back-to-self": "MATCH (a:USER)-[:FOLLOWS*2..3]->(a:USER) RETURN a.uid",
+    "mixed-hops": (
+        "MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER)-[w:WROTE]->(p:POST) "
+        "RETURN a.uid, p.pid"
+    ),
+    "exists-reach": (
+        "MATCH (a:USER) WHERE EXISTS { MATCH (a:USER)-[:FOLLOWS*2..3]->(b:USER) } "
+        "RETURN a.uid"
+    ),
+    "optional-reach": (
+        "MATCH (a:USER) OPTIONAL MATCH (a:USER)-[:FOLLOWS*2]->(b:USER) "
+        "RETURN a.uid, b.uid"
+    ),
+}
+
 #: The example corpus: universe label → (graph schema, {query label → Cypher}).
 CORPUS = {
     "emp-dept": (DEFAULT_SCHEMA, DEFAULT_WORKLOAD),
     "social": (SOCIAL.graph_schema, SOCIAL_WORKLOAD),
     "company": (COMPANY.graph_schema, COMPANY_WORKLOAD),
+    "traversal": (SOCIAL.graph_schema, TRAVERSAL_WORKLOAD),
 }
+
+#: Mock-data seed per universe (default 42).  The traversal corpus needs a
+#: FOLLOWS graph containing a short directed cycle so ``back-to-self``
+#: returns rows; seed 7 produces one, seed 42 happens not to.
+SEEDS = {"traversal": 7}
+DEFAULT_SEED = 42
 
 CASES = [
     pytest.param(universe, label, id=f"{universe}/{label}")
@@ -105,7 +145,7 @@ def differential_services():
             # Seed chosen so every corpus query returns rows (guarded by
             # test_corpus_is_nontrivial) — vacuous bag-equivalence of empty
             # tables would not exercise marshalling at all.
-            service.load_mock(ROWS_PER_TABLE, seed=42)
+            service.load_mock(ROWS_PER_TABLE, seed=SEEDS.get(universe, DEFAULT_SEED))
             services[universe] = service
         return service
 

@@ -1,0 +1,94 @@
+"""Transpilation of variable-length patterns (PT-Reach)."""
+
+import pytest
+
+from repro.common.errors import TranspileError
+from repro.core.sdt import infer_sdt
+from repro.core.transpile import REACH_DEPTH, REACH_SOURCE, REACH_TARGET, transpile
+from repro.cypher.parser import parse_cypher
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.sql import ast as sq
+from repro.sql.analysis import iter_nodes, output_attributes, uses_recursion
+
+SCHEMA = GraphSchema.of(
+    [NodeType("USER", ("uid", "uname")), NodeType("POST", ("pid", "title"))],
+    [
+        EdgeType("FOLLOWS", "USER", "USER", ("fid",)),
+        EdgeType("WROTE", "USER", "POST", ("wrid",)),
+    ],
+)
+SDT = infer_sdt(SCHEMA)
+
+
+def transpiled(text: str) -> sq.Query:
+    return transpile(parse_cypher(text, SCHEMA), SCHEMA, SDT)
+
+
+def reach_nodes(query: sq.Query) -> list[sq.RecursiveQuery]:
+    return [n for n in iter_nodes(query) if isinstance(n, sq.RecursiveQuery)]
+
+
+class TestReachTranslation:
+    def test_emits_recursive_cte_with_reach_info(self):
+        query = transpiled("MATCH (a:USER)-[:FOLLOWS*1..3]->(b:USER) RETURN a.uid, b.uid")
+        (reach,) = reach_nodes(query)
+        assert reach.columns == (REACH_SOURCE, REACH_TARGET, REACH_DEPTH)
+        assert not reach.union_all  # distinct union = cycle safety
+        info = reach.reach
+        assert info is not None
+        assert info.edge_table == "FOLLOWS"
+        assert (info.min_hops, info.max_hops) == (1, 3)
+        assert info.fanout_columns == ("SRC",)
+
+    def test_direction_fanout_columns(self):
+        incoming = reach_nodes(
+            transpiled("MATCH (a:USER)<-[:FOLLOWS*1..2]-(b:USER) RETURN a.uid")
+        )[0]
+        assert incoming.reach.fanout_columns == ("TGT",)
+        undirected = reach_nodes(
+            transpiled("MATCH (a:USER)-[:FOLLOWS*1..2]-(b:USER) RETURN a.uid")
+        )[0]
+        assert undirected.reach.fanout_columns == ("SRC", "TGT")
+
+    def test_traversal_variable_has_no_output_columns(self):
+        query = transpiled("MATCH (a:USER)-[f:FOLLOWS*1..2]->(b:USER) RETURN a.uid, b.uid")
+        attributes = output_attributes(query, SDT.schema)
+        assert attributes == ("a.uid", "b.uid")
+        inner = query.query if isinstance(query, sq.Projection) else query
+        flattened = output_attributes(inner, SDT.schema)
+        assert flattened is not None
+        assert not any("f_" in attribute for attribute in flattened)
+
+    def test_two_traversals_get_distinct_fixpoints(self):
+        query = transpiled(
+            "MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER)-[:FOLLOWS*1..2]->(c:USER) "
+            "RETURN a.uid, c.uid"
+        )
+        names = {reach.name for reach in reach_nodes(query)}
+        assert len(names) == 2
+
+    def test_zero_hops_only_skips_the_fixpoint(self):
+        query = transpiled("MATCH (a:USER)-[:FOLLOWS*0]->(b:USER) RETURN a.uid, b.uid")
+        assert not uses_recursion(query)
+
+    def test_open_bound_step_saturates_depth(self):
+        query = transpiled("MATCH (a:USER)-[:FOLLOWS*2..]->(b:USER) RETURN a.uid")
+        (reach,) = reach_nodes(query)
+        casts = [
+            n for n in iter_nodes(reach.step) if isinstance(n, sq.CastPredicate)
+        ]
+        assert casts, "open upper bound must saturate depth via Cast(depth < cap)"
+
+
+class TestRejections:
+    def test_traversal_variable_not_referenceable(self):
+        with pytest.raises(TranspileError, match="unbound"):
+            transpiled("MATCH (a:USER)-[f:FOLLOWS*1..2]->(b:USER) RETURN f.fid")
+
+    def test_non_self_referential_edge_rejected(self):
+        with pytest.raises(TranspileError, match="self-referential"):
+            transpiled("MATCH (a:USER)-[:WROTE*1..2]->(p:POST) RETURN a.uid")
+
+    def test_mislabeled_endpoint_rejected(self):
+        with pytest.raises(TranspileError, match="endpoint"):
+            transpiled("MATCH (p:POST)-[:FOLLOWS*1..2]->(b:USER) RETURN b.uid")

@@ -1,0 +1,225 @@
+"""Variable-length relationship patterns: parsing, printing, and the BFS
+reference evaluator (cycle-safe reachability semantics)."""
+
+import pytest
+
+from repro.common.errors import ParseError, SemanticsError
+from repro.cypher import ast
+from repro.cypher.analysis import (
+    collect_variables,
+    pattern_bindable_variables,
+    uses_var_length,
+    var_length_step_error,
+)
+from repro.cypher.parser import parse_cypher
+from repro.cypher.pretty import pretty
+from repro.cypher.semantics import evaluate_query
+from repro.graph.builder import GraphBuilder
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+
+SCHEMA = GraphSchema.of(
+    [NodeType("USER", ("uid", "uname")), NodeType("POST", ("pid", "title"))],
+    [
+        EdgeType("FOLLOWS", "USER", "USER", ("fid",)),
+        EdgeType("WROTE", "USER", "POST", ("wrid",)),
+    ],
+)
+
+
+def edge_of(text: str) -> ast.VarLengthEdgePattern:
+    query = parse_cypher(text, SCHEMA)
+    clause = query.clause
+    (edge,) = [
+        e for e in clause.pattern if isinstance(e, ast.VarLengthEdgePattern)
+    ]
+    return edge
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        ("hops", "lo", "hi"),
+        [
+            ("*", 1, None),
+            ("*2", 2, 2),
+            ("*1..3", 1, 3),
+            ("*2..", 2, None),
+            ("*..3", 1, 3),
+            ("*0..2", 0, 2),
+            ("*0..", 0, None),
+            ("*0", 0, 0),
+        ],
+    )
+    def test_hop_bound_forms(self, hops, lo, hi):
+        edge = edge_of(
+            f"MATCH (a:USER)-[f:FOLLOWS{hops}]->(b:USER) RETURN a.uid"
+        )
+        assert (edge.min_hops, edge.max_hops) == (lo, hi)
+        assert edge.direction is ast.Direction.OUT
+
+    def test_direction_and_anonymous_variable(self):
+        edge = edge_of("MATCH (a:USER)<-[:FOLLOWS*1..2]-(b:USER) RETURN a.uid")
+        assert edge.direction is ast.Direction.IN
+        assert edge.variable.startswith("_a")
+        both = edge_of("MATCH (a:USER)-[:FOLLOWS*2]-(b:USER) RETURN a.uid")
+        assert both.direction is ast.Direction.BOTH
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH (a:USER)-[:FOLLOWS*3..1]->(b:USER) RETURN a.uid", SCHEMA)
+
+    def test_fractional_bound_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH (a:USER)-[:FOLLOWS*1.5]->(b:USER) RETURN a.uid", SCHEMA)
+
+    def test_label_inferred_from_schema(self):
+        edge = edge_of("MATCH (a:USER)-[*1..2]->(b:USER) RETURN a.uid")
+        assert edge.label == "FOLLOWS"
+
+    def test_round_trip_through_pretty(self):
+        for text in (
+            "MATCH (a:USER)-[f:FOLLOWS*]->(b:USER) RETURN a.uid, b.uid",
+            "MATCH (a:USER)-[f:FOLLOWS*2]->(b:USER) RETURN a.uid",
+            "MATCH (a:USER)<-[f:FOLLOWS*1..3]-(b:USER) RETURN a.uid",
+            "MATCH (a:USER)-[f:FOLLOWS*2..]-(b:USER) RETURN a.uid",
+        ):
+            query = parse_cypher(text, SCHEMA)
+            assert parse_cypher(pretty(query), SCHEMA) == query
+
+    def test_ast_validation(self):
+        with pytest.raises(ValueError):
+            ast.VarLengthEdgePattern("f", "FOLLOWS", ast.Direction.OUT, -1, None)
+        with pytest.raises(ValueError):
+            ast.VarLengthEdgePattern("f", "FOLLOWS", ast.Direction.OUT, 3, 2)
+
+
+class TestAnalysis:
+    def test_traversal_variable_is_not_bindable(self):
+        query = parse_cypher(
+            "MATCH (a:USER)-[f:FOLLOWS*1..2]->(b:USER) RETURN a.uid", SCHEMA
+        )
+        variables = collect_variables(query.clause)
+        assert "f" not in variables
+        assert set(variables) == {"a", "b"}
+        assert set(pattern_bindable_variables(query.clause.pattern)) == {"a", "b"}
+
+    def test_uses_var_length(self):
+        plain = parse_cypher("MATCH (a:USER) RETURN a.uid", SCHEMA)
+        star = parse_cypher(
+            "MATCH (a:USER)-[:FOLLOWS*]->(b:USER) RETURN a.uid", SCHEMA
+        )
+        exists = parse_cypher(
+            "MATCH (a:USER) WHERE EXISTS { MATCH (a:USER)-[:FOLLOWS*2]->(b:USER) } "
+            "RETURN a.uid",
+            SCHEMA,
+        )
+        assert not uses_var_length(plain)
+        assert uses_var_length(star)
+        assert uses_var_length(exists)
+
+    def test_step_error_requires_self_referential_edge(self):
+        left = ast.NodePattern("a", "USER")
+        right = ast.NodePattern("p", "POST")
+        edge = ast.VarLengthEdgePattern("w", "WROTE", ast.Direction.OUT, 1, 2)
+        assert var_length_step_error(left, edge, right, SCHEMA) is not None
+        follows = ast.VarLengthEdgePattern("f", "FOLLOWS", ast.Direction.OUT, 1, 2)
+        assert (
+            var_length_step_error(left, follows, ast.NodePattern("b", "USER"), SCHEMA)
+            is None
+        )
+        mislabeled = var_length_step_error(left, follows, right, SCHEMA)
+        assert mislabeled is not None and "POST" in mislabeled
+
+
+def cycle_graph():
+    """1 → 2 → 3 → 1 plus 3 → 4 (a directed cycle with one tail)."""
+    builder = GraphBuilder(SCHEMA)
+    nodes = [builder.add_node("USER", uid=i, uname=f"u{i}") for i in range(1, 5)]
+    edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+    for fid, (s, t) in enumerate(edges, 1):
+        builder.add_edge("FOLLOWS", nodes[s - 1], nodes[t - 1], fid=fid)
+    return builder.build()
+
+
+def rows(text: str, graph) -> list:
+    return sorted(evaluate_query(parse_cypher(text, SCHEMA), graph).rows)
+
+
+class TestEvaluator:
+    def test_unbounded_star_is_cycle_safe(self):
+        graph = cycle_graph()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*]->(b:USER) RETURN a.uid, b.uid", graph)
+        # Every cycle member reaches every node (including itself); 4 reaches nothing.
+        assert got == sorted((a, b) for a in (1, 2, 3) for b in (1, 2, 3, 4))
+
+    def test_exact_hops(self):
+        graph = cycle_graph()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*2]->(b:USER) RETURN a.uid, b.uid", graph)
+        assert got == [(1, 3), (2, 1), (2, 4), (3, 2)]
+
+    def test_zero_hop_includes_identity(self):
+        graph = cycle_graph()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*0..1]->(b:USER) RETURN a.uid, b.uid", graph)
+        assert got == sorted(
+            [(n, n) for n in (1, 2, 3, 4)] + [(1, 2), (2, 3), (3, 1), (3, 4)]
+        )
+
+    def test_zero_hop_only(self):
+        graph = cycle_graph()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*0]->(b:USER) RETURN a.uid, b.uid", graph)
+        assert got == [(n, n) for n in (1, 2, 3, 4)]
+
+    def test_reversed_direction(self):
+        graph = cycle_graph()
+        forward = rows("MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER) RETURN a.uid, b.uid", graph)
+        backward = rows("MATCH (b:USER)<-[:FOLLOWS*1..2]-(a:USER) RETURN a.uid, b.uid", graph)
+        assert forward == backward
+
+    def test_distinct_pair_semantics(self):
+        """Two parallel edges still yield ONE binding per endpoint pair."""
+        builder = GraphBuilder(SCHEMA)
+        a = builder.add_node("USER", uid=1, uname="a")
+        b = builder.add_node("USER", uid=2, uname="b")
+        builder.add_edge("FOLLOWS", a, b, fid=1)
+        builder.add_edge("FOLLOWS", a, b, fid=2)
+        graph = builder.build()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER) RETURN a.uid, b.uid", graph)
+        assert got == [(1, 2)]
+
+    def test_back_to_self_requires_cycle(self):
+        graph = cycle_graph()
+        got = rows("MATCH (a:USER)-[:FOLLOWS*1..]->(a:USER) RETURN a.uid", graph)
+        assert got == [(1,), (2,), (3,)]
+
+    def test_min_hops_beyond_reach(self):
+        graph = cycle_graph()
+        # node 4 is a sink: nothing reaches depth >= 1 from it, and the
+        # saturating frontier still terminates with min above the diameter.
+        got = rows("MATCH (a:USER)-[:FOLLOWS*7..]->(b:USER) RETURN a.uid, b.uid", graph)
+        assert got == sorted((a, b) for a in (1, 2, 3) for b in (1, 2, 3, 4))
+
+    def test_optional_match_nullifies_endpoint_not_traversal(self):
+        graph = cycle_graph()
+        table = evaluate_query(
+            parse_cypher(
+                "MATCH (a:USER) OPTIONAL MATCH (a:USER)-[:FOLLOWS*3]->(b:USER) "
+                "RETURN a.uid, b.uid",
+                SCHEMA,
+            ),
+            graph,
+        )
+        from repro.common.values import is_null
+
+        by_source = {}
+        for a, b in table.rows:
+            by_source.setdefault(a, []).append(b)
+        assert all(is_null(b) for b in by_source[4])
+
+    def test_ill_typed_traversal_rejected(self):
+        graph = cycle_graph()
+        with pytest.raises(SemanticsError):
+            evaluate_query(
+                parse_cypher(
+                    "MATCH (a:USER)-[:WROTE*1..2]->(p:POST) RETURN a.uid", SCHEMA
+                ),
+                graph,
+            )

@@ -112,3 +112,18 @@ class TestTranspiledRendering:
             text_sql = to_sql_text(translated, emp_dept_sdt.schema)
             actual = run_sql_text(text_sql, induced)
             assert tables_equivalent(expected, actual), text
+
+
+class TestDeprecation:
+    """The legacy shim warns, once per entry point, toward the registry."""
+
+    def test_constructor_warns(self, db):
+        with pytest.warns(DeprecationWarning, match="repro.backends"):
+            with SqliteDatabase.from_database(db):
+                pass
+
+    def test_helpers_warn(self, db):
+        with pytest.warns(DeprecationWarning, match="run_sql_text"):
+            run_sql_text("SELECT COUNT(*) AS c FROM emp", db)
+        with pytest.warns(DeprecationWarning, match="run_query"):
+            run_query(parse_sql("SELECT emp.name FROM emp"), db)
