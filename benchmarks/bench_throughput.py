@@ -6,9 +6,11 @@ baseline ``BENCH_throughput.json`` at the repo root: QPS serial vs 2/4/8
 worker threads vs the asyncio lane (``AsyncGraphitiService`` at concurrency
 2/4/8) per backend, per-lane p50/p95 tail latency, bag-equivalence
 validation of every concurrent result in both lanes, the
-single-transaction bulk-load win, and persistent transpilation-cache hit
-counters (run the script twice: the second, cold process reports hits for
-every query the first one prepared).
+single-transaction bulk-load win, the traced-vs-untraced tracing-overhead
+lane (``tracing_overhead``: always-on instrumentation must cost ~nothing
+with the no-op tracer and stay within the 5% budget with a real one), and
+persistent transpilation-cache hit counters (run the script twice: the
+second, cold process reports hits for every query the first one prepared).
 
 Run directly::
 
@@ -60,6 +62,13 @@ def test_bench_throughput(benchmark, report_rows, tmp_path):
     assert summary["all_batches_consistent_with_serial"]
     assert report["bulk_load"]["speedup"] > 1.0
     assert report["persistent_cache"]["cross_service_demo"]["cold_hit_every_query"]
+    # The tracing-overhead lane must be measured and structurally complete.
+    # The budget verdict is recorded, not asserted — one noisy CI core must
+    # not flake the suite; trend-watching happens on the committed baseline.
+    tracing = report["tracing_overhead"]
+    assert tracing["traced_qps"] > 0 and tracing["noop_qps_first"] > 0
+    assert {"traced_overhead_pct", "noop_spread_pct", "budget_pct",
+            "within_budget"} <= tracing.keys()
     # The async lane must be present with QPS + tail latency per backend.
     for entry in report["results"]:
         assert entry["async"], f"async lane missing for {entry['backend']}"

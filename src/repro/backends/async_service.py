@@ -173,7 +173,8 @@ class AsyncGraphitiService:
         """
         loop = asyncio.get_running_loop()
         timeout = self.checkout_timeout
-        deadline = None if timeout is None else loop.time() + timeout
+        started = loop.time()
+        deadline = None if timeout is None else started + timeout
         while True:
             member = pool.try_checkout()
             if member is not None:
@@ -192,16 +193,12 @@ class AsyncGraphitiService:
                     return member
                 remaining = None if deadline is None else deadline - loop.time()
                 if remaining is not None and remaining <= 0:
-                    raise PoolTimeout(
-                        f"no free {pool.backend_name!r} member within "
-                        f"{timeout}s (capacity {pool.capacity})"
-                    )
+                    raise pool.timeout_error(timeout, loop.time() - started)
                 try:
                     await asyncio.wait_for(event.wait(), timeout=remaining)
                 except asyncio.TimeoutError:
-                    raise PoolTimeout(
-                        f"no free {pool.backend_name!r} member within "
-                        f"{timeout}s (capacity {pool.capacity})"
+                    raise pool.timeout_error(
+                        timeout, loop.time() - started
                     ) from None
             except BaseException:
                 # Exiting without retrying: if our wakeup hint was already
@@ -249,7 +246,11 @@ class AsyncGraphitiService:
             raise
 
     async def _execute(
-        self, pool: ConnectionPool, prepared: PreparedQuery
+        self,
+        pool: ConnectionPool,
+        prepared: PreparedQuery,
+        backend: str | None = None,
+        span=None,
     ) -> Table:
         """Checkout → offloaded execute → record → guaranteed checkin.
 
@@ -259,11 +260,27 @@ class AsyncGraphitiService:
         mid-query.  So the member is reclaimed via the concurrent future:
         right away when the job finished or was cancelled before starting,
         otherwise from a done-callback the moment the engine call returns.
+
+        *span*, when given, is the caller's per-query span — the explicit
+        parent the ``execute`` span (opened on an executor thread, where
+        the context variable is useless) hangs under.
         """
+        name = backend or pool.backend_name
+        tracer = self._service.tracer
         async with self._semaphore():
-            member = await self._acquire(pool)
+            # The async path never enters pool.checkout, so it opens the
+            # pool.checkout span itself — same name, same tree position as
+            # the sync path's, marked with the waiting discipline.
+            started = time.perf_counter()
+            with tracer.span(
+                "pool.checkout", backend=name, waiting="async"
+            ) as checkout_span:
+                member = await self._acquire(pool)
+                checkout_span.set(
+                    "waited_ms", round((time.perf_counter() - started) * 1000.0, 3)
+                )
             future = self._ensure_executor().submit(
-                self._execute_recorded, member, prepared
+                self._execute_recorded, member, prepared, name, span
             )
             try:
                 return await asyncio.wrap_future(future)
@@ -275,13 +292,19 @@ class AsyncGraphitiService:
                     # member; hand it back only once the engine call ends.
                     future.add_done_callback(lambda done: pool.checkin(member))
 
-    def _execute_recorded(self, member, prepared: PreparedQuery) -> Table:
+    def _execute_recorded(
+        self, member, prepared: PreparedQuery, backend: str | None = None, parent=None
+    ) -> Table:
         # Runs on an executor thread; timing and stats mirror the sync path.
-        start = time.perf_counter()
-        result = member.execute(prepared.sql_text)
-        self._service.record_execution(
-            prepared.cypher_text, time.perf_counter() - start
-        )
+        # The explicit parent crosses the loop→executor boundary (context
+        # variables do not follow submitted jobs).
+        name = backend or self._service.default_backend
+        with self._service.tracer.span("execute", parent=parent, backend=name) as span:
+            start = time.perf_counter()
+            result = member.execute(prepared.sql_text)
+            elapsed = time.perf_counter() - start
+            span.set("rows", len(result.rows))
+        self._service.record_execution(prepared.cypher_text, elapsed, backend=name)
         return result
 
     # -- execution ---------------------------------------------------------
@@ -300,10 +323,18 @@ class AsyncGraphitiService:
         ``checkout_timeout`` seconds rather than queueing without bound.
         """
         name = backend or self._service.default_backend
-        prepared = self._service.prepare(
-            cypher_text, self._service.dialect_of(name), opt_level=opt_level
-        )
-        return await self._execute(self._service.pool(name), prepared)
+        with self._service.tracer.span(
+            "query", backend=name, cypher=cypher_text, mode="async"
+        ) as span:
+            prepared = self._service.prepare(
+                cypher_text, self._service.dialect_of(name), opt_level=opt_level
+            )
+            span.set("opt_level", prepared.opt_level)
+            result = await self._execute(
+                self._service.pool(name), prepared, name, span
+            )
+            span.set("rows", len(result.rows))
+        return result
 
     async def run_many(
         self,
@@ -326,22 +357,39 @@ class AsyncGraphitiService:
         if not texts:
             return []
         name = backend or self._service.default_backend
-        dialect = self._service.dialect_of(name)
-        prepared = {
-            text: self._service.prepare(text, dialect, opt_level=opt_level)
-            for text in dict.fromkeys(texts)  # each distinct text once
-        }
+        tracer = self._service.tracer
         fan_out = max(1, min(concurrency, self.max_concurrency, len(texts)))
-        pool = self._service.pool(name, min_capacity=fan_out)
-        batch_slots = asyncio.Semaphore(fan_out)
+        with tracer.span(
+            "query.batch",
+            backend=name,
+            queries=len(texts),
+            concurrency=fan_out,
+            mode="async",
+        ) as batch_span:
+            dialect = self._service.dialect_of(name)
+            prepared = {
+                text: self._service.prepare(text, dialect, opt_level=opt_level)
+                for text in dict.fromkeys(texts)  # each distinct text once
+            }
+            pool = self._service.pool(name, min_capacity=fan_out)
+            batch_slots = asyncio.Semaphore(fan_out)
 
-        async def one(text: str) -> Table:
-            async with batch_slots:
-                return await self._execute(pool, prepared[text])
+            async def one(index: int, text: str) -> Table:
+                async with batch_slots:
+                    # parent= pins each branch's subtree to the batch span;
+                    # sibling gather branches each set their own task-local
+                    # current span, so their children never interleave.
+                    with tracer.span(
+                        "query", parent=batch_span, backend=name, index=index
+                    ) as span:
+                        result = await self._execute(pool, prepared[text], name, span)
+                        span.set("rows", len(result.rows))
+                        return result
 
-        outcomes = await asyncio.gather(
-            *(one(text) for text in texts), return_exceptions=True
-        )
+            outcomes = await asyncio.gather(
+                *(one(index, text) for index, text in enumerate(texts)),
+                return_exceptions=True,
+            )
         for outcome in outcomes:
             if isinstance(outcome, BaseException):
                 raise outcome

@@ -33,7 +33,9 @@ import time
 from pathlib import Path
 
 #: Bump when the pickled payload or key layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: 2: PreparedQuery grew a ``plan`` (PlanReport) field — version-1 pickles
+#: would unpickle without it and fail on attribute access.
+SCHEMA_VERSION = 2
 
 CACHE_FILE_NAME = "transpilations.sqlite"
 

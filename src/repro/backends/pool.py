@@ -46,6 +46,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.tracing import NOOP_TRACER
 from repro.relational.instance import Database
 from repro.sql.stats import TableStats
 
@@ -58,7 +60,76 @@ class PoolClosed(RuntimeError):
 
 
 class PoolTimeout(RuntimeError):
-    """Checkout timed out waiting for a free member."""
+    """Checkout timed out waiting for a free member.
+
+    Carries the pool's state at the moment of the timeout, so the message
+    (and the structured attributes, for programmatic handlers) answer the
+    operational question directly: was the pool undersized (``capacity``
+    all ``in_use``), or starved by a stampede (many ``waiters``)?
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        backend: str | None = None,
+        capacity: int | None = None,
+        in_use: int | None = None,
+        idle: int | None = None,
+        waiters: int | None = None,
+        waited_seconds: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.capacity = capacity
+        self.in_use = in_use
+        self.idle = idle
+        self.waiters = waiters
+        self.waited_seconds = waited_seconds
+
+
+class _PoolMetrics:
+    """The pool's registry instruments, labelled by backend name."""
+
+    def __init__(self, registry: MetricsRegistry, backend_name: str) -> None:
+        self.backend = backend_name
+        self.checkouts = registry.counter(
+            "repro_pool_checkouts_total", "Pool checkouts completed."
+        )
+        self.timeouts = registry.counter(
+            "repro_pool_timeouts_total", "Pool checkouts that timed out."
+        )
+        self.spawns = registry.counter(
+            "repro_pool_spawns_total", "Pool members created."
+        )
+        self.wait_seconds = registry.histogram(
+            "repro_pool_checkout_wait_seconds",
+            "Seconds a checkout waited for an exclusive member.",
+        )
+        self.size = registry.gauge(
+            "repro_pool_size", "Pool members created (idle + in use)."
+        )
+        self.in_use = registry.gauge(
+            "repro_pool_in_use", "Pool members currently checked out."
+        )
+        self.waiters = registry.gauge(
+            "repro_pool_waiters", "Callers currently waiting for a member."
+        )
+
+    def checkout(self, waited_seconds: float) -> None:
+        self.checkouts.inc(backend=self.backend)
+        self.wait_seconds.observe(waited_seconds, backend=self.backend)
+
+    def timeout(self) -> None:
+        self.timeouts.inc(backend=self.backend)
+
+    def spawned(self) -> None:
+        self.spawns.inc(backend=self.backend)
+
+    def state(self, size: int, in_use: int, waiters: int) -> None:
+        self.size.set(size, backend=self.backend)
+        self.in_use.set(in_use, backend=self.backend)
+        self.waiters.set(waiters, backend=self.backend)
 
 
 class ConnectionPool:
@@ -72,10 +143,17 @@ class ConnectionPool:
         batch_size: int = 1000,
         indexes: bool = True,
         stats: dict[str, TableStats] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.backend_name = backend_name
+        #: Span producer for ``pool.checkout`` spans; mutable so a service
+        #: can attach a real tracer to an already-built pool (``repro
+        #: explain`` swaps tracers per query).
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        self._metrics = _PoolMetrics(registry, backend_name) if registry else None
         self._database = database
         self._batch_size = batch_size
         self._indexes = indexes
@@ -87,6 +165,8 @@ class ConnectionPool:
         self._spawning = 0
         self._size = 0
         self._checked_out = 0
+        #: Sync callers currently blocked inside :meth:`checkout`'s wait.
+        self._blocked = 0
         self._closed = False
         #: Async wakeup callbacks, insertion-ordered (FIFO fairness).
         self._waiters: OrderedDict[int, Callable[[], None]] = OrderedDict()
@@ -162,29 +242,100 @@ class ConnectionPool:
     def checkout(self, timeout: float | None = None) -> ExecutionBackend:
         """A member for exclusive use; blocks while at capacity and busy."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._available:
-            while True:
-                if self._closed:
-                    raise PoolClosed(f"pool for {self.backend_name!r} is closed")
-                if self._idle:
-                    member = self._idle.pop()
-                    self._checked_out += 1
-                    return member
-                if self._size + self._spawning < self._capacity:
-                    self._spawning += 1
-                    break
-                # A real deadline, not a per-wakeup timeout: a waiter that
-                # keeps being notified but loses the race to a faster
-                # thread must still time out after *timeout* seconds total.
-                remaining = None if deadline is None else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    raise PoolTimeout(
-                        f"no free {self.backend_name!r} member within {timeout}s "
-                        f"(capacity {self._capacity})"
+        started = time.perf_counter()
+        with self.tracer.span("pool.checkout", backend=self.backend_name) as span:
+            spawned = False
+            with self._available:
+                member = None
+                while True:
+                    if self._closed:
+                        raise PoolClosed(f"pool for {self.backend_name!r} is closed")
+                    if self._idle:
+                        member = self._idle.pop()
+                        self._checked_out += 1
+                        break
+                    if self._size + self._spawning < self._capacity:
+                        self._spawning += 1
+                        spawned = True
+                        break
+                    # A real deadline, not a per-wakeup timeout: a waiter that
+                    # keeps being notified but loses the race to a faster
+                    # thread must still time out after *timeout* seconds total.
+                    remaining = (
+                        None if deadline is None else deadline - time.monotonic()
                     )
-                self._available.wait(remaining)
-        member = self._spawn_reserved(checkout=True)
-        return member
+                    if remaining is not None and remaining <= 0:
+                        raise self._timeout_locked(
+                            timeout, time.perf_counter() - started
+                        )
+                    self._blocked += 1
+                    try:
+                        self._available.wait(remaining)
+                    finally:
+                        self._blocked -= 1
+            if member is None:
+                member = self._spawn_reserved(checkout=True)
+            self._note_checkout(time.perf_counter() - started, span, spawned)
+            return member
+
+    def _note_checkout(self, waited: float, span, spawned: bool) -> None:
+        """Account one successful checkout (metrics + span attributes)."""
+        span.set("waited_ms", round(waited * 1000.0, 3))
+        span.set("spawned", spawned)
+        if self._metrics is not None:
+            self._metrics.checkout(waited)
+            self._update_state_gauges()
+
+    def _timeout_locked(self, timeout: float | None, waited: float) -> PoolTimeout:
+        """The diagnostic timeout error; caller holds the pool lock."""
+        waiters = self._blocked + len(self._waiters)
+        if self._metrics is not None:
+            self._metrics.timeout()
+        return PoolTimeout(
+            f"no free {self.backend_name!r} member within {timeout}s: "
+            f"capacity {self._capacity}, {self._checked_out} in use, "
+            f"{len(self._idle)} idle, {waiters} waiter(s), "
+            f"waited {waited:.3f}s",
+            backend=self.backend_name,
+            capacity=self._capacity,
+            in_use=self._checked_out,
+            idle=len(self._idle),
+            waiters=waiters,
+            waited_seconds=waited,
+        )
+
+    def timeout_error(self, timeout: float | None, waited: float) -> PoolTimeout:
+        """A :class:`PoolTimeout` carrying this pool's current diagnostics.
+
+        For external waiting disciplines — the async service awaits an
+        event instead of blocking in :meth:`checkout`, but its timeout
+        should explain the pool state just the same.
+        """
+        with self._lock:
+            return self._timeout_locked(timeout, waited)
+
+    def snapshot(self) -> dict:
+        """Point-in-time pool state (introspection / ``--stats`` views)."""
+        with self._lock:
+            return {
+                "backend": self.backend_name,
+                "capacity": self._capacity,
+                "size": self._size,
+                "idle": len(self._idle),
+                "in_use": self._checked_out,
+                "waiters": self._blocked + len(self._waiters),
+                "closed": self._closed,
+            }
+
+    def _update_state_gauges(self) -> None:
+        # Advisory gauge refresh: reads are GIL-atomic ints, and the gauges
+        # describe a moving target anyway — not worth holding the pool lock.
+        if self._metrics is not None:
+            self._metrics.state(
+                self._size,
+                self._checked_out,
+                self._blocked + len(self._waiters),
+            )
 
     # -- non-blocking protocol (async callers) -----------------------------
 
@@ -308,6 +459,7 @@ class ConnectionPool:
             self._available.notify()
             wake = self._pop_waiters(1)
         self._fire_waiters(wake)
+        self._update_state_gauges()
         if closing is not None:
             closing.close()
             self._teardown_template_if_due()
@@ -409,6 +561,8 @@ class ConnectionPool:
                     discard = True
                 else:
                     self._size += 1
+                    if self._metrics is not None:
+                        self._metrics.spawned()
                     if checkout:
                         self._checked_out += 1
                     else:
@@ -416,6 +570,7 @@ class ConnectionPool:
                         self._available.notify()
                         wake = self._pop_waiters(1)
             self._fire_waiters(wake)
+            self._update_state_gauges()
         if discard:
             member.close()
             self._teardown_template_if_due()

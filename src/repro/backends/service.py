@@ -45,10 +45,13 @@ from repro.core.transpile import transpile
 from repro.cypher.parser import parse_cypher
 from repro.execution.datagen import MockDataGenerator
 from repro.graph.schema import GraphSchema
+from repro.observability.metrics import MetricsRegistry, SlowQueryLog
+from repro.observability.tracing import NOOP_TRACER
 from repro.relational.instance import Database, Table
 from repro.sql import ast as sq
 from repro.sql.dialect import SqlDialect, dialect_for
 from repro.sql.optimize import DEFAULT_OPT_LEVEL, OPT_LEVELS, optimize
+from repro.sql.planner import PlanReport
 from repro.sql.pretty import to_sql_text
 from repro.sql.semantics import evaluate_query as evaluate_sql
 from repro.sql.stats import DatabaseStats, collect_stats
@@ -123,6 +126,10 @@ class PreparedQuery:
     dialect: str
     fingerprint: str
     opt_level: int = DEFAULT_OPT_LEVEL
+    #: The planner's decision record (``repro explain`` renders it).  It
+    #: travels with the prepared query — through both cache tiers — so plan
+    #: introspection works even when a trace shows only a cache hit.
+    plan: PlanReport | None = None
 
 
 @dataclass(frozen=True)
@@ -237,6 +244,9 @@ class GraphitiService:
         opt_level: int = DEFAULT_OPT_LEVEL,
         pool_size: int = 4,
         persistent_cache: PersistentQueryCache | str | Path | bool | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+        slow_query_seconds: float = 0.25,
     ) -> None:
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
@@ -261,6 +271,23 @@ class GraphitiService:
         self._lock = threading.RLock()
         self._pools: dict[str, ConnectionPool] = {}
         self._query_stats: dict[str, QueryStat] = {}
+        # Telemetry: a metrics registry (shared if the caller passes one), a
+        # slow-query ring buffer, and a tracer that defaults to the no-op —
+        # instrumentation is always on, and costs ~nothing until a real
+        # Tracer is attached (``repro explain``, the smoke script).
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        self.slow_queries = SlowQueryLog(threshold_seconds=slow_query_seconds)
+        self._queries_total = self._registry.counter(
+            "repro_queries_total", "Query executions recorded, by backend."
+        )
+        self._query_seconds = self._registry.histogram(
+            "repro_query_seconds", "Engine execution seconds per query."
+        )
+        self._cache_lookups = self._registry.counter(
+            "repro_transpile_cache_total",
+            "Transpilation-cache lookups, by tier and result.",
+        )
 
     @staticmethod
     def _open_persistent(
@@ -336,33 +363,67 @@ class GraphitiService:
         if level < 2:
             digest = ""
         key = (self.fingerprint, cypher_text, dialect.name, level, digest)
-        cached = self._cache.get(key)
-        if cached is not None:
-            assert isinstance(cached, PreparedQuery)
-            return cached
-        if self._persistent is not None:
-            disk_key = cache_key(self.fingerprint, cypher_text, dialect.name, level, digest)
-            stored = self._persistent.get(disk_key)
-            if isinstance(stored, PreparedQuery):
-                self._cache.put(key, stored)
-                return stored
-        query = parse_cypher(cypher_text, self.graph_schema)
-        translated = optimize(
-            transpile(query, self.graph_schema, self.sdt),
-            level=level,
-            schema=self.sdt.schema,
-            stats=stats,
-        )
-        rendered = to_sql_text(
-            translated, self.sdt.schema, optimized=False, dialect=dialect
-        )
-        prepared = PreparedQuery(
-            cypher_text, translated, rendered, dialect.name, self.fingerprint, level
-        )
-        self._cache.put(key, prepared)
-        if self._persistent is not None:
-            self._persistent.put(disk_key, cypher_text, prepared)
-        return prepared
+        tracer = self._tracer
+        with tracer.span(
+            "query.prepare", dialect=dialect.name, opt_level=level
+        ) as prepare_span:
+            with tracer.span("cache.lookup", tier="memory") as span:
+                cached = self._cache.get(key)
+                span.set("hit", cached is not None)
+            self._cache_lookups.inc(
+                tier="memory", result="hit" if cached is not None else "miss"
+            )
+            if cached is not None:
+                assert isinstance(cached, PreparedQuery)
+                prepare_span.set("cached", "memory")
+                return cached
+            if self._persistent is not None:
+                disk_key = cache_key(
+                    self.fingerprint, cypher_text, dialect.name, level, digest
+                )
+                with tracer.span("cache.lookup", tier="disk") as span:
+                    stored = self._persistent.get(disk_key)
+                    span.set("hit", isinstance(stored, PreparedQuery))
+                self._cache_lookups.inc(
+                    tier="disk",
+                    result="hit" if isinstance(stored, PreparedQuery) else "miss",
+                )
+                if isinstance(stored, PreparedQuery):
+                    self._cache.put(key, stored)
+                    prepare_span.set("cached", "disk")
+                    return stored
+            prepare_span.set("cached", "no")
+            with tracer.span("query.parse"):
+                query = parse_cypher(cypher_text, self.graph_schema)
+            with tracer.span("query.transpile"):
+                raw = transpile(query, self.graph_schema, self.sdt)
+            report = PlanReport()
+            with tracer.span("optimize.planner", opt_level=level) as span:
+                translated = optimize(
+                    raw, level=level, schema=self.sdt.schema, stats=stats, report=report
+                )
+                if report.traversal_choice is not None:
+                    span.set("traversals", report.traversal_choice)
+                span.set("joins_planned", len(report.joins))
+                if report.estimated_rows is not None:
+                    span.set("estimated_rows", round(report.estimated_rows, 1))
+            with tracer.span("query.render", dialect=dialect.name):
+                rendered = to_sql_text(
+                    translated, self.sdt.schema, optimized=False, dialect=dialect
+                )
+            prepared = PreparedQuery(
+                cypher_text,
+                translated,
+                rendered,
+                dialect.name,
+                self.fingerprint,
+                level,
+                report,
+            )
+            self._cache.put(key, prepared)
+            if self._persistent is not None:
+                self._persistent.put(disk_key, cypher_text, prepared)
+            return prepared
 
     def transpile_to_sql(
         self,
@@ -404,12 +465,22 @@ class GraphitiService:
         exclusive use, so any number of threads may call this concurrently.
         """
         name = backend or self.default_backend
-        prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level=opt_level)
-        pool = self._pool(name)
-        with pool.connection() as engine:
-            start = time.perf_counter()
-            result = engine.execute(prepared.sql_text)
-            self._record(cypher_text, time.perf_counter() - start)
+        with self._tracer.span("query", backend=name, cypher=cypher_text) as span:
+            prepared = self.prepare(
+                cypher_text, self.dialect_of(name), opt_level=opt_level
+            )
+            span.set("opt_level", prepared.opt_level)
+            pool = self._pool(name)
+            with pool.connection() as engine:
+                with self._tracer.span("execute", backend=name) as exec_span:
+                    start = time.perf_counter()
+                    result = engine.execute(prepared.sql_text)
+                    elapsed = time.perf_counter() - start
+                    exec_span.set("rows", len(result.rows))
+                self._record(cypher_text, elapsed, backend=name)
+            span.set("rows", len(result.rows))
+            if prepared.plan is not None and prepared.plan.estimated_rows is not None:
+                span.set("estimated_rows", round(prepared.plan.estimated_rows, 1))
         return result
 
     def run_many(
@@ -432,28 +503,43 @@ class GraphitiService:
             return []
         name = backend or self.default_backend
         workers = max(1, min(workers, len(texts)))
-        dialect = self.dialect_of(name)
-        prepared = {
-            text: self.prepare(text, dialect, opt_level=opt_level)
-            for text in dict.fromkeys(texts)  # each distinct text once
-        }
-        pool = self._pool(name, min_capacity=workers)
-        results: list[Table | None] = [None] * len(texts)
+        with self._tracer.span(
+            "query.batch", backend=name, queries=len(texts), workers=workers
+        ) as batch_span:
+            dialect = self.dialect_of(name)
+            prepared = {
+                text: self.prepare(text, dialect, opt_level=opt_level)
+                for text in dict.fromkeys(texts)  # each distinct text once
+            }
+            pool = self._pool(name, min_capacity=workers)
+            results: list[Table | None] = [None] * len(texts)
 
-        def execute_one(index: int) -> None:
-            text = texts[index]
-            with pool.connection() as engine:
-                start = time.perf_counter()
-                results[index] = engine.execute(prepared[text].sql_text)
-                self._record(text, time.perf_counter() - start)
+            def execute_one(index: int) -> None:
+                text = texts[index]
+                # parent= crosses the thread boundary explicitly: each
+                # worker's subtree hangs off the batch span, and the spans
+                # it opens inside (pool.checkout, execute) parent under the
+                # worker's own per-query span via the context variable —
+                # never under another worker's.
+                with self._tracer.span(
+                    "query", parent=batch_span, backend=name, index=index
+                ) as span:
+                    with pool.connection() as engine:
+                        with self._tracer.span("execute", backend=name) as exec_span:
+                            start = time.perf_counter()
+                            results[index] = engine.execute(prepared[text].sql_text)
+                            elapsed = time.perf_counter() - start
+                            exec_span.set("rows", len(results[index].rows))
+                        self._record(text, elapsed, backend=name)
+                    span.set("rows", len(results[index].rows))
 
-        if workers == 1:
-            for index in range(len(texts)):
-                execute_one(index)
-        else:
-            with ThreadPoolExecutor(max_workers=workers) as executor:
-                # list() drains the iterator so worker exceptions propagate.
-                list(executor.map(execute_one, range(len(texts))))
+            if workers == 1:
+                for index in range(len(texts)):
+                    execute_one(index)
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as executor:
+                    # list() drains the iterator so worker exceptions propagate.
+                    list(executor.map(execute_one, range(len(texts))))
         assert all(table is not None for table in results)
         return results  # type: ignore[return-value]
 
@@ -485,7 +571,7 @@ class GraphitiService:
         prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level=opt_level)
         with self._pool(name).connection() as engine:
             seconds = engine.time(prepared.sql_text, repeats=repeats)
-        self._record(cypher_text, seconds)
+        self._record(cypher_text, seconds, backend=name)
         return seconds
 
     # -- pooling -----------------------------------------------------------
@@ -506,6 +592,33 @@ class GraphitiService:
 
     # -- observability -----------------------------------------------------
 
+    @property
+    def tracer(self):
+        """The span producer instrumentation reports to (no-op by default)."""
+        return self._tracer
+
+    def set_tracer(self, tracer) -> None:
+        """Attach *tracer* (or ``None`` for the no-op) service-wide.
+
+        Propagates to every existing pool, so ``pool.checkout`` spans land
+        in the same trees; pools created later inherit it at construction.
+        """
+        self._tracer = tracer if tracer is not None else NOOP_TRACER
+        with self._lock:
+            for pool in self._pools.values():
+                pool.tracer = self._tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry every serving-stack counter reports into."""
+        return self._registry
+
+    def pool_snapshots(self) -> dict[str, dict]:
+        """Per-backend pool state, for ``--stats`` views."""
+        with self._lock:
+            pools = dict(self._pools)
+        return {name: pool.snapshot() for name, pool in sorted(pools.items())}
+
     def query_stats(self) -> tuple[QueryStat, ...]:
         """Per-query execution accounting (insertion order), for ``--stats``."""
         with self._lock:
@@ -515,16 +628,24 @@ class GraphitiService:
         with self._lock:
             self._query_stats.clear()
 
-    def record_execution(self, cypher_text: str, seconds: float) -> None:
+    def record_execution(
+        self, cypher_text: str, seconds: float, backend: str | None = None
+    ) -> None:
         """Account one execution of *cypher_text* (thread-safe).
 
         Public so serving layers that execute on their own schedule — the
         async service runs queries on executor threads — feed the same
         :class:`QueryStat` accounting as :meth:`run`/:meth:`run_many`.
         """
-        self._record(cypher_text, seconds)
+        self._record(cypher_text, seconds, backend=backend)
 
-    def _record(self, cypher_text: str, seconds: float) -> None:
+    def _record(
+        self, cypher_text: str, seconds: float, backend: str | None = None
+    ) -> None:
+        name = backend or self.default_backend
+        self._queries_total.inc(backend=name)
+        self._query_seconds.observe(seconds, backend=name)
+        self.slow_queries.record(cypher_text, name, seconds)
         with self._lock:
             previous = self._query_stats.get(cypher_text)
             if previous is None:
@@ -574,6 +695,8 @@ class GraphitiService:
                     batch_size=self.batch_size,
                     indexes=self.indexes,
                     stats=self._stats,
+                    registry=self._registry,
+                    tracer=self._tracer,
                 )
                 self._pools[name] = pool
             elif pool.capacity < min_capacity:

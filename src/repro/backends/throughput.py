@@ -316,6 +316,92 @@ def measure_throughput(
 
 
 # ---------------------------------------------------------------------------
+# satellite: tracing overhead (always-on instrumentation must stay cheap)
+# ---------------------------------------------------------------------------
+
+#: QPS regression allowed with a real tracer attached (percent).
+TRACING_BUDGET_PCT = 5.0
+
+
+def measure_tracing_overhead(
+    rows_per_table: int = 1000,
+    batch_size: int = 40,
+    repeats: int = 20,
+    backend: str = "sqlite-memory",
+    seed: int = 42,
+) -> dict:
+    """Traced-vs-untraced serving QPS (the always-on tracing budget).
+
+    Two lanes over one warmed service — the default no-op tracer and a
+    real :class:`~repro.observability.tracing.Tracer` — sampled as
+    *repeats* interleaved rounds of one batch per lane, the lane order
+    alternating every round, each lane's QPS taken from its best batch
+    time over an **equal sample count**.  Equal counts matter: comparing
+    a minimum over more samples against one over fewer is systematically
+    biased by host noise (the bigger pool's floor is lower), which on a
+    busy container fabricates several percent of phantom "overhead".
+    The even- and odd-round no-op samples form two half-lanes whose
+    best-time spread (``noop_spread_pct``) bounds the residual noise —
+    what "~zero no-op cost" means on this host.  Negative overhead is
+    noise, not a speedup.
+    """
+    from repro.observability.tracing import Tracer
+
+    batch = build_batch(batch_size)
+    with GraphitiService(SOCIAL.graph_schema) as service:
+        service.load_mock(rows_per_table, seed=seed)
+        service.warm_pool(backend, 1)
+        # Warmup fills the transpilation caches: the lanes measure serving,
+        # not first-call compilation.
+        service.run_many(batch, workers=1, backend=backend)
+
+        def one_batch() -> float:
+            start = time.perf_counter()
+            service.run_many(batch, workers=1, backend=backend)
+            return time.perf_counter() - start
+
+        def traced_batch() -> float:
+            service.set_tracer(Tracer(max_traces=8))
+            try:
+                return one_batch()
+            finally:
+                service.set_tracer(None)
+
+        noop_times: list[float] = []
+        traced_times: list[float] = []
+        for round_index in range(repeats):
+            if round_index % 2 == 0:
+                noop_times.append(one_batch())
+                traced_times.append(traced_batch())
+            else:
+                traced_times.append(traced_batch())
+                noop_times.append(one_batch())
+    noop_first = len(batch) / min(noop_times[0::2])
+    noop_second = len(batch) / min(noop_times[1::2])
+    traced = len(batch) / min(traced_times)
+    baseline = len(batch) / min(noop_times)
+    spread = (
+        abs(noop_first - noop_second) / max(noop_first, noop_second) * 100.0
+        if noop_first and noop_second
+        else 0.0
+    )
+    overhead = (baseline - traced) / baseline * 100.0 if baseline else 0.0
+    return {
+        "backend": backend,
+        "rows_per_table": rows_per_table,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "noop_qps_first": round(noop_first, 1),
+        "noop_qps_second": round(noop_second, 1),
+        "noop_spread_pct": round(spread, 2),
+        "traced_qps": round(traced, 1),
+        "traced_overhead_pct": round(overhead, 2),
+        "budget_pct": TRACING_BUDGET_PCT,
+        "within_budget": overhead <= TRACING_BUDGET_PCT,
+    }
+
+
+# ---------------------------------------------------------------------------
 # satellite: single-transaction bulk load vs commit-per-batch
 # ---------------------------------------------------------------------------
 
@@ -508,6 +594,11 @@ def run_bench(
             "elapsed_seconds": round(time.time() - started, 1),
         },
         "bulk_load": measure_bulk_load(),
+        "tracing_overhead": measure_tracing_overhead(
+            rows_per_table=min(rows_per_table, 1000),
+            batch_size=batch_size,
+            seed=seed,
+        ),
         "persistent_cache": {
             "this_run": run_cache_stats,
             "cross_service_demo": persistent_cache_demo(cache_path),
@@ -550,6 +641,15 @@ def format_report(report: dict) -> list[str]:
         f"per-batch commits {load['commit_per_batch_ms']:.0f} ms "
         f"(x{load['speedup']:.1f})"
     )
+    tracing = report.get("tracing_overhead")
+    if tracing:
+        lines.append(
+            f"tracing overhead ({tracing['backend']}): "
+            f"{tracing['traced_overhead_pct']:+.2f}% traced "
+            f"(noise ±{tracing['noop_spread_pct']:.2f}%, "
+            f"budget {tracing['budget_pct']:.0f}%: "
+            f"{'ok' if tracing['within_budget'] else 'OVER'})"
+        )
     cache = report["persistent_cache"]
     lines.append(
         f"persistent cache: this run hits={cache['this_run']['hits']} "

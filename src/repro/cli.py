@@ -48,6 +48,17 @@ Subcommands
         python -m repro bench-throughput --rows 2000 --batch 40
         python -m repro bench-throughput --mode async
 
+``explain``
+    Trace one query through the serving stack — parse, transpile, planner,
+    cache lookups, pool checkout, engine execution — and render the span
+    tree with per-stage timings plus the planner's decisions (recursive
+    CTE vs unrolled join chains, join order, pushed predicates)::
+
+        python -m repro explain --example social \\
+            --cypher "MATCH (a:USER)-[:FOLLOWS*1..3]->(b:USER) RETURN b.uname"
+        python -m repro explain --example emp-dept --json \\
+            --cypher "MATCH (n:EMP) RETURN n.name"
+
 ``backends``
     List registered execution backends and their availability.
 
@@ -63,6 +74,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -106,13 +118,21 @@ def main(argv: list[str] | None = None) -> int:
         "transpile": _command_transpile,
         "check": _command_check,
         "run": _command_run,
+        "explain": _command_explain,
         "bench-backends": _command_bench_backends,
         "bench-throughput": _command_bench_throughput,
         "backends": _command_backends,
         "tables": _command_tables,
         "suite": _command_suite,
     }[arguments.command]
-    return handler(arguments)
+    try:
+        return handler(arguments)
+    except BrokenPipeError:
+        # Downstream pipe reader (head, grep -q) closed early: not an error.
+        # Detach stdout so interpreter shutdown doesn't retry the flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -218,6 +238,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--persistent-cache",
         action="store_true",
         help="use the on-disk transpilation cache (cross-process reuse)",
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="trace one query through the serving stack and render the span "
+        "tree, per-stage timings, and planner decisions",
+    )
+    explain_parser.add_argument("--cypher", required=True, help="Cypher query text")
+    explain_parser.add_argument(
+        "--graph-schema", type=Path, help="graph schema declaration file"
+    )
+    explain_parser.add_argument(
+        "--example", choices=sorted(_EXAMPLE_SCHEMAS), help="built-in schema"
+    )
+    explain_parser.add_argument(
+        "--backend", default="sqlite-memory", help="registered backend name"
+    )
+    explain_parser.add_argument(
+        "--rows", type=int, default=100, help="mock rows per table (default 100)"
+    )
+    explain_parser.add_argument("--seed", type=int, default=42, help="mock-data seed")
+    explain_parser.add_argument(
+        "--opt",
+        type=int,
+        choices=(0, 1, 2),
+        default=2,
+        help="optimization level: 0 raw, 1 rule rewrites, 2 cost-based (default 2)",
+    )
+    explain_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report (the trace member round-trips "
+        "through span_from_dict)",
+    )
+    explain_parser.add_argument(
+        "--no-sql", action="store_true", help="omit the rendered SQL section"
     )
 
     bench_parser = subparsers.add_parser(
@@ -399,6 +455,31 @@ def _command_run(arguments) -> int:
     return 0
 
 
+def _command_explain(arguments) -> int:
+    import json
+
+    from repro.backends import BackendUnavailable, GraphitiService
+    from repro.common.errors import GraphitiError
+    from repro.observability.explain import explain_query
+
+    schema = _load_graph_schema(arguments)
+    with GraphitiService(
+        schema, default_backend=arguments.backend, opt_level=arguments.opt
+    ) as service:
+        service.load_mock(arguments.rows, seed=arguments.seed)
+        try:
+            report = explain_query(
+                service, arguments.cypher, backend=arguments.backend
+            )
+        except (BackendUnavailable, GraphitiError) as error:
+            raise SystemExit(str(error))
+        if arguments.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print("\n".join(report.render(show_sql=not arguments.no_sql)))
+    return 0
+
+
 def _run_batch_async(service, queries: list[str], concurrency: int) -> list:
     """Drive *queries* through the asyncio serving layer (``--async-workers``)."""
     import asyncio
@@ -506,6 +587,24 @@ def _collect_backend_stats(rows_per_table: int, echo: bool = True) -> dict:
         for _ in range(2):
             for text in DEFAULT_WORKLOAD.values():
                 service.run(text)
+        # The legacy "cache" keys are now a *view* over the metrics
+        # registry (same numbers the CacheInfo counters report — every
+        # lookup passes through prepare(), which feeds both).
+        snapshot = service.metrics.snapshot()
+        cache_series = snapshot.get("repro_transpile_cache_total", {}).get(
+            "series", []
+        )
+
+        def cache_count(result: str) -> int:
+            return int(
+                sum(
+                    entry["value"]
+                    for entry in cache_series
+                    if entry["labels"].get("tier") == "memory"
+                    and entry["labels"].get("result") == result
+                )
+            )
+
         info = service.cache_info()
         queries = []
         for stat in service.query_stats():
@@ -525,15 +624,24 @@ def _collect_backend_stats(rows_per_table: int, echo: bool = True) -> dict:
                 }
             )
         document = {
-            "meta": {"rows_per_table": rows_per_table, "rounds": 2},
+            "meta": {
+                "rows_per_table": rows_per_table,
+                "rounds": 2,
+                # Deprecation note: "cache" and "queries" are kept as
+                # backward-compatible views; new consumers should read the
+                # "metrics" section (the full registry snapshot).
+                "note": "'cache'/'queries' are compatibility views over "
+                "the 'metrics' registry snapshot",
+            },
             "opt_level": service.opt_level,
             "cache": {
-                "hits": info.hits,
-                "misses": info.misses,
+                "hits": cache_count("hit"),
+                "misses": cache_count("miss"),
                 "currsize": info.currsize,
                 "maxsize": info.maxsize,
             },
             "queries": queries,
+            "metrics": snapshot,
         }
         if echo:
             print()

@@ -1,0 +1,64 @@
+"""Observability: query-lifecycle tracing, metrics, and explain rendering.
+
+The serving stack (``GraphitiService`` → optimizer → caches → pool →
+engine) emits structured telemetry through this package:
+
+* :mod:`repro.observability.tracing` — hierarchical spans
+  (``query.parse``, ``query.transpile``, ``optimize.planner``,
+  ``cache.lookup``, ``pool.checkout``, ``execute``) collected by a
+  :class:`Tracer`.  The default :data:`NOOP_TRACER` makes every span a
+  shared no-op object, so instrumentation stays always-on with
+  effectively zero cost until a caller attaches a real tracer.
+* :mod:`repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters, gauges, and histograms with JSON snapshots and Prometheus
+  text exposition, plus the :class:`SlowQueryLog` ring buffer.
+* :mod:`repro.observability.explain` — turns one traced execution into
+  the ``repro explain`` report: the span tree with per-stage timings,
+  the planner's recursive-vs-unrolled decision, and cache/pool events.
+
+The spans carry the estimated-vs-actual cardinality attributes the
+adaptive-execution roadmap item (re-planning on estimate divergence)
+will consume; nothing here imports beyond the stdlib.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQuery,
+    SlowQueryLog,
+)
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    current_span,
+    span_from_dict,
+)
+from repro.observability.explain import (
+    ExplainReport,
+    explain_query,
+    render_span_tree,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SlowQuery",
+    "SlowQueryLog",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "current_span",
+    "span_from_dict",
+    "ExplainReport",
+    "explain_query",
+    "render_span_tree",
+]

@@ -1,0 +1,368 @@
+"""A metrics registry: counters, gauges, histograms, slow-query log.
+
+The :class:`MetricsRegistry` is the single source of truth for the
+serving stack's numeric telemetry.  The legacy surfaces —
+:class:`~repro.backends.service.CacheInfo`, per-query
+:class:`~repro.backends.service.QueryStat` percentiles, ``repro backends
+--stats --json`` — remain as thin *views* over the registry's counters,
+so existing consumers keep working while new ones scrape one place.
+
+Design points (all stdlib):
+
+* every metric supports labels (``counter.inc(backend="duckdb")``);
+  a label-less series is just the empty label set;
+* metrics are created idempotently through the registry
+  (:meth:`MetricsRegistry.counter` returns the existing metric on a
+  repeat call, and raises if the name is already taken by another type);
+* :meth:`MetricsRegistry.snapshot` returns a JSON-able dict,
+  :meth:`MetricsRegistry.to_prometheus` the text exposition format
+  (``# HELP`` / ``# TYPE`` / sample lines, histogram ``_bucket`` series
+  with cumulative counts and an ``+Inf`` bound) that a Prometheus server
+  scrapes as-is;
+* the :class:`SlowQueryLog` is a bounded ring buffer of the slowest
+  recent executions — the first place to look when p95 jumps.
+
+Thread-safety: one lock per metric family, taken for the few dict
+operations an update needs; the registry lock only guards creation.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+#: Default histogram bucket upper bounds, in seconds (latency-shaped).
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = key + extra
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Shared naming/locking plumbing for all three metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help = help_text
+        self._lock = threading.Lock()
+
+    def _key(self, labels: dict[str, object]) -> _LabelKey:
+        return _label_key(labels)
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum across every label set (convenience for views)."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def series(self) -> list[tuple[_LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (pool size, in-use connections)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        super().__init__(name, help_text)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(self._key(labels), 0.0)
+
+    def series(self) -> list[tuple[_LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket latency histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text)
+        self.buckets = tuple(sorted(buckets))
+        # per label set: ([count per finite bucket], count, sum)
+        self._series: dict[_LabelKey, tuple[list[int], int, float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        with self._lock:
+            counts, count, total = self._series.get(
+                key, ([0] * len(self.buckets), 0, 0.0)
+            )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._series[key] = (counts, count + 1, total + value)
+
+    def count(self, **labels: object) -> int:
+        with self._lock:
+            entry = self._series.get(self._key(labels))
+            return entry[1] if entry else 0
+
+    def sum(self, **labels: object) -> float:
+        with self._lock:
+            entry = self._series.get(self._key(labels))
+            return entry[2] if entry else 0.0
+
+    def series(self) -> list[tuple[_LabelKey, tuple[list[int], int, float]]]:
+        with self._lock:
+            return sorted(
+                (key, (list(counts), count, total))
+                for key, (counts, count, total) in self._series.items()
+            )
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One slow-query log entry."""
+
+    cypher_text: str
+    backend: str
+    seconds: float
+    recorded_at: float
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "cypher": self.cypher_text,
+            "backend": self.backend,
+            "ms": round(self.seconds * 1000.0, 3),
+            "recorded_at": self.recorded_at,
+            "attributes": dict(self.attributes),
+        }
+
+
+class SlowQueryLog:
+    """Bounded ring buffer of executions slower than *threshold_seconds*."""
+
+    def __init__(self, capacity: int = 64, threshold_seconds: float = 0.25) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.threshold_seconds = threshold_seconds
+        self._lock = threading.Lock()
+        self._entries: deque[SlowQuery] = deque(maxlen=capacity)
+
+    def record(
+        self, cypher_text: str, backend: str, seconds: float, **attributes: object
+    ) -> bool:
+        """Log the execution if it breached the threshold; ``True`` if kept."""
+        if seconds < self.threshold_seconds:
+            return False
+        entry = SlowQuery(cypher_text, backend, seconds, time.time(), dict(attributes))
+        with self._lock:
+            self._entries.append(entry)
+        return True
+
+    def entries(self) -> tuple[SlowQuery, ...]:
+        """Retained entries, oldest first."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class MetricsRegistry:
+    """Creates and holds metrics; snapshots them as JSON or Prometheus text."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- creation (idempotent) ----------------------------------------------
+
+    def counter(self, name: str, help_text: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = Histogram(name, help_text, buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def _get_or_create(self, cls, name: str, help_text: str):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help_text)
+            self._metrics[name] = metric
+            return metric
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def metrics(self) -> tuple[_Metric, ...]:
+        with self._lock:
+            return tuple(self._metrics[name] for name in sorted(self._metrics))
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-able snapshot of every metric's current series."""
+        document: dict[str, dict] = {}
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                series = [
+                    {
+                        "labels": dict(key),
+                        "count": count,
+                        "sum": round(total, 9),
+                        "buckets": {
+                            _format_value(bound): bucket_count
+                            for bound, bucket_count in zip(metric.buckets, counts)
+                        },
+                    }
+                    for key, (counts, count, total) in metric.series()
+                ]
+            else:
+                series = [
+                    {"labels": dict(key), "value": value}
+                    for key, value in metric.series()
+                ]
+            document[metric.name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": series,
+            }
+        return document
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, (counts, count, total) in metric.series():
+                    cumulative = 0
+                    for bound, bucket_count in zip(metric.buckets, counts):
+                        cumulative += bucket_count
+                        label_text = _render_labels(
+                            key, (("le", _format_value(bound)),)
+                        )
+                        lines.append(
+                            f"{metric.name}_bucket{label_text} {cumulative}"
+                        )
+                    label_text = _render_labels(key, (("le", "+Inf"),))
+                    lines.append(f"{metric.name}_bucket{label_text} {count}")
+                    lines.append(
+                        f"{metric.name}_sum{_render_labels(key)} "
+                        f"{_format_value(total)}"
+                    )
+                    lines.append(f"{metric.name}_count{_render_labels(key)} {count}")
+            else:
+                for key, value in metric.series():
+                    lines.append(
+                        f"{metric.name}{_render_labels(key)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -71,15 +71,23 @@ def optimize(
     level: int = 1,
     schema: "RelationalSchema | None" = None,
     stats: "DatabaseStats | None" = None,
+    report: "object | None" = None,
 ) -> ast.Query:
     """Optimize *query* at *level* (see the module docstring).
 
     ``optimize(query)`` keeps its historical meaning: level-1 local
     rewrites only.  Level 2 falls back to level 1 when *schema* is not
     provided (the planner cannot reason about scopes without it).
+
+    *report*, when given, is a :class:`~repro.sql.planner.PlanReport` the
+    level-2 passes fill with their decisions (recursive-vs-unrolled
+    traversal choices, join orders, hoisted CTEs, the final cardinality
+    estimate) — the introspection seam ``repro explain`` renders.
     """
     if level not in OPT_LEVELS:
         raise ValueError(f"unknown optimization level {level!r} (use 0, 1, or 2)")
+    if report is not None:
+        report.level = level
     if level == 0:
         return query
     query = _fixpoint(query)
@@ -95,13 +103,18 @@ def optimize(
     )
 
     estimator = CardinalityEstimator(schema, stats)
-    query = expand_recursions(query, estimator)
+    query = expand_recursions(query, estimator, report=report)
     query = _fixpoint(query)
-    query = plan_joins(query, schema, estimator)
+    query = plan_joins(query, schema, estimator, report=report)
     query = _fixpoint(query)
     query = prune_columns(query, schema)
     query = _fixpoint(query)
-    query = common_subplans(query, schema)
+    query = common_subplans(query, schema, report=report)
+    if report is not None:
+        try:
+            report.estimated_rows = estimator.cardinality(query)
+        except Exception:
+            report.estimated_rows = None  # estimation must never break planning
     return query
 
 

@@ -37,7 +37,7 @@ correlated subqueries in the wrong place) leave the tree untouched.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.relational.schema import RelationalSchema
 from repro.sql import ast
@@ -59,6 +59,87 @@ CSE_MIN_SIZE = 9
 #: Bounds for unrolling a bounded traversal into k-hop join chains.
 UNROLL_MAX_HOPS = 4
 UNROLL_ROW_LIMIT = 250_000.0
+
+
+# ---------------------------------------------------------------------------
+# Plan reporting (the optimizer's introspection seam)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TraversalPlan:
+    """One recursive-vs-unrolled decision for a variable-length traversal."""
+
+    name: str
+    choice: str  # "recursive" | "unrolled"
+    min_hops: int
+    max_hops: int | None
+    estimated_rows: float | None
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "choice": self.choice,
+            "min_hops": self.min_hops,
+            "max_hops": self.max_hops,
+            "estimated_rows": self.estimated_rows,
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class JoinPlan:
+    """One join region's chosen order and predicate placement."""
+
+    order: tuple[str, ...]
+    pushed_predicates: int
+    join_edges: int
+
+    def to_dict(self) -> dict:
+        return {
+            "order": list(self.order),
+            "pushed_predicates": self.pushed_predicates,
+            "join_edges": self.join_edges,
+        }
+
+
+@dataclass
+class PlanReport:
+    """What the optimizer decided, and why — travels with the prepared query.
+
+    Filled in by :func:`~repro.sql.optimize.optimize` when a report object
+    is passed; cached alongside the plan it describes
+    (:class:`~repro.backends.service.PreparedQuery`), so ``repro explain``
+    shows the planner's reasoning even when the trace itself was all cache
+    hits.  ``estimated_rows`` is the optimizer's final cardinality
+    estimate — the ``execute`` span pairs it with the *actual* row count,
+    which is the feedback seam runtime re-planning will consume.
+    """
+
+    level: int = 0
+    traversals: list[TraversalPlan] = field(default_factory=list)
+    joins: list[JoinPlan] = field(default_factory=list)
+    cte_names: list[str] = field(default_factory=list)
+    estimated_rows: float | None = None
+
+    @property
+    def traversal_choice(self) -> str | None:
+        """The single headline choice: ``recursive``/``unrolled``/mixed."""
+        choices = {traversal.choice for traversal in self.traversals}
+        if not choices:
+            return None
+        return choices.pop() if len(choices) == 1 else "mixed"
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "traversals": [traversal.to_dict() for traversal in self.traversals],
+            "joins": [join.to_dict() for join in self.joins],
+            "cte_names": list(self.cte_names),
+            "estimated_rows": self.estimated_rows,
+            "traversal_choice": self.traversal_choice,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -378,7 +459,11 @@ def _substitute_refs(node, mapping: dict[str, str]):
 # ---------------------------------------------------------------------------
 
 
-def expand_recursions(query: ast.Query, estimator: CardinalityEstimator) -> ast.Query:
+def expand_recursions(
+    query: ast.Query,
+    estimator: CardinalityEstimator,
+    report: PlanReport | None = None,
+) -> ast.Query:
     """Rewrite cheap bounded traversal fixpoints into unrolled join chains.
 
     Every :class:`~repro.sql.ast.RecursiveQuery` carrying traversal
@@ -405,7 +490,18 @@ def expand_recursions(query: ast.Query, estimator: CardinalityEstimator) -> ast.
                 node.union_all,
                 node.reach,
             )
-            unrolled = _unroll_reach(rebuilt, estimator)
+            unrolled, reason, estimate = _unroll_reach(rebuilt, estimator)
+            if report is not None and rebuilt.reach is not None:
+                report.traversals.append(
+                    TraversalPlan(
+                        name=rebuilt.name,
+                        choice="unrolled" if unrolled is not None else "recursive",
+                        min_hops=rebuilt.reach.min_hops,
+                        max_hops=rebuilt.reach.max_hops,
+                        estimated_rows=estimate,
+                        reason=reason,
+                    )
+                )
             return unrolled if unrolled is not None else rebuilt
         return ast.map_children(node, walk_query, walk_predicate)
 
@@ -429,17 +525,28 @@ def expand_recursions(query: ast.Query, estimator: CardinalityEstimator) -> ast.
 
 def _unroll_reach(
     node: ast.RecursiveQuery, estimator: CardinalityEstimator
-) -> ast.Query | None:
-    """The unrolled replacement for *node*, or ``None`` to keep recursion."""
+) -> tuple[ast.Query | None, str, float | None]:
+    """The unrolled replacement for *node* (or ``None`` to keep recursion),
+    the human-readable reason for the choice, and the estimated size of the
+    longest unrolled chain when it was computed."""
     info = node.reach
-    if info is None or info.max_hops is None:
-        return None
+    if info is None:
+        return None, "no traversal metadata", None
+    if info.max_hops is None:
+        return None, "open upper hop bound", None
     lo = max(info.min_hops, 1)
     hi = info.max_hops
-    if hi < lo or hi > UNROLL_MAX_HOPS:
-        return None
-    if _unrolled_rows(info, estimator) > UNROLL_ROW_LIMIT:
-        return None
+    if hi < lo:
+        return None, f"empty hop range ({lo}..{hi})", None
+    if hi > UNROLL_MAX_HOPS:
+        return None, f"upper bound {hi} > unroll limit {UNROLL_MAX_HOPS}", None
+    estimate = _unrolled_rows(info, estimator)
+    if estimate > UNROLL_ROW_LIMIT:
+        return (
+            None,
+            f"estimated chain rows {estimate:.0f} > limit {UNROLL_ROW_LIMIT:.0f}",
+            estimate,
+        )
     source, target = node.columns[0], node.columns[1]
     chains = [
         _hop_chain(node.name, info.hop_relation, k, source, target)
@@ -448,7 +555,10 @@ def _unroll_reach(
     unrolled = chains[0]
     for chain in chains[1:]:
         unrolled = ast.UnionOp(unrolled, chain, all=False)
-    return unrolled
+    reason = (
+        f"estimated chain rows {estimate:.0f} ≤ limit {UNROLL_ROW_LIMIT:.0f}"
+    )
+    return unrolled, reason, estimate
 
 
 def _hop_chain(
@@ -517,16 +627,32 @@ def plan_joins(
     query: ast.Query,
     schema: RelationalSchema,
     estimator: CardinalityEstimator,
+    report: PlanReport | None = None,
 ) -> ast.Query:
     """Rewrite every CROSS/INNER join region of *query* into a pushed-down,
     greedily ordered equi-join tree (see the module docstring)."""
-    return _Planner(schema, estimator).plan(query, {})
+    return _Planner(schema, estimator, report).plan(query, {})
+
+
+def _leaf_label(leaf: ast.Query) -> str:
+    """A short human-readable name for a join-region leaf (plan reports)."""
+    if isinstance(leaf, ast.Renaming):
+        return f"{_leaf_label(leaf.query)} as {leaf.name}"
+    if isinstance(leaf, ast.Relation):
+        return leaf.name
+    return type(leaf).__name__.lower()
 
 
 class _Planner:
-    def __init__(self, schema: RelationalSchema, estimator: CardinalityEstimator):
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        estimator: CardinalityEstimator,
+        report: PlanReport | None = None,
+    ):
         self.schema = schema
         self.estimator = estimator
+        self.report = report
 
     # -- traversal ----------------------------------------------------------
 
@@ -689,6 +815,15 @@ class _Planner:
             provenance.update(self.estimator.provenance(leaf))
 
         order = self._greedy_order(cardinalities, edges, provenance)
+
+        if self.report is not None and len(leaves) > 1:
+            self.report.joins.append(
+                JoinPlan(
+                    order=tuple(_leaf_label(leaves[index]) for index in order),
+                    pushed_predicates=sum(len(preds) for preds in pushed),
+                    join_edges=sum(len(conjs) for conjs in edges.values()),
+                )
+            )
 
         joined = filtered_leaves[order[0]]
         placed = {order[0]}
@@ -888,7 +1023,10 @@ def _prune(query: ast.Query, required: set[str] | None) -> ast.Query:
 
 
 def common_subplans(
-    query: ast.Query, schema: RelationalSchema, max_rounds: int = 3
+    query: ast.Query,
+    schema: RelationalSchema,
+    max_rounds: int = 3,
+    report: PlanReport | None = None,
 ) -> ast.Query:
     """Hoist repeated self-contained subtrees into ``WithQuery`` bindings.
 
@@ -908,6 +1046,8 @@ def common_subplans(
             return query
         name = _fresh_name("cse", used_names)
         used_names.add(name)
+        if report is not None:
+            report.cte_names.append(name)
         query = ast.WithQuery(name, candidate, _replace(query, candidate, name))
     return query
 

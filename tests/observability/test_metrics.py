@@ -1,0 +1,214 @@
+"""MetricsRegistry semantics: instruments, snapshots, Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SlowQueryLog,
+)
+
+
+class TestCounter:
+    def test_inc_and_value_per_label_set(self):
+        counter = Counter("c")
+        counter.inc(backend="a")
+        counter.inc(2, backend="a")
+        counter.inc(backend="b")
+        assert counter.value(backend="a") == 3
+        assert counter.value(backend="b") == 1
+        assert counter.value(backend="missing") == 0
+        assert counter.total() == 4
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(x="1", y="2")
+        assert counter.value(y="2", x="1") == 1
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_concurrent_increments_exact(self):
+        counter = Counter("c")
+
+        def hammer():
+            for _ in range(500):
+                counter.inc(backend="x")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value(backend="x") == 4000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(5, pool="p")
+        gauge.inc(pool="p")
+        gauge.dec(2, pool="p")
+        assert gauge.value(pool="p") == 4
+
+
+class TestHistogram:
+    def test_count_sum_and_bucketing(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.sum() == pytest.approx(5.55)
+        ((_, (counts, count, total)),) = histogram.series()
+        assert counts == [1, 1]  # 5.0 is over the top finite bucket
+        assert count == 3
+
+    def test_buckets_are_sorted(self):
+        histogram = Histogram("h", buckets=(1.0, 0.1))
+        assert histogram.buckets == (0.1, 1.0)
+
+
+class TestRegistry:
+    def test_idempotent_creation_returns_same_metric(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests", "help")
+        again = registry.counter("requests")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.gauge("m")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            registry.histogram("m")
+
+    def test_snapshot_is_json_able(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "a counter").inc(backend="b")
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=(0.1, 1.0)).observe(0.05)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must serialize as-is
+        assert snapshot["c"]["type"] == "counter"
+        assert snapshot["c"]["series"] == [
+            {"labels": {"backend": "b"}, "value": 1.0}
+        ]
+        assert snapshot["h"]["series"][0]["count"] == 1
+        assert snapshot["h"]["series"][0]["buckets"]["0.1"] == 1
+
+
+#: One Prometheus sample line: name, optional {labels}, numeric value.
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (\+Inf|-?[0-9.e+-]+)$"
+)
+
+
+class TestPrometheusExposition:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", "Executions.").inc(
+            3, backend="sqlite-memory"
+        )
+        registry.gauge("repro_pool_size", "Members.").set(2, backend="duckdb")
+        histogram = registry.histogram(
+            "repro_query_seconds", "Latency.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value, backend="duckdb")
+        return registry
+
+    def test_every_line_parses(self):
+        text = self.make_registry().to_prometheus()
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                continue
+            assert _SAMPLE.match(line), f"unparseable sample line: {line!r}"
+
+    def test_type_lines_precede_samples(self):
+        lines = self.make_registry().to_prometheus().splitlines()
+        seen_types = {}
+        for line in lines:
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split(" ")
+                seen_types[name] = kind
+        assert seen_types == {
+            "repro_pool_size": "gauge",
+            "repro_queries_total": "counter",
+            "repro_query_seconds": "histogram",
+        }
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = self.make_registry().to_prometheus()
+        buckets = {
+            match.group(1): float(match.group(2))
+            for match in re.finditer(
+                r'repro_query_seconds_bucket\{backend="duckdb",le="([^"]+)"\} (\d+)',
+                text,
+            )
+        }
+        assert buckets == {"0.1": 1, "1": 2, "+Inf": 3}
+        assert 'repro_query_seconds_count{backend="duckdb"} 3' in text
+        sum_line = next(
+            line
+            for line in text.splitlines()
+            if line.startswith("repro_query_seconds_sum")
+        )
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(5.55)
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(q='say "hi"\nplease\\now')
+        text = registry.to_prometheus()
+        assert '\\"hi\\"' in text
+        assert "\\n" in text
+        assert "\\\\now" in text
+
+    def test_infinite_value_renders_plus_inf(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(math.inf)
+        assert "g +Inf" in registry.to_prometheus()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestSlowQueryLog:
+    def test_threshold_filters(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert not log.record("fast", "b", 0.05)
+        assert log.record("slow", "b", 0.2, rows=4)
+        (entry,) = log.entries()
+        assert entry.cypher_text == "slow"
+        assert entry.attributes == {"rows": 4}
+        assert entry.to_dict()["ms"] == 200.0
+
+    def test_capacity_bounds_ring(self):
+        log = SlowQueryLog(capacity=2, threshold_seconds=0.0)
+        for index in range(4):
+            log.record(f"q{index}", "b", 1.0)
+        assert [entry.cypher_text for entry in log.entries()] == ["q2", "q3"]
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.record("q", "b", 1.0)
+        log.clear()
+        assert log.entries() == ()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SlowQueryLog(capacity=0)

@@ -1,0 +1,221 @@
+"""Tracer/Span semantics: nesting, parenting, retention, serialization."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.observability.tracing import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    current_span,
+    span_from_dict,
+)
+
+
+class TestImplicitNesting:
+    def test_nested_spans_parent_under_current(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.children == [inner]
+        assert inner.parent_id == outer.span_id
+
+    def test_current_span_tracks_entry_and_exit(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_only_roots_are_retained(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [span.name for span in tracer.traces()] == ["root"]
+
+    def test_sibling_spans_in_order(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        assert [child.name for child in root.children] == ["first", "second"]
+
+
+class TestExplicitParenting:
+    def test_parent_keyword_crosses_thread_boundary(self):
+        tracer = Tracer()
+        with tracer.span("batch") as batch:
+
+            def worker(index: int) -> None:
+                # A fresh thread has no current span; the explicit parent
+                # attaches the subtree, and spans inside nest thread-locally.
+                assert current_span() is None
+                with tracer.span("query", parent=batch, index=index):
+                    with tracer.span("execute"):
+                        pass
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert len(batch.children) == 4
+        for child in batch.children:
+            assert child.name == "query"
+            assert [grand.name for grand in child.children] == ["execute"]
+
+    def test_parent_none_forces_new_root(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("standalone", parent=None):
+                pass
+        assert {span.name for span in tracer.traces()} == {"outer", "standalone"}
+
+    def test_noop_span_parent_means_root(self):
+        tracer = Tracer()
+        with tracer.span("child-of-noop", parent=NOOP_SPAN) as span:
+            pass
+        assert span.parent_id is None
+        assert tracer.last_trace() is span
+
+
+class TestSpanRecording:
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", backend="duckdb") as span:
+            span.set("rows", 7)
+        assert span.attributes == {"backend": "duckdb", "rows": 7}
+
+    def test_events_are_zero_duration_children(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.event("cache-hit", tier="memory")
+        (event,) = span.children
+        assert event.name == "cache-hit"
+        assert event.duration_seconds == 0.0
+        assert event.attributes == {"tier": "memory"}
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError: boom"
+        assert span.end is not None
+        assert tracer.last_trace() is span
+
+    def test_durations_are_monotonic(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.duration_seconds >= inner.duration_seconds >= 0.0
+
+    def test_find_and_find_all(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("stage"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("stage"):
+                pass
+        assert root.find("leaf").name == "leaf"
+        assert root.find("missing") is None
+        assert len(root.find_all("stage")) == 2
+
+
+class TestRetention:
+    def test_ring_buffer_bounds_roots(self):
+        tracer = Tracer(max_traces=3)
+        for index in range(5):
+            with tracer.span(f"root{index}"):
+                pass
+        assert [span.name for span in tracer.traces()] == [
+            "root2",
+            "root3",
+            "root4",
+        ]
+
+    def test_reset_clears_traces(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        tracer.reset()
+        assert tracer.traces() == ()
+        assert tracer.last_trace() is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_shape_attributes_timing(self):
+        tracer = Tracer()
+        with tracer.span("root", backend="b") as root:
+            with tracer.span("child", rows=3):
+                pass
+        document = root.to_dict()
+        rebuilt = span_from_dict(document)
+        assert [(s.name, s.attributes) for s in rebuilt.walk()] == [
+            (s.name, s.attributes) for s in root.walk()
+        ]
+        assert rebuilt.duration_ms == pytest.approx(
+            round(root.duration_ms, 3), abs=1e-6
+        )
+        # Child offsets in a re-serialization must match the original's.
+        assert rebuilt.to_dict() == document
+
+    def test_offsets_are_root_relative(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+        document = root.to_dict()
+        nested = document["children"][0]["children"][0]
+        # b starts after a, which starts after root: offsets increase inward.
+        assert nested["offset_ms"] >= document["children"][0]["offset_ms"] >= 0
+
+
+class TestNoop:
+    def test_noop_tracer_returns_shared_span(self):
+        assert NOOP_TRACER.span("anything", backend="x") is NOOP_SPAN
+        assert not NOOP_TRACER.enabled
+
+    def test_noop_span_absorbs_recording(self):
+        with NOOP_TRACER.span("s") as span:
+            span.set("k", "v")
+            span.event("e")
+        assert NOOP_TRACER.traces() == ()
+        assert NOOP_TRACER.last_trace() is None
+
+    def test_noop_does_not_become_a_parent(self):
+        tracer = Tracer()
+        with NOOP_TRACER.span("outer"):
+            with tracer.span("real") as span:
+                pass
+        assert span.parent_id is None
+
+    def test_fresh_noop_tracer_equivalent(self):
+        tracer = NoopTracer()
+        assert tracer.span("s") is NOOP_SPAN
+
+
+class TestSpanDirect:
+    def test_walk_yields_depth_first(self):
+        root = Span("root")
+        a, b = Span("a"), Span("b")
+        a.children.append(b)
+        root.children.append(a)
+        assert [span.name for span in root.walk()] == ["root", "a", "b"]
