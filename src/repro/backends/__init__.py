@@ -24,6 +24,12 @@ The subsystem has four layers:
   the asyncio serving layer over the same pools and caches (``await
   run``/``run_many``, semaphore backpressure, executor offload for the
   blocking drivers; sync and async callers coexist on one pool).
+* :mod:`repro.backends.guards` — :class:`RetryPolicy` (bounded backoff
+  with jitter) and :class:`CircuitBreaker` (per-backend load shedding),
+  the recovery primitives both serving layers compose.
+* :mod:`repro.backends.faults` — :class:`FaultInjectingBackend`
+  (``faulty``; available only while a :class:`FaultPlan` is installed):
+  deterministic failure schedules for resilience testing.
 
 Adding an engine: subclass :class:`DbApiBackend` (or
 :class:`ExecutionBackend` for exotic engines), give it a ``name`` and a
@@ -50,6 +56,7 @@ from repro.backends.registry import (
 # Importing the engine modules registers them.
 from repro.backends import sqlite as _sqlite  # noqa: F401
 from repro.backends import duckdb_backend as _duckdb  # noqa: F401
+from repro.backends import faults as _faults  # noqa: F401
 from repro.backends.sqlite import SqliteFileBackend, SqliteMemoryBackend
 from repro.backends.duckdb_backend import DuckDbBackend
 from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
@@ -63,6 +70,23 @@ from repro.backends.service import (
     stats_digest,
 )
 from repro.backends.async_service import AsyncGraphitiService
+from repro.backends.guards import (
+    NO_RETRY,
+    CircuitBreaker,
+    CircuitOpen,
+    RetryPolicy,
+)
+from repro.backends.faults import (
+    FaultInjectingBackend,
+    FaultInjected,
+    FaultPlan,
+    injected_faults,
+)
+from repro.common.budget import (
+    BudgetTracker,
+    QueryBudget,
+    QueryBudgetExceeded,
+)
 from repro.backends.comparison import (
     DEFAULT_WORKLOAD,
     BackendTiming,
@@ -99,4 +123,15 @@ __all__ = [
     "DEFAULT_WORKLOAD",
     "BackendTiming",
     "compare_backends",
+    "NO_RETRY",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "RetryPolicy",
+    "FaultInjectingBackend",
+    "FaultInjected",
+    "FaultPlan",
+    "injected_faults",
+    "BudgetTracker",
+    "QueryBudget",
+    "QueryBudgetExceeded",
 ]

@@ -49,10 +49,12 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
+from repro.common.budget import BudgetTracker, QueryBudget, QueryBudgetExceeded
 from repro.graph.schema import GraphSchema
 from repro.relational.instance import Database, Table
 
-from repro.backends.pool import ConnectionPool, PoolTimeout
+from repro.backends.guards import CircuitOpen
+from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
 from repro.backends.service import GraphitiService, PreparedQuery
 
 #: Default cap on concurrently executing queries per event loop.
@@ -60,6 +62,16 @@ DEFAULT_MAX_CONCURRENCY = 8
 
 #: Default seconds an awaited checkout may wait before raising PoolTimeout.
 DEFAULT_CHECKOUT_TIMEOUT = 30.0
+
+
+class _MemberLost(Exception):
+    """Internal: the member died mid-query and was evicted (``__cause__``
+    holds the engine error) — a retry on a healthy member may succeed."""
+
+
+class _SpawnFailed(Exception):
+    """Internal: spawning a fresh member failed (``__cause__`` holds the
+    engine error) — transient from the caller's viewpoint."""
 
 
 class AsyncGraphitiService:
@@ -161,7 +173,7 @@ class AsyncGraphitiService:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(self._ensure_executor(), fn, *args)
 
-    async def _acquire(self, pool: ConnectionPool):
+    async def _acquire(self, pool: ConnectionPool, timeout: float | None = None):
         """An exclusive pool member, without ever blocking the event loop.
 
         Fast path: pop an idle member.  Growth path: reserve a slot and
@@ -170,9 +182,13 @@ class AsyncGraphitiService:
         :class:`asyncio.Event` from whichever thread checks a member in,
         and await it — re-polling on every wakeup, since a woken waiter
         races blocking ``checkout`` callers for the freed member.
+
+        *timeout* overrides ``checkout_timeout`` (a budget's remaining
+        wall clock is tighter than the configured ceiling).
         """
         loop = asyncio.get_running_loop()
-        timeout = self.checkout_timeout
+        if timeout is None:
+            timeout = self.checkout_timeout
         started = loop.time()
         deadline = None if timeout is None else started + timeout
         while True:
@@ -251,15 +267,23 @@ class AsyncGraphitiService:
         prepared: PreparedQuery,
         backend: str | None = None,
         span=None,
+        tracker: BudgetTracker | None = None,
     ) -> Table:
         """Checkout → offloaded execute → record → guaranteed checkin.
 
-        The checkin must *never* run while the executor thread is still
-        driving the member (one backend = one connection = one thread at a
-        time), but cancelling the awaiting task raises immediately even
-        mid-query.  So the member is reclaimed via the concurrent future:
-        right away when the job finished or was cancelled before starting,
-        otherwise from a done-callback the moment the engine call returns.
+        One *attempt*: the retry/breaker loop lives in
+        :meth:`_run_prepared`.  The checkin must *never* run while the
+        executor thread is still driving the member (one backend = one
+        connection = one thread at a time), but cancelling the awaiting
+        task raises immediately even mid-query.  So the member is
+        reclaimed via the concurrent future: right away when the job
+        finished or was cancelled before starting, otherwise from a
+        done-callback the moment the engine call returns.
+
+        A failed member is checked in ``damaged=True``: the pool pings it
+        and either retains (genuine query error — re-raised as-is) or
+        evicts it (connection dead — re-raised as :class:`_MemberLost` so
+        the caller knows a retry on a healthy member may succeed).
 
         *span*, when given, is the caller's per-query span — the explicit
         parent the ``execute`` span (opened on an executor thread, where
@@ -275,25 +299,59 @@ class AsyncGraphitiService:
             with tracer.span(
                 "pool.checkout", backend=name, waiting="async"
             ) as checkout_span:
-                member = await self._acquire(pool)
+                try:
+                    member = await self._acquire(
+                        pool,
+                        timeout=(
+                            None if tracker is None else tracker.remaining_seconds()
+                        ),
+                    )
+                except (PoolClosed, PoolTimeout, asyncio.CancelledError):
+                    raise
+                except Exception as error:
+                    # Spawning a member failed: the engine refused a fresh
+                    # connection — transient from the caller's viewpoint.
+                    raise _SpawnFailed(name) from error
                 checkout_span.set(
                     "waited_ms", round((time.perf_counter() - started) * 1000.0, 3)
                 )
             future = self._ensure_executor().submit(
-                self._execute_recorded, member, prepared, name, span
+                self._execute_recorded, member, prepared, name, span, tracker
             )
             try:
-                return await asyncio.wrap_future(future)
-            finally:
+                result = await asyncio.wrap_future(future)
+            except QueryBudgetExceeded:
+                # The guard aborted the statement (thread is done); validate
+                # on checkin so the member rejoins only if healthy.
+                pool.checkin(member, damaged=True)
+                raise
+            except Exception as error:
+                # The engine call completed (by raising): the thread no
+                # longer owns the member, so classify it inline — ping is a
+                # sub-millisecond SELECT 1.
+                retained = pool.checkin(member, damaged=True)
+                if retained:
+                    raise
+                raise _MemberLost(name) from error
+            except BaseException:
                 if future.cancel() or future.done():
                     pool.checkin(member)  # never ran, or already finished
                 else:
                     # Cancelled mid-execution: the thread still owns the
                     # member; hand it back only once the engine call ends.
                     future.add_done_callback(lambda done: pool.checkin(member))
+                raise
+            else:
+                pool.checkin(member)
+                return result
 
     def _execute_recorded(
-        self, member, prepared: PreparedQuery, backend: str | None = None, parent=None
+        self,
+        member,
+        prepared: PreparedQuery,
+        backend: str | None = None,
+        parent=None,
+        tracker: BudgetTracker | None = None,
     ) -> Table:
         # Runs on an executor thread; timing and stats mirror the sync path.
         # The explicit parent crosses the loop→executor boundary (context
@@ -301,19 +359,133 @@ class AsyncGraphitiService:
         name = backend or self._service.default_backend
         with self._service.tracer.span("execute", parent=parent, backend=name) as span:
             start = time.perf_counter()
-            result = member.execute(prepared.sql_text)
+            # budget= only when bounded: keeps stubbed/monkeypatched
+            # engines with the pre-budget signature working.
+            result = (
+                member.execute(prepared.sql_text)
+                if tracker is None
+                else member.execute(prepared.sql_text, budget=tracker)
+            )
             elapsed = time.perf_counter() - start
             span.set("rows", len(result.rows))
         self._service.record_execution(prepared.cypher_text, elapsed, backend=name)
         return result
 
+    async def _run_prepared(
+        self,
+        pool: ConnectionPool,
+        name: str,
+        cypher_text: str,
+        prepared: PreparedQuery,
+        tracker: BudgetTracker | None,
+        span=None,
+    ) -> Table:
+        """One plan's execution with the same recovery discipline as the
+        sync service: breaker gate, budget-bounded checkout, eviction-aware
+        retry with backoff (awaited, never blocking the loop)."""
+        service = self._service
+        breaker = service.breaker(name)
+        retry = service.retry_policy
+        attempt = 1
+        while True:
+            if tracker is not None:
+                tracker.check_timeout(stage="service")
+            try:
+                breaker.allow()
+            except CircuitOpen:
+                service._breaker_rejections.inc(backend=name)
+                raise
+            try:
+                result = await self._execute(pool, prepared, name, span, tracker)
+            except QueryBudgetExceeded as error:
+                # The guard aborted the statement, not the engine: the
+                # breaker must not open on a caller's tight budget.
+                breaker.record_success()
+                service._budget_exceeded.inc(backend=name, dimension=error.dimension)
+                raise error.annotate(backend=name, cypher_text=cypher_text)
+            except (PoolClosed, PoolTimeout):
+                raise  # pool congestion is not engine failure
+            except (_MemberLost, _SpawnFailed) as error:
+                breaker.record_failure()
+                if retry.should_retry(attempt) and not (
+                    tracker is not None and tracker.timed_out()
+                ):
+                    service._query_retries.inc(backend=name)
+                    await asyncio.sleep(retry.delay_for(attempt))
+                    attempt += 1
+                    continue
+                cause = error.__cause__
+                raise (cause if cause is not None else error) from None
+            else:
+                breaker.record_success()
+                return result
+
     # -- execution ---------------------------------------------------------
+
+    async def _serve(
+        self,
+        cypher_text: str,
+        name: str,
+        opt_level: int | None,
+        budget: QueryBudget | None,
+        span=None,
+    ) -> tuple[Table, PreparedQuery]:
+        """Prepare + guarded execution with the budget downgrade — the
+        async twin of :meth:`GraphitiService._serve`."""
+        service = self._service
+        budget = service._effective_budget(budget)
+        tracker = budget.start() if budget is not None else None
+        depth_cap = (
+            budget.max_depth
+            if budget is not None and budget.allow_downgrade
+            else None
+        )
+        prepared = service.prepare(
+            cypher_text, service.dialect_of(name), opt_level=opt_level,
+            depth_cap=depth_cap,
+        )
+        pool = service.pool(name)
+        try:
+            result = await self._run_prepared(
+                pool, name, cypher_text, prepared, tracker, span
+            )
+            return result, prepared
+        except QueryBudgetExceeded as error:
+            assert budget is not None and tracker is not None
+            downgradable = (
+                budget.allow_downgrade
+                and prepared.plan is not None
+                and any(
+                    traversal.choice == "unrolled"
+                    for traversal in prepared.plan.traversals
+                )
+            )
+            if not downgradable:
+                raise
+            service._budget_downgrades.inc(backend=name)
+            tracker.reset_work()
+            with service.tracer.span(
+                "query.downgrade", backend=name, reason=error.dimension, parent=span
+            ):
+                downgraded = service.prepare(
+                    cypher_text, service.dialect_of(name), opt_level=opt_level,
+                    force_recursive=True, depth_cap=depth_cap,
+                )
+                try:
+                    result = await self._run_prepared(
+                        pool, name, cypher_text, downgraded, tracker, span
+                    )
+                    return result, downgraded
+                except QueryBudgetExceeded as final:
+                    final.attempted_downgrade = True
+                    raise
 
     async def run(
         self,
         cypher_text: str,
         backend: str | None = None,
         opt_level: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> Table:
         """Execute *cypher_text* on *backend*; the engine call is awaited.
 
@@ -321,18 +493,21 @@ class AsyncGraphitiService:
         beyond ``max_concurrency`` wait their turn (backpressure), and an
         exhausted pool raises :class:`PoolTimeout` after
         ``checkout_timeout`` seconds rather than queueing without bound.
+
+        *budget* (default: the wrapped service's ``default_budget``)
+        carries the same semantics as the sync path: structured
+        :class:`~repro.common.budget.QueryBudgetExceeded` on overrun after
+        an attempted plan downgrade, eviction-aware retries, per-backend
+        circuit breaking.
         """
         name = backend or self._service.default_backend
         with self._service.tracer.span(
             "query", backend=name, cypher=cypher_text, mode="async"
         ) as span:
-            prepared = self._service.prepare(
-                cypher_text, self._service.dialect_of(name), opt_level=opt_level
+            result, prepared = await self._serve(
+                cypher_text, name, opt_level, budget, span
             )
             span.set("opt_level", prepared.opt_level)
-            result = await self._execute(
-                self._service.pool(name), prepared, name, span
-            )
             span.set("rows", len(result.rows))
         return result
 
@@ -342,6 +517,7 @@ class AsyncGraphitiService:
         concurrency: int = 4,
         backend: str | None = None,
         opt_level: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> list[Table]:
         """Execute a batch concurrently; ``results[i]`` answers ``texts[i]``.
 
@@ -367,11 +543,17 @@ class AsyncGraphitiService:
             mode="async",
         ) as batch_span:
             dialect = self._service.dialect_of(name)
-            prepared = {
-                text: self._service.prepare(text, dialect, opt_level=opt_level)
-                for text in dict.fromkeys(texts)  # each distinct text once
-            }
-            pool = self._service.pool(name, min_capacity=fan_out)
+            effective = self._service._effective_budget(budget)
+            depth_cap = (
+                effective.max_depth
+                if effective is not None and effective.allow_downgrade
+                else None
+            )
+            for text in dict.fromkeys(texts):  # warm the cache: each once
+                self._service.prepare(
+                    text, dialect, opt_level=opt_level, depth_cap=depth_cap
+                )
+            self._service.pool(name, min_capacity=fan_out)
             batch_slots = asyncio.Semaphore(fan_out)
 
             async def one(index: int, text: str) -> Table:
@@ -379,10 +561,13 @@ class AsyncGraphitiService:
                     # parent= pins each branch's subtree to the batch span;
                     # sibling gather branches each set their own task-local
                     # current span, so their children never interleave.
+                    # Each query gets its own fresh budget tracker.
                     with tracer.span(
                         "query", parent=batch_span, backend=name, index=index
                     ) as span:
-                        result = await self._execute(pool, prepared[text], name, span)
+                        result, _ = await self._serve(
+                            text, name, opt_level, budget, span
+                        )
                         span.set("rows", len(result.rows))
                         return result
 
@@ -413,10 +598,15 @@ class AsyncGraphitiService:
         await self._offload(self._service.load_mock, rows_per_table, seed)
 
     async def reference(
-        self, cypher_text: str, opt_level: int | None = None
+        self,
+        cypher_text: str,
+        opt_level: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> Table:
         """The reference bag-semantics evaluation (offloaded: it's slow)."""
-        return await self._offload(self._service.reference, cypher_text, opt_level)
+        return await self._offload(
+            self._service.reference, cypher_text, opt_level, budget
+        )
 
     # -- sync delegates (cheap, loop-safe) ----------------------------------
 

@@ -29,6 +29,12 @@ import time
 from abc import ABC, abstractmethod
 from typing import Any, Iterable, Sequence
 
+from repro.common.budget import (
+    BudgetTracker,
+    QueryBudget,
+    QueryBudgetExceeded,
+    as_tracker,
+)
 from repro.common.values import NULL, Value, is_null
 from repro.relational.instance import Database, Table
 from repro.relational.schema import RelationalSchema
@@ -156,8 +162,32 @@ class ExecutionBackend(ABC):
     # -- execution ---------------------------------------------------------
 
     @abstractmethod
-    def execute(self, sql_text: str) -> Table:
-        """Run *sql_text*, returning the result as a :class:`Table`."""
+    def execute(
+        self,
+        sql_text: str,
+        budget: "QueryBudget | BudgetTracker | None" = None,
+    ) -> Table:
+        """Run *sql_text*, returning the result as a :class:`Table`.
+
+        *budget* bounds the statement where the engine allows: the row
+        limit is enforced by incremental fetching, the wall-clock limit by
+        a native interrupt mechanism where one exists (sqlite progress
+        handler, duckdb ``interrupt``).  A tripped budget raises
+        :class:`~repro.common.budget.QueryBudgetExceeded`; the connection
+        stays usable (guards abort the statement, not the session).
+        """
+
+    def ping(self) -> bool:
+        """Cheap liveness probe: can this backend still run a statement?
+
+        Must never open a new connection — a dead member should report
+        dead, not silently resurrect (the pool owns respawn policy).
+        """
+        try:
+            self.execute("SELECT 1")
+        except Exception:
+            return False
+        return True
 
     @abstractmethod
     def explain(self, sql_text: str) -> str:
@@ -300,14 +330,86 @@ class DbApiBackend(ExecutionBackend):
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self, sql_text: str) -> Table:
+    #: How many rows to fetch per round when a row budget is active —
+    #: large enough to amortise the per-batch budget check, small enough
+    #: that a runaway result stops within one batch of its limit.
+    _BUDGET_FETCH_SIZE = 1024
+
+    def execute(
+        self,
+        sql_text: str,
+        budget: "QueryBudget | BudgetTracker | None" = None,
+    ) -> Table:
         self._ensure_connected()
-        cursor = self.connection.execute(sql_text)
-        attributes = tuple(
-            description[0] for description in cursor.description or ()
-        )
-        rows = [tuple(self._from_db(v) for v in row) for row in cursor.fetchall()]
+        tracker = as_tracker(budget)
+        if tracker is None:
+            cursor = self.connection.execute(sql_text)
+            attributes = tuple(
+                description[0] for description in cursor.description or ()
+            )
+            rows = [
+                tuple(self._from_db(v) for v in row) for row in cursor.fetchall()
+            ]
+            return Table(dedup_attributes(attributes), rows)
+        guard = self._install_budget_guard(tracker)
+        try:
+            cursor = self.connection.execute(sql_text)
+            attributes = tuple(
+                description[0] for description in cursor.description or ()
+            )
+            rows = self._fetch_budgeted(cursor, tracker)
+        except QueryBudgetExceeded:
+            raise
+        except Exception as error:
+            if guard is not None and guard.tripped:
+                raise QueryBudgetExceeded(
+                    f"query interrupted by the {self.name} engine after "
+                    f"{tracker.elapsed_seconds:.3f}s, over the budget of "
+                    f"{tracker.budget.timeout_seconds:g}s",
+                    dimension="timeout",
+                    limit=tracker.budget.timeout_seconds,
+                    rows_produced=tracker.rows_produced,
+                    depth_reached=tracker.depth_reached or None,
+                    elapsed_seconds=tracker.elapsed_seconds,
+                    stage="engine",
+                ) from error
+            raise
+        finally:
+            if guard is not None:
+                guard.cancel()
+        tracker.check_timeout(stage="engine")
         return Table(dedup_attributes(attributes), rows)
+
+    def _fetch_budgeted(self, cursor: Any, tracker: BudgetTracker) -> list:
+        """Drain *cursor* incrementally, charging the row budget per batch
+        so a runaway result set stops near its limit instead of being
+        materialised whole before anyone looks at its size."""
+        rows: list = []
+        while True:
+            batch = cursor.fetchmany(self._BUDGET_FETCH_SIZE)
+            if not batch:
+                return rows
+            rows.extend(
+                tuple(self._from_db(v) for v in row) for row in batch
+            )
+            tracker.charge_rows(len(batch), stage="engine")
+
+    def _install_budget_guard(self, tracker: BudgetTracker):
+        """Arm the engine's native interrupt mechanism for *tracker*'s
+        wall-clock deadline, returning a guard object with a ``tripped``
+        flag and a ``cancel()`` method — or ``None`` when the engine has
+        no such mechanism (the deadline is then only checked between
+        fetch batches and after the statement)."""
+        return None
+
+    def ping(self) -> bool:
+        if self.connection is None:
+            return False
+        try:
+            self.connection.execute("SELECT 1").fetchall()
+        except Exception:
+            return False
+        return True
 
     def explain(self, sql_text: str) -> str:
         self._ensure_connected()

@@ -56,16 +56,21 @@ def cache_key(
     dialect_name: str,
     opt_level: int,
     stats_digest: str,
+    variant: str = "",
 ) -> str:
     """The store's primary key: stable, compact, collision-resistant.
 
     The Cypher text is hashed (queries can be long and multi-line); the
-    other components are short and kept readable for debugging.
+    other components are short and kept readable for debugging.  *variant*
+    distinguishes budget-downgraded plans (forced-recursive, depth-capped)
+    from the normal plan for the same query — empty for the common case,
+    so pre-existing entries keep their keys.
     """
     cypher_digest = hashlib.sha256(cypher_text.encode("utf-8")).hexdigest()[:32]
-    return "|".join(
-        (fingerprint, cypher_digest, dialect_name, str(opt_level), stats_digest)
-    )
+    parts = [fingerprint, cypher_digest, dialect_name, str(opt_level), stats_digest]
+    if variant:
+        parts.append(variant)
+    return "|".join(parts)
 
 
 class PersistentQueryCache:

@@ -14,13 +14,51 @@ creates the tables with inferred column types before the first insert
 
 from __future__ import annotations
 
+import threading
 from importlib import import_module, util
 
+from repro.common.budget import BudgetTracker
 from repro.relational.instance import Database
 from repro.sql.dialect import DUCKDB
 
 from repro.backends.base import DbApiBackend, infer_column_types
 from repro.backends.registry import register_backend
+
+
+class _InterruptDeadlineGuard:
+    """A timer-armed ``connection.interrupt()`` deadline for DuckDB.
+
+    DuckDB has no progress-handler hook, but its connections expose
+    ``interrupt()``, which aborts the currently running statement (the
+    connection survives).  A daemon timer fires it at the budget deadline;
+    ``cancel()`` both stops the timer and closes a small race window — a
+    timer that fires after the statement finished must not interrupt the
+    *next* statement, so firing and cancelling are mutually excluded.
+    """
+
+    def __init__(self, connection, delay_seconds: float) -> None:
+        self.tripped = False
+        self._connection = connection
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._timer = threading.Timer(max(delay_seconds, 0.0), self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+
+    def _fire(self) -> None:
+        with self._lock:
+            if self._cancelled:
+                return
+            self.tripped = True
+            try:
+                self._connection.interrupt()
+            except Exception:
+                pass
+
+    def cancel(self) -> None:
+        with self._lock:
+            self._cancelled = True
+        self._timer.cancel()
 
 
 @register_backend
@@ -68,6 +106,12 @@ class DuckDbBackend(DbApiBackend):
         clone._table_stats = self._table_stats
         clone._stats_source = self._stats_source
         return clone
+
+    def _install_budget_guard(self, tracker: BudgetTracker):
+        remaining = tracker.remaining_seconds()
+        if remaining is None or not hasattr(self.connection, "interrupt"):
+            return None
+        return _InterruptDeadlineGuard(self.connection, remaining)
 
     def explain(self, sql_text: str) -> str:
         self._ensure_connected()

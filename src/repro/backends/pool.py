@@ -115,6 +115,14 @@ class _PoolMetrics:
         self.waiters = registry.gauge(
             "repro_pool_waiters", "Callers currently waiting for a member."
         )
+        self.validation_failures = registry.counter(
+            "repro_pool_validation_failures_total",
+            "Members that failed a liveness probe (checkout or damaged checkin).",
+        )
+        self.evictions = registry.counter(
+            "repro_pool_evictions_total",
+            "Broken members evicted (closed and removed) from the pool.",
+        )
 
     def checkout(self, waited_seconds: float) -> None:
         self.checkouts.inc(backend=self.backend)
@@ -125,6 +133,12 @@ class _PoolMetrics:
 
     def spawned(self) -> None:
         self.spawns.inc(backend=self.backend)
+
+    def validation_failed(self) -> None:
+        self.validation_failures.inc(backend=self.backend)
+
+    def evicted(self) -> None:
+        self.evictions.inc(backend=self.backend)
 
     def state(self, size: int, in_use: int, waiters: int) -> None:
         self.size.set(size, backend=self.backend)
@@ -145,10 +159,16 @@ class ConnectionPool:
         stats: dict[str, TableStats] | None = None,
         registry: MetricsRegistry | None = None,
         tracer=None,
+        validate_on_checkout: bool = True,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"pool capacity must be >= 1, got {capacity}")
         self.backend_name = backend_name
+        #: Liveness-probe idle members before handing them out; a member
+        #: that fails is evicted and the checkout moves on to the next one
+        #: (or spawns a replacement).  The probe is a single ``SELECT 1``;
+        #: benchmarks may turn it off to measure its cost.
+        self.validate_on_checkout = validate_on_checkout
         #: Span producer for ``pool.checkout`` spans; mutable so a service
         #: can attach a real tracer to an already-built pool (``repro
         #: explain`` swaps tracers per query).
@@ -240,43 +260,57 @@ class ConnectionPool:
     # -- checkout / checkin ------------------------------------------------
 
     def checkout(self, timeout: float | None = None) -> ExecutionBackend:
-        """A member for exclusive use; blocks while at capacity and busy."""
+        """A member for exclusive use; blocks while at capacity and busy.
+
+        Idle members are liveness-probed before being handed out (see
+        ``validate_on_checkout``): a dead member — its engine connection
+        died while it sat idle — is evicted, freeing its capacity slot,
+        and the checkout retries with the next idle member or a fresh
+        spawn.  The probe runs outside the pool lock so a slow one never
+        serialises other checkouts.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
         started = time.perf_counter()
         with self.tracer.span("pool.checkout", backend=self.backend_name) as span:
             spawned = False
-            with self._available:
+            while True:
                 member = None
-                while True:
-                    if self._closed:
-                        raise PoolClosed(f"pool for {self.backend_name!r} is closed")
-                    if self._idle:
-                        member = self._idle.pop()
-                        self._checked_out += 1
-                        break
-                    if self._size + self._spawning < self._capacity:
-                        self._spawning += 1
-                        spawned = True
-                        break
-                    # A real deadline, not a per-wakeup timeout: a waiter that
-                    # keeps being notified but loses the race to a faster
-                    # thread must still time out after *timeout* seconds total.
-                    remaining = (
-                        None if deadline is None else deadline - time.monotonic()
-                    )
-                    if remaining is not None and remaining <= 0:
-                        raise self._timeout_locked(
-                            timeout, time.perf_counter() - started
+                with self._available:
+                    while True:
+                        if self._closed:
+                            raise PoolClosed(
+                                f"pool for {self.backend_name!r} is closed"
+                            )
+                        if self._idle:
+                            member = self._idle.pop()
+                            self._checked_out += 1
+                            break
+                        if self._size + self._spawning < self._capacity:
+                            self._spawning += 1
+                            spawned = True
+                            break
+                        # A real deadline, not a per-wakeup timeout: a waiter
+                        # that keeps being notified but loses the race to a
+                        # faster thread must still time out after *timeout*
+                        # seconds total.
+                        remaining = (
+                            None if deadline is None else deadline - time.monotonic()
                         )
-                    self._blocked += 1
-                    try:
-                        self._available.wait(remaining)
-                    finally:
-                        self._blocked -= 1
-            if member is None:
-                member = self._spawn_reserved(checkout=True)
-            self._note_checkout(time.perf_counter() - started, span, spawned)
-            return member
+                        if remaining is not None and remaining <= 0:
+                            raise self._timeout_locked(
+                                timeout, time.perf_counter() - started
+                            )
+                        self._blocked += 1
+                        try:
+                            self._available.wait(remaining)
+                        finally:
+                            self._blocked -= 1
+                if member is None:
+                    member = self._spawn_reserved(checkout=True)
+                elif not self._admit(member):
+                    continue  # dead member evicted; retry under the deadline
+                self._note_checkout(time.perf_counter() - started, span, spawned)
+                return member
 
     def _note_checkout(self, waited: float, span, spawned: bool) -> None:
         """Account one successful checkout (metrics + span attributes)."""
@@ -345,15 +379,20 @@ class ConnectionPool:
         The async half of :meth:`checkout`: an event loop polls this on its
         own thread, falling back to :meth:`try_reserve` (grow) and then to
         :meth:`add_waiter` (wait without blocking) when it returns ``None``.
+
+        Applies the same liveness validation as :meth:`checkout` — a dead
+        idle member is evicted and the next one tried.
         """
-        with self._lock:
-            if self._closed:
-                raise PoolClosed(f"pool for {self.backend_name!r} is closed")
-            if self._idle:
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise PoolClosed(f"pool for {self.backend_name!r} is closed")
+                if not self._idle:
+                    return None
                 member = self._idle.pop()
                 self._checked_out += 1
+            if self._admit(member):
                 return member
-            return None
 
     def try_reserve(self) -> bool:
         """Reserve a growth slot if the pool is below capacity (lock-only).
@@ -446,8 +485,18 @@ class ConnectionPool:
             except Exception:  # a dead loop must not break this checkin
                 pass
 
-    def checkin(self, member: ExecutionBackend) -> None:
-        """Return *member* to the idle set (closes it if the pool closed)."""
+    def checkin(self, member: ExecutionBackend, damaged: bool = False) -> bool:
+        """Return *member* to the idle set (closes it if the pool closed).
+
+        *damaged* marks a member whose last use raised an engine exception:
+        it is liveness-probed before reuse, and one whose connection died
+        is evicted — closed, its capacity slot freed for a respawn —
+        instead of poisoning the next caller.  Returns ``True`` when the
+        member was retained, ``False`` when it was evicted.
+        """
+        if damaged and not self._member_alive(member):
+            self._discard_checked_out(member)
+            return False
         with self._available:
             self._checked_out -= 1
             if self._closed:
@@ -463,15 +512,62 @@ class ConnectionPool:
         if closing is not None:
             closing.close()
             self._teardown_template_if_due()
+        return True
 
     @contextmanager
     def connection(self, timeout: float | None = None) -> Iterator[ExecutionBackend]:
-        """``with pool.connection() as engine: engine.execute(...)``."""
+        """``with pool.connection() as engine: engine.execute(...)``.
+
+        A body that raises checks the member in as *damaged*, so a
+        connection the exception killed is evicted instead of reused.
+        """
         member = self.checkout(timeout=timeout)
         try:
             yield member
-        finally:
+        except BaseException:
+            self.checkin(member, damaged=True)
+            raise
+        else:
             self.checkin(member)
+
+    # -- member health -----------------------------------------------------
+
+    def _member_alive(self, member: ExecutionBackend) -> bool:
+        """Liveness-probe *member*, counting failures in the metrics."""
+        try:
+            alive = member.ping()
+        except Exception:
+            alive = False
+        if not alive and self._metrics is not None:
+            self._metrics.validation_failed()
+        return alive
+
+    def _admit(self, member: ExecutionBackend) -> bool:
+        """Validate a just-checked-out idle member; evict if dead."""
+        if not self.validate_on_checkout:
+            return True
+        if self._member_alive(member):
+            return True
+        self._discard_checked_out(member)
+        return False
+
+    def _discard_checked_out(self, member: ExecutionBackend) -> None:
+        """Evict a currently-checked-out member: close it and free its
+        capacity slot (waking a waiter, which may now reserve a spawn)."""
+        with self._available:
+            self._checked_out -= 1
+            self._size -= 1
+            if self._metrics is not None:
+                self._metrics.evicted()
+            self._available.notify()
+            wake = self._pop_waiters(1)
+        self._fire_waiters(wake)
+        self._update_state_gauges()
+        try:
+            member.close()
+        except Exception:
+            pass
+        self._teardown_template_if_due()
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -40,6 +40,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.common.budget import (
+    BudgetTracker,
+    QueryBudget,
+    QueryBudgetExceeded,
+)
 from repro.core.sdt import infer_sdt
 from repro.core.transpile import transpile
 from repro.cypher.parser import parse_cypher
@@ -58,7 +63,8 @@ from repro.sql.stats import DatabaseStats, collect_stats
 from repro.transformer.semantics import transform_graph
 
 from repro.backends.cache import PersistentQueryCache, cache_key
-from repro.backends.pool import ConnectionPool
+from repro.backends.guards import CircuitBreaker, CircuitOpen, RetryPolicy
+from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
 from repro.backends.registry import available_backends
 
 DEFAULT_BACKEND = "sqlite-memory"
@@ -247,6 +253,11 @@ class GraphitiService:
         registry: MetricsRegistry | None = None,
         tracer=None,
         slow_query_seconds: float = 0.25,
+        default_budget: QueryBudget | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker_threshold: int = 5,
+        breaker_cooldown_seconds: float = 5.0,
+        validate_on_checkout: bool = True,
     ) -> None:
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
@@ -287,6 +298,39 @@ class GraphitiService:
         self._cache_lookups = self._registry.counter(
             "repro_transpile_cache_total",
             "Transpilation-cache lookups, by tier and result.",
+        )
+        # Resilience: per-call/service-default query budgets, bounded retry
+        # on member death, and a per-backend circuit breaker that sheds
+        # load fast while an engine is down.
+        self.default_budget = default_budget
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_seconds = breaker_cooldown_seconds
+        self.validate_on_checkout = validate_on_checkout
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Injectable backoff sleep (tests swap in a recorder; no real waits).
+        self._retry_sleep = time.sleep
+        self._query_retries = self._registry.counter(
+            "repro_query_retries_total",
+            "Transparent retries after a pool member died mid-query.",
+        )
+        self._budget_exceeded = self._registry.counter(
+            "repro_budget_exceeded_total",
+            "Queries stopped by a resource budget, by dimension.",
+        )
+        self._budget_downgrades = self._registry.counter(
+            "repro_budget_downgrades_total",
+            "Plan downgrades attempted after a budget trip.",
+        )
+        self._breaker_transitions = self._registry.counter(
+            "repro_breaker_transitions_total",
+            "Circuit-breaker state transitions, by backend and new state.",
+        )
+        self._breaker_rejections = self._registry.counter(
+            "repro_breaker_rejections_total",
+            "Calls shed instantly because a backend's circuit was open.",
         )
 
     @staticmethod
@@ -343,6 +387,8 @@ class GraphitiService:
         cypher_text: str,
         dialect: str | SqlDialect | None = None,
         opt_level: int | None = None,
+        force_recursive: bool = False,
+        depth_cap: int | None = None,
     ) -> PreparedQuery:
         """Parse, transpile, optimize, and render *cypher_text* (cached).
 
@@ -351,6 +397,11 @@ class GraphitiService:
         service default for this query.  The cache key includes the level
         and (at level 2) the statistics digest, since reloaded data can
         legitimately change the chosen join order.
+
+        *force_recursive* and *depth_cap* are the budget downgrades (see
+        :func:`repro.sql.optimize.optimize`); they produce distinct plans
+        and therefore distinct cache entries in both tiers — a downgraded
+        plan must never shadow the normal one.
         """
         if dialect is None:
             dialect = self.dialect_of(self.default_backend)
@@ -362,7 +413,10 @@ class GraphitiService:
             stats, digest = self._stats, self._stats_digest
         if level < 2:
             digest = ""
-        key = (self.fingerprint, cypher_text, dialect.name, level, digest)
+        variant = ""
+        if force_recursive or depth_cap is not None:
+            variant = f"fr{int(force_recursive)}:dc{depth_cap}"
+        key = (self.fingerprint, cypher_text, dialect.name, level, digest, variant)
         tracer = self._tracer
         with tracer.span(
             "query.prepare", dialect=dialect.name, opt_level=level
@@ -379,7 +433,8 @@ class GraphitiService:
                 return cached
             if self._persistent is not None:
                 disk_key = cache_key(
-                    self.fingerprint, cypher_text, dialect.name, level, digest
+                    self.fingerprint, cypher_text, dialect.name, level, digest,
+                    variant=variant,
                 )
                 with tracer.span("cache.lookup", tier="disk") as span:
                     stored = self._persistent.get(disk_key)
@@ -400,7 +455,13 @@ class GraphitiService:
             report = PlanReport()
             with tracer.span("optimize.planner", opt_level=level) as span:
                 translated = optimize(
-                    raw, level=level, schema=self.sdt.schema, stats=stats, report=report
+                    raw,
+                    level=level,
+                    schema=self.sdt.schema,
+                    stats=stats,
+                    report=report,
+                    force_recursive=force_recursive,
+                    depth_cap=depth_cap,
                 )
                 if report.traversal_choice is not None:
                     span.set("traversals", report.traversal_choice)
@@ -458,30 +519,201 @@ class GraphitiService:
         cypher_text: str,
         backend: str | None = None,
         opt_level: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> Table:
         """Execute *cypher_text* on *backend* over the loaded data.
 
         Thread-safe: the query runs on a pooled connection checked out for
         exclusive use, so any number of threads may call this concurrently.
+
+        *budget* (default: the service's ``default_budget``) bounds the
+        query's rows, recursion depth, and wall-clock time; exceeding it
+        raises :class:`~repro.common.budget.QueryBudgetExceeded` — after
+        the service has attempted a cheaper plan, when the budget allows
+        downgrading.  A member that dies mid-query is evicted and the
+        query transparently retried on a healthy member (bounded by
+        ``retry_policy``); a backend whose engine keeps failing trips its
+        circuit breaker, shedding further calls with
+        :class:`~repro.backends.guards.CircuitOpen` until a cooldown
+        probe succeeds.
         """
         name = backend or self.default_backend
         with self._tracer.span("query", backend=name, cypher=cypher_text) as span:
-            prepared = self.prepare(
-                cypher_text, self.dialect_of(name), opt_level=opt_level
-            )
+            result, prepared = self._serve(cypher_text, name, opt_level, budget)
             span.set("opt_level", prepared.opt_level)
-            pool = self._pool(name)
-            with pool.connection() as engine:
-                with self._tracer.span("execute", backend=name) as exec_span:
-                    start = time.perf_counter()
-                    result = engine.execute(prepared.sql_text)
-                    elapsed = time.perf_counter() - start
-                    exec_span.set("rows", len(result.rows))
-                self._record(cypher_text, elapsed, backend=name)
             span.set("rows", len(result.rows))
             if prepared.plan is not None and prepared.plan.estimated_rows is not None:
                 span.set("estimated_rows", round(prepared.plan.estimated_rows, 1))
         return result
+
+    def _effective_budget(self, budget: QueryBudget | None) -> QueryBudget | None:
+        budget = budget if budget is not None else self.default_budget
+        if budget is None or budget.unlimited:
+            return None
+        return budget
+
+    def breaker(self, backend: str | None = None) -> CircuitBreaker:
+        """The circuit breaker guarding *backend* (created on first use).
+
+        One breaker per backend name, shared by every query path (sync and
+        async); its state transitions are counted in
+        ``repro_breaker_transitions_total``.
+        """
+        name = backend or self.default_backend
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    backend_name=name,
+                    failure_threshold=self.breaker_threshold,
+                    cooldown_seconds=self.breaker_cooldown_seconds,
+                    on_transition=lambda state, name=name: (
+                        self._breaker_transitions.inc(backend=name, state=state)
+                    ),
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    def _serve(
+        self,
+        cypher_text: str,
+        name: str,
+        opt_level: int | None,
+        budget: QueryBudget | None,
+    ) -> tuple[Table, PreparedQuery]:
+        """Prepare + pooled execution with budget enforcement, transparent
+        retry, circuit breaking, and the plan downgrade (shared by
+        :meth:`run` and :meth:`run_many`)."""
+        budget = self._effective_budget(budget)
+        tracker = budget.start() if budget is not None else None
+        depth_cap = (
+            budget.max_depth
+            if budget is not None and budget.allow_downgrade
+            else None
+        )
+        prepared = self.prepare(
+            cypher_text, self.dialect_of(name), opt_level=opt_level,
+            depth_cap=depth_cap,
+        )
+        pool = self._pool(name)
+        try:
+            return (
+                self._run_prepared(pool, name, cypher_text, prepared, tracker),
+                prepared,
+            )
+        except QueryBudgetExceeded as error:
+            assert budget is not None and tracker is not None
+            downgradable = (
+                budget.allow_downgrade
+                and prepared.plan is not None
+                and any(
+                    traversal.choice == "unrolled"
+                    for traversal in prepared.plan.traversals
+                )
+            )
+            if not downgradable:
+                raise
+            # Downgrade: the unrolled join chains blew the budget — re-plan
+            # with the recursive CTE (incremental frontier, far smaller
+            # intermediates) and retry once under the remaining budget.
+            self._budget_downgrades.inc(backend=name)
+            tracker.reset_work()
+            with self._tracer.span(
+                "query.downgrade", backend=name, reason=error.dimension
+            ):
+                downgraded = self.prepare(
+                    cypher_text, self.dialect_of(name), opt_level=opt_level,
+                    force_recursive=True, depth_cap=depth_cap,
+                )
+                try:
+                    return (
+                        self._run_prepared(
+                            pool, name, cypher_text, downgraded, tracker
+                        ),
+                        downgraded,
+                    )
+                except QueryBudgetExceeded as final:
+                    final.attempted_downgrade = True
+                    raise
+
+    def _run_prepared(
+        self,
+        pool: ConnectionPool,
+        name: str,
+        cypher_text: str,
+        prepared: PreparedQuery,
+        tracker: BudgetTracker | None,
+    ) -> Table:
+        """One plan's pooled execution: breaker gate, checkout (bounded by
+        the budget's remaining time), engine guards, damage-aware checkin,
+        and bounded backoff retry when the member turns out to be dead."""
+        breaker = self.breaker(name)
+        retry = self.retry_policy
+        attempt = 1
+        while True:
+            if tracker is not None:
+                tracker.check_timeout(stage="service")
+            try:
+                breaker.allow()
+            except CircuitOpen:
+                self._breaker_rejections.inc(backend=name)
+                raise
+            try:
+                member = pool.checkout(
+                    timeout=None if tracker is None else tracker.remaining_seconds()
+                )
+            except (PoolClosed, PoolTimeout):
+                raise  # pool congestion is not engine failure: no breaker charge
+            except Exception:
+                # Spawning a member failed — the engine refused a fresh
+                # connection, which is exactly what the breaker watches.
+                breaker.record_failure()
+                if retry.should_retry(attempt):
+                    self._query_retries.inc(backend=name)
+                    self._retry_sleep(retry.delay_for(attempt))
+                    attempt += 1
+                    continue
+                raise
+            try:
+                with self._tracer.span("execute", backend=name) as exec_span:
+                    start = time.perf_counter()
+                    # budget= only when bounded: keeps stubbed/monkeypatched
+                    # engines with the pre-budget signature working.
+                    result = (
+                        member.execute(prepared.sql_text)
+                        if tracker is None
+                        else member.execute(prepared.sql_text, budget=tracker)
+                    )
+                    elapsed = time.perf_counter() - start
+                    exec_span.set("rows", len(result.rows))
+            except QueryBudgetExceeded as error:
+                # The guard aborted the statement, not the connection —
+                # validate on checkin so the member rejoins the idle set
+                # (never poisons the pool) and the engine is not blamed.
+                pool.checkin(member, damaged=True)
+                breaker.record_success()
+                self._budget_exceeded.inc(backend=name, dimension=error.dimension)
+                raise error.annotate(backend=name, cypher_text=cypher_text)
+            except Exception:
+                retained = pool.checkin(member, damaged=True)
+                if retained:
+                    # The member is alive: a genuine query error, not a
+                    # transient engine fault — retrying cannot help.
+                    raise
+                breaker.record_failure()
+                if retry.should_retry(attempt) and not (
+                    tracker is not None and tracker.timed_out()
+                ):
+                    self._query_retries.inc(backend=name)
+                    self._retry_sleep(retry.delay_for(attempt))
+                    attempt += 1
+                    continue
+                raise
+            else:
+                pool.checkin(member)
+                breaker.record_success()
+                self._record(cypher_text, elapsed, backend=name)
+                return result
 
     def run_many(
         self,
@@ -489,6 +721,7 @@ class GraphitiService:
         workers: int = 4,
         backend: str | None = None,
         opt_level: int | None = None,
+        budget: QueryBudget | None = None,
     ) -> list[Table]:
         """Execute a batch of Cypher texts concurrently; results in order.
 
@@ -497,6 +730,11 @@ class GraphitiService:
         smaller).  Transpilation happens up front on the calling thread —
         it is cached and GIL-bound anyway — so worker time is pure engine
         execution.  ``results[i]`` is the table for ``cypher_texts[i]``.
+
+        *budget* applies per query, not to the batch: each query gets its
+        own fresh tracker, and one query exceeding its budget fails the
+        batch (the exception propagates) without affecting members serving
+        the others.
         """
         texts = list(cypher_texts)
         if not texts:
@@ -507,11 +745,15 @@ class GraphitiService:
             "query.batch", backend=name, queries=len(texts), workers=workers
         ) as batch_span:
             dialect = self.dialect_of(name)
-            prepared = {
-                text: self.prepare(text, dialect, opt_level=opt_level)
-                for text in dict.fromkeys(texts)  # each distinct text once
-            }
-            pool = self._pool(name, min_capacity=workers)
+            effective = self._effective_budget(budget)
+            depth_cap = (
+                effective.max_depth
+                if effective is not None and effective.allow_downgrade
+                else None
+            )
+            for text in dict.fromkeys(texts):  # warm the cache: each once
+                self.prepare(text, dialect, opt_level=opt_level, depth_cap=depth_cap)
+            self._pool(name, min_capacity=workers)
             results: list[Table | None] = [None] * len(texts)
 
             def execute_one(index: int) -> None:
@@ -524,14 +766,9 @@ class GraphitiService:
                 with self._tracer.span(
                     "query", parent=batch_span, backend=name, index=index
                 ) as span:
-                    with pool.connection() as engine:
-                        with self._tracer.span("execute", backend=name) as exec_span:
-                            start = time.perf_counter()
-                            results[index] = engine.execute(prepared[text].sql_text)
-                            elapsed = time.perf_counter() - start
-                            exec_span.set("rows", len(results[index].rows))
-                        self._record(text, elapsed, backend=name)
-                    span.set("rows", len(results[index].rows))
+                    table, _ = self._serve(text, name, opt_level, budget)
+                    results[index] = table
+                    span.set("rows", len(table.rows))
 
             if workers == 1:
                 for index in range(len(texts)):
@@ -543,10 +780,25 @@ class GraphitiService:
         assert all(table is not None for table in results)
         return results  # type: ignore[return-value]
 
-    def reference(self, cypher_text: str, opt_level: int | None = None) -> Table:
-        """The reference bag-semantics evaluation of the transpiled query."""
+    def reference(
+        self,
+        cypher_text: str,
+        opt_level: int | None = None,
+        budget: QueryBudget | None = None,
+    ) -> Table:
+        """The reference bag-semantics evaluation of the transpiled query.
+
+        *budget* (default: the service's ``default_budget``) bounds the
+        evaluator's rows, fixpoint depth, and wall clock — the reference
+        layer never downgrades plans; it raises directly.
+        """
         prepared = self.prepare(cypher_text, opt_level=opt_level)
-        return evaluate_sql(prepared.sql_ast, self._database)
+        effective = self._effective_budget(budget)
+        try:
+            return evaluate_sql(prepared.sql_ast, self._database, budget=effective)
+        except QueryBudgetExceeded as error:
+            self._budget_exceeded.inc(backend="reference", dimension=error.dimension)
+            raise error.annotate(backend="reference", cypher_text=cypher_text)
 
     def explain(
         self,
@@ -697,6 +949,7 @@ class GraphitiService:
                     stats=self._stats,
                     registry=self._registry,
                     tracer=self._tracer,
+                    validate_on_checkout=self.validate_on_checkout,
                 )
                 self._pools[name] = pool
             elif pool.capacity < min_capacity:

@@ -26,12 +26,45 @@ from __future__ import annotations
 import os
 import sqlite3
 import tempfile
+import time
 
+from repro.common.budget import BudgetTracker
 from repro.relational.schema import RelationalSchema
 from repro.sql.dialect import SQLITE
 
 from repro.backends.base import DbApiBackend, ExecutionBackend
 from repro.backends.registry import register_backend
+
+
+class _ProgressDeadlineGuard:
+    """A sqlite progress-handler deadline: aborts the running statement
+    once the wall clock passes the budget's deadline.
+
+    SQLite calls the handler every ``_OPS_INTERVAL`` virtual-machine
+    instructions; returning non-zero aborts the statement with
+    ``OperationalError: interrupted`` — the *statement*, not the
+    connection, which stays fully usable (this is what keeps a tripped
+    budget from poisoning the pool member).
+    """
+
+    #: VM instructions between clock checks — coarse enough to stay under
+    #: the guard-overhead budget, fine enough for sub-millisecond response.
+    _OPS_INTERVAL = 4000
+
+    def __init__(self, connection: sqlite3.Connection, deadline: float) -> None:
+        self.tripped = False
+        self._connection = connection
+        self._deadline = deadline
+        connection.set_progress_handler(self._tick, self._OPS_INTERVAL)
+
+    def _tick(self) -> int:
+        if time.monotonic() > self._deadline:
+            self.tripped = True
+            return 1
+        return 0
+
+    def cancel(self) -> None:
+        self._connection.set_progress_handler(None, 0)
 
 
 class _SqliteBackend(DbApiBackend):
@@ -47,6 +80,12 @@ class _SqliteBackend(DbApiBackend):
         # between worker threads (never concurrently — the pool serialises
         # checkout/checkin), which the default same-thread guard would veto.
         return sqlite3.connect(self._database_path(), check_same_thread=False)
+
+    def _install_budget_guard(self, tracker: BudgetTracker):
+        deadline = tracker.deadline()
+        if deadline is None:
+            return None
+        return _ProgressDeadlineGuard(self.connection, deadline)
 
 
 @register_backend

@@ -402,6 +402,90 @@ def measure_tracing_overhead(
 
 
 # ---------------------------------------------------------------------------
+# satellite: resource-guard overhead (budgets + checkout validation)
+# ---------------------------------------------------------------------------
+
+#: QPS regression allowed with budgets and checkout validation on (percent).
+GUARD_BUDGET_PCT = 5.0
+
+
+def measure_guard_overhead(
+    rows_per_table: int = 1000,
+    batch_size: int = 40,
+    repeats: int = 20,
+    backend: str = "sqlite-memory",
+    seed: int = 42,
+) -> dict:
+    """Guarded-vs-unguarded serving QPS (the resource-guard budget).
+
+    Same equal-sample interleaved discipline as
+    :func:`measure_tracing_overhead`.  The guarded lane runs every query
+    under a *generous* :class:`~repro.common.budget.QueryBudget` —
+    engaging the budgeted fetch loop, the engine deadline guard, and the
+    budget bookkeeping without ever tripping — with checkout liveness
+    validation on; the unguarded lane turns validation off and passes no
+    budget (the pre-budget fast path).  The half-lane spread of the
+    unguarded samples bounds host noise, as before.
+    """
+    from repro.common.budget import QueryBudget
+
+    generous = QueryBudget(max_rows=1_000_000_000, timeout_seconds=3600.0)
+    batch = build_batch(batch_size)
+    with GraphitiService(SOCIAL.graph_schema) as service:
+        service.load_mock(rows_per_table, seed=seed)
+        service.warm_pool(backend, 1)
+        pool = service.pool(backend)
+        service.run_many(batch, workers=1, backend=backend)  # warm the caches
+
+        def unguarded_batch() -> float:
+            pool.validate_on_checkout = False
+            try:
+                start = time.perf_counter()
+                service.run_many(batch, workers=1, backend=backend)
+                return time.perf_counter() - start
+            finally:
+                pool.validate_on_checkout = True
+
+        def guarded_batch() -> float:
+            start = time.perf_counter()
+            service.run_many(batch, workers=1, backend=backend, budget=generous)
+            return time.perf_counter() - start
+
+        plain_times: list[float] = []
+        guarded_times: list[float] = []
+        for round_index in range(repeats):
+            if round_index % 2 == 0:
+                plain_times.append(unguarded_batch())
+                guarded_times.append(guarded_batch())
+            else:
+                guarded_times.append(guarded_batch())
+                plain_times.append(unguarded_batch())
+    plain_first = len(batch) / min(plain_times[0::2])
+    plain_second = len(batch) / min(plain_times[1::2])
+    guarded = len(batch) / min(guarded_times)
+    baseline = len(batch) / min(plain_times)
+    spread = (
+        abs(plain_first - plain_second) / max(plain_first, plain_second) * 100.0
+        if plain_first and plain_second
+        else 0.0
+    )
+    overhead = (baseline - guarded) / baseline * 100.0 if baseline else 0.0
+    return {
+        "backend": backend,
+        "rows_per_table": rows_per_table,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "unguarded_qps_first": round(plain_first, 1),
+        "unguarded_qps_second": round(plain_second, 1),
+        "unguarded_spread_pct": round(spread, 2),
+        "guarded_qps": round(guarded, 1),
+        "guarded_overhead_pct": round(overhead, 2),
+        "budget_pct": GUARD_BUDGET_PCT,
+        "within_budget": overhead <= GUARD_BUDGET_PCT,
+    }
+
+
+# ---------------------------------------------------------------------------
 # satellite: single-transaction bulk load vs commit-per-batch
 # ---------------------------------------------------------------------------
 
@@ -599,6 +683,11 @@ def run_bench(
             batch_size=batch_size,
             seed=seed,
         ),
+        "guard_overhead": measure_guard_overhead(
+            rows_per_table=min(rows_per_table, 1000),
+            batch_size=batch_size,
+            seed=seed,
+        ),
         "persistent_cache": {
             "this_run": run_cache_stats,
             "cross_service_demo": persistent_cache_demo(cache_path),
@@ -649,6 +738,15 @@ def format_report(report: dict) -> list[str]:
             f"(noise ±{tracing['noop_spread_pct']:.2f}%, "
             f"budget {tracing['budget_pct']:.0f}%: "
             f"{'ok' if tracing['within_budget'] else 'OVER'})"
+        )
+    guards = report.get("guard_overhead")
+    if guards:
+        lines.append(
+            f"guard overhead ({guards['backend']}): "
+            f"{guards['guarded_overhead_pct']:+.2f}% guarded "
+            f"(noise ±{guards['unguarded_spread_pct']:.2f}%, "
+            f"budget {guards['budget_pct']:.0f}%: "
+            f"{'ok' if guards['within_budget'] else 'OVER'})"
         )
     cache = report["persistent_cache"]
     lines.append(

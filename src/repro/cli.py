@@ -239,6 +239,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the on-disk transpilation cache (cross-process reuse)",
     )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock budget; overruns abort the statement "
+        "in-engine and fail with structured diagnostics",
+    )
+    run_parser.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        dest="max_rows",
+        metavar="N",
+        help="per-query produced-row budget",
+    )
+    run_parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        dest="max_depth",
+        metavar="N",
+        help="per-query traversal depth budget (variable-length paths are "
+        "re-planned with the cap before execution)",
+    )
 
     explain_parser = subparsers.add_parser(
         "explain",
@@ -388,10 +413,22 @@ def _command_transpile(arguments) -> int:
 
 def _command_run(arguments) -> int:
     from repro.backends import BackendUnavailable, GraphitiService
+    from repro.common.budget import QueryBudget, QueryBudgetExceeded
     from repro.common.errors import GraphitiError
 
     schema = _load_graph_schema(arguments)
     queries = list(arguments.cyphers)
+    budget = None
+    if (
+        arguments.timeout is not None
+        or arguments.max_rows is not None
+        or arguments.max_depth is not None
+    ):
+        budget = QueryBudget(
+            max_rows=arguments.max_rows,
+            max_depth=arguments.max_depth,
+            timeout_seconds=arguments.timeout,
+        )
     if arguments.async_workers > 0 and arguments.workers != 1:
         raise SystemExit(
             "--workers and --async-workers are mutually exclusive: pick the "
@@ -420,10 +457,17 @@ def _command_run(arguments) -> int:
                     print()
             start = time.perf_counter()
             if async_workers:
-                results = _run_batch_async(service, queries, async_workers)
+                results = _run_batch_async(
+                    service, queries, async_workers, budget=budget
+                )
             else:
-                results = service.run_many(queries, workers=workers)
+                results = service.run_many(queries, workers=workers, budget=budget)
             seconds = time.perf_counter() - start
+        except QueryBudgetExceeded as error:
+            print(f"query budget exceeded: {error}", file=sys.stderr)
+            for key, value in error.diagnostics().items():
+                print(f"  {key}: {value}", file=sys.stderr)
+            return 2
         except (BackendUnavailable, GraphitiError) as error:
             raise SystemExit(str(error))
         for index, result in enumerate(results):
@@ -480,7 +524,9 @@ def _command_explain(arguments) -> int:
     return 0
 
 
-def _run_batch_async(service, queries: list[str], concurrency: int) -> list:
+def _run_batch_async(
+    service, queries: list[str], concurrency: int, budget=None
+) -> list:
     """Drive *queries* through the asyncio serving layer (``--async-workers``)."""
     import asyncio
 
@@ -490,7 +536,9 @@ def _run_batch_async(service, queries: list[str], concurrency: int) -> list:
         async with AsyncGraphitiService(
             service, max_concurrency=concurrency
         ) as async_service:
-            return await async_service.run_many(queries, concurrency=concurrency)
+            return await async_service.run_many(
+                queries, concurrency=concurrency, budget=budget
+            )
 
     return asyncio.run(drive())
 

@@ -72,6 +72,8 @@ def optimize(
     schema: "RelationalSchema | None" = None,
     stats: "DatabaseStats | None" = None,
     report: "object | None" = None,
+    force_recursive: bool = False,
+    depth_cap: "int | None" = None,
 ) -> ast.Query:
     """Optimize *query* at *level* (see the module docstring).
 
@@ -83,11 +85,22 @@ def optimize(
     level-2 passes fill with their decisions (recursive-vs-unrolled
     traversal choices, join orders, hoisted CTEs, the final cardinality
     estimate) — the introspection seam ``repro explain`` renders.
+
+    The serving layer's query budgets reach the planner through two knobs:
+    *force_recursive* keeps every traversal fixpoint as a recursive CTE
+    (the downgrade retried after an unrolled plan blew its budget), and
+    *depth_cap* bounds every fixpoint to that many hops
+    (:func:`~repro.sql.planner.cap_recursions` — applied at every level,
+    since it enforces a budget rather than optimising).
     """
     if level not in OPT_LEVELS:
         raise ValueError(f"unknown optimization level {level!r} (use 0, 1, or 2)")
     if report is not None:
         report.level = level
+    if depth_cap is not None:
+        from repro.sql.planner import cap_recursions
+
+        query = cap_recursions(query, depth_cap, report=report)
     if level == 0:
         return query
     query = _fixpoint(query)
@@ -103,7 +116,9 @@ def optimize(
     )
 
     estimator = CardinalityEstimator(schema, stats)
-    query = expand_recursions(query, estimator, report=report)
+    query = expand_recursions(
+        query, estimator, report=report, force_recursive=force_recursive
+    )
     query = _fixpoint(query)
     query = plan_joins(query, schema, estimator, report=report)
     query = _fixpoint(query)

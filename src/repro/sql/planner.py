@@ -463,6 +463,7 @@ def expand_recursions(
     query: ast.Query,
     estimator: CardinalityEstimator,
     report: PlanReport | None = None,
+    force_recursive: bool = False,
 ) -> ast.Query:
     """Rewrite cheap bounded traversal fixpoints into unrolled join chains.
 
@@ -477,7 +478,80 @@ def expand_recursions(
     :data:`UNROLL_ROW_LIMIT` (statistics-driven; generous defaults apply
     when no statistics were collected).  Open upper bounds always keep the
     recursive CTE.
+
+    *force_recursive* keeps every fixpoint as a recursive CTE regardless of
+    cost — the serving layer's budget downgrade: an unrolled plan whose
+    join chains blew a query budget is re-planned this way, trading the
+    engine-friendly shape for the fixpoint's incremental frontier.
     """
+
+    def visit(rebuilt: ast.RecursiveQuery) -> ast.Query:
+        if force_recursive:
+            unrolled: ast.Query | None = None
+            reason, estimate = "forced recursive (budget downgrade)", None
+        else:
+            unrolled, reason, estimate = _unroll_reach(rebuilt, estimator)
+        if report is not None and rebuilt.reach is not None:
+            report.traversals.append(
+                TraversalPlan(
+                    name=rebuilt.name,
+                    choice="unrolled" if unrolled is not None else "recursive",
+                    min_hops=rebuilt.reach.min_hops,
+                    max_hops=rebuilt.reach.max_hops,
+                    estimated_rows=estimate,
+                    reason=reason,
+                )
+            )
+        return unrolled if unrolled is not None else rebuilt
+
+    return _rewrite_recursions(query, visit)
+
+
+def cap_recursions(
+    query: ast.Query,
+    depth_cap: int,
+    report: PlanReport | None = None,
+) -> ast.Query:
+    """Bound every traversal fixpoint to walks of at most *depth_cap* hops.
+
+    The budget enforcement of ``QueryBudget.max_depth`` for engine
+    execution: a traversal whose upper hop bound is open (or above the
+    cap) is rebuilt with a bounded step — honest depth increments and a
+    ``depth < cap`` extension predicate — so the engine's recursive CTE
+    stops at the cap instead of saturating the full reachable set.  For an
+    open-bound traversal this *restricts* the result to endpoints
+    reachable within the cap (the documented lossy downgrade: bounded
+    answers instead of unbounded work); for a bounded one above the cap it
+    is the same restriction.  Only the canonical transpiler step shape is
+    rewritten — anything else is left untouched (always safe).
+    """
+
+    def visit(rebuilt: ast.RecursiveQuery) -> ast.Query:
+        capped, reason = _cap_reach(rebuilt, depth_cap)
+        if capped is not None and report is not None and rebuilt.reach is not None:
+            report.traversals.append(
+                TraversalPlan(
+                    name=rebuilt.name,
+                    choice="depth-capped",
+                    min_hops=rebuilt.reach.min_hops,
+                    max_hops=depth_cap,
+                    estimated_rows=None,
+                    reason=reason,
+                )
+            )
+        return capped if capped is not None else rebuilt
+
+    return _rewrite_recursions(query, visit)
+
+
+def _rewrite_recursions(
+    query: ast.Query,
+    visit,
+) -> ast.Query:
+    """Apply *visit* to every :class:`~repro.sql.ast.RecursiveQuery` in
+    *query* (children already rewritten), rebuilding the tree around the
+    replacements — the traversal skeleton shared by
+    :func:`expand_recursions` and :func:`cap_recursions`."""
 
     def walk_query(node: ast.Query) -> ast.Query:
         if isinstance(node, ast.RecursiveQuery):
@@ -490,19 +564,7 @@ def expand_recursions(
                 node.union_all,
                 node.reach,
             )
-            unrolled, reason, estimate = _unroll_reach(rebuilt, estimator)
-            if report is not None and rebuilt.reach is not None:
-                report.traversals.append(
-                    TraversalPlan(
-                        name=rebuilt.name,
-                        choice="unrolled" if unrolled is not None else "recursive",
-                        min_hops=rebuilt.reach.min_hops,
-                        max_hops=rebuilt.reach.max_hops,
-                        estimated_rows=estimate,
-                        reason=reason,
-                    )
-                )
-            return unrolled if unrolled is not None else rebuilt
+            return visit(rebuilt)
         return ast.map_children(node, walk_query, walk_predicate)
 
     def walk_predicate(predicate: ast.Predicate) -> ast.Predicate:
@@ -521,6 +583,72 @@ def expand_recursions(
         return predicate
 
     return walk_query(query)
+
+
+def _cap_reach(
+    node: ast.RecursiveQuery, depth_cap: int
+) -> tuple[ast.Query | None, str]:
+    """A depth-capped rebuild of *node* (or ``None`` to leave it alone),
+    with the reason either way."""
+    from dataclasses import replace as dc_replace
+
+    info = node.reach
+    if info is None:
+        return None, "no traversal metadata"
+    if info.max_hops is not None and info.max_hops <= depth_cap:
+        return None, f"already bounded at {info.max_hops} <= cap {depth_cap}"
+    if len(node.columns) != 3:
+        return None, "no depth column"
+    step = node.step
+    if not (isinstance(step, ast.Projection) and isinstance(step.query, ast.Join)):
+        return None, "unrecognised step shape"
+    join = step.query
+    if not (
+        isinstance(join.left, ast.Renaming)
+        and isinstance(join.left.query, ast.Relation)
+        and join.left.query.name == node.name
+        and isinstance(join.right, ast.Renaming)
+        and isinstance(join.right.query, ast.Relation)
+    ):
+        return None, "unrecognised step shape"
+    walker, stepper = join.left.name, join.right.name
+    hop_relation = join.right.query.name
+    source, target, depth = node.columns
+    depth_ref = ast.AttributeRef(f"{walker}.{depth}")
+    # The canonical step, rebuilt bounded: honest +1 depth increments and
+    # a `depth < cap` extension guard (mirrors the transpiler's bounded
+    # branch, with the cap as the upper bound).
+    capped_step = ast.Projection(
+        ast.Join(
+            ast.JoinKind.INNER,
+            ast.Renaming(walker, ast.Relation(node.name)),
+            ast.Renaming(stepper, ast.Relation(hop_relation)),
+            ast.And(
+                ast.Comparison(
+                    "=",
+                    ast.AttributeRef(f"{stepper}.{source}"),
+                    ast.AttributeRef(f"{walker}.{target}"),
+                ),
+                ast.Comparison("<", depth_ref, ast.Literal(depth_cap)),
+            ),
+        ),
+        (
+            ast.OutputColumn(source, ast.AttributeRef(f"{walker}.{source}")),
+            ast.OutputColumn(target, ast.AttributeRef(f"{stepper}.{target}")),
+            ast.OutputColumn(depth, ast.BinaryOp("+", depth_ref, ast.Literal(1))),
+        ),
+    )
+    previous = "open" if info.max_hops is None else str(info.max_hops)
+    capped = ast.RecursiveQuery(
+        node.name,
+        node.columns,
+        node.base,
+        capped_step,
+        node.body,
+        node.union_all,
+        dc_replace(info, max_hops=depth_cap),
+    )
+    return capped, f"budget max_depth={depth_cap} (was {previous})"
 
 
 def _unroll_reach(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, replace
 
 from repro.common import arithmetic
 from repro.common.aggregates import combine, count_rows
+from repro.common.budget import BudgetTracker, QueryBudget, as_tracker
 from repro.common.errors import SemanticsError
 from repro.common.values import (
     NULL,
@@ -68,6 +69,7 @@ class _Context:
     database: Database
     ctes: tuple[tuple[str, Table], ...] = ()
     outer: tuple[_RowScope, ...] = ()
+    budget: BudgetTracker | None = None
 
     def cte(self, name: str) -> Table | None:
         for cte_name, table in reversed(self.ctes):
@@ -82,9 +84,27 @@ class _Context:
         return replace(self, outer=scopes)
 
 
-def evaluate_query(query: ast.Query, database: Database) -> Table:
-    """Evaluate ``⟦Q⟧_D`` — the public entry point."""
-    return _eval(query, _Context(database))
+def evaluate_query(
+    query: ast.Query,
+    database: Database,
+    budget: "QueryBudget | BudgetTracker | None" = None,
+) -> Table:
+    """Evaluate ``⟦Q⟧_D`` — the public entry point.
+
+    *budget* (a :class:`~repro.common.budget.QueryBudget` or an in-flight
+    :class:`~repro.common.budget.BudgetTracker`) bounds the semi-naive
+    fixpoint: rounds charge recursion depth, admitted rows charge the row
+    limit, and the wall clock is checked per round.  Exceeding any limit
+    raises :class:`~repro.common.budget.QueryBudgetExceeded` with
+    partial-progress diagnostics.  The final result is charged against the
+    row limit too, so non-recursive queries are bounded as well.
+    """
+    tracker = as_tracker(budget)
+    result = _eval(query, _Context(database, budget=tracker))
+    if tracker is not None:
+        tracker.charge_rows(len(result.rows), stage="reference")
+        tracker.check_timeout(stage="reference")
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -275,7 +295,10 @@ def _eval_recursive(query: ast.RecursiveQuery, ctx: _Context) -> Table:
             fresh.append(row)
         return fresh
 
+    tracker = ctx.budget
     frontier = admit(list(base.rows))
+    if tracker is not None:
+        tracker.charge_rows(len(frontier), stage="fixpoint")
     rounds = 0
     while frontier:
         rounds += 1
@@ -284,6 +307,9 @@ def _eval_recursive(query: ast.RecursiveQuery, ctx: _Context) -> Table:
                 f"recursive CTE {query.name!r} exceeded the evaluation budget "
                 f"({rounds} rounds, {len(accumulated)} rows) — diverging recursion?"
             )
+        if tracker is not None:
+            tracker.charge_depth(rounds, stage="fixpoint")
+            tracker.check_timeout(stage="fixpoint")
         delta = Table(query.columns, frontier)
         produced = _eval(query.step, ctx.with_cte(query.name, delta))
         if len(produced.attributes) != len(query.columns):
@@ -292,6 +318,8 @@ def _eval_recursive(query: ast.RecursiveQuery, ctx: _Context) -> Table:
                 f"but its recursive step produces {len(produced.attributes)}"
             )
         frontier = admit(list(produced.rows))
+        if tracker is not None:
+            tracker.charge_rows(len(frontier), stage="fixpoint")
     fixpoint = Table(query.columns, accumulated)
     return _eval(query.body, ctx.with_cte(query.name, fixpoint))
 

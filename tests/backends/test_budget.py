@@ -1,0 +1,234 @@
+"""Query budgets: structured limits on rows, depth, and wall clock.
+
+Covers the whole enforcement stack: the :class:`QueryBudget` contract,
+the reference evaluator's fixpoint accounting, the engine-level guards
+(row cap via batched fetch, sqlite progress-handler deadline), the
+service's downgrade-then-raise discipline, and the invariant that a
+budget abort never poisons the pool.
+"""
+
+import time
+
+import pytest
+
+from repro.backends import GraphitiService, QueryBudget, QueryBudgetExceeded
+from repro.common.budget import BudgetTracker, as_tracker
+from repro.graph.schema import EdgeType, GraphSchema, NodeType
+from repro.sql.semantics import evaluate_query
+
+
+@pytest.fixture
+def social_schema() -> GraphSchema:
+    return GraphSchema.of(
+        [NodeType("USER", ("uid",))],
+        [EdgeType("FOLLOWS", "USER", "USER", ("fid",))],
+    )
+
+
+@pytest.fixture
+def service(social_schema):
+    with GraphitiService(social_schema) as svc:
+        svc.load_mock(40, seed=5)
+        yield svc
+
+
+SCAN = "MATCH (a:USER) RETURN a.uid"
+HOPS = "MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER) RETURN a.uid, b.uid"
+OPEN = "MATCH (a:USER)-[:FOLLOWS*]->(b:USER) RETURN a.uid, b.uid"
+
+
+class TestQueryBudgetContract:
+    def test_rejects_non_positive_limits(self):
+        with pytest.raises(ValueError):
+            QueryBudget(max_rows=0)
+        with pytest.raises(ValueError):
+            QueryBudget(max_depth=-1)
+        with pytest.raises(ValueError):
+            QueryBudget(timeout_seconds=0.0)
+
+    def test_unlimited_budget_produces_no_tracker(self):
+        assert QueryBudget().unlimited
+        assert as_tracker(QueryBudget()) is None
+        assert as_tracker(None) is None
+
+    def test_tracker_passthrough_and_start(self):
+        tracker = QueryBudget(max_rows=10).start()
+        assert isinstance(tracker, BudgetTracker)
+        assert as_tracker(tracker) is tracker
+
+    def test_charge_rows_accumulates_and_trips(self):
+        tracker = QueryBudget(max_rows=5).start()
+        tracker.charge_rows(3, stage="engine")
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            tracker.charge_rows(3, stage="engine")
+        error = exc.value
+        assert error.dimension == "rows"
+        assert error.limit == 5
+        assert error.rows_produced == 6
+        assert error.stage == "engine"
+
+    def test_reset_work_keeps_the_clock(self):
+        clock = [100.0]
+        tracker = QueryBudget(max_rows=5, timeout_seconds=10.0).start(
+            clock=lambda: clock[0]
+        )
+        tracker.charge_rows(4, stage="engine")
+        clock[0] = 103.0
+        tracker.reset_work()
+        assert tracker.rows_produced == 0
+        assert tracker.remaining_seconds() == pytest.approx(7.0)
+
+    def test_timeout_diagnostics(self):
+        clock = [0.0]
+        tracker = QueryBudget(timeout_seconds=1.0).start(clock=lambda: clock[0])
+        clock[0] = 2.5
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            tracker.check_timeout(stage="fixpoint")
+        assert exc.value.dimension == "timeout"
+        assert exc.value.elapsed_seconds == pytest.approx(2.5)
+
+
+class TestReferenceEvaluatorBudgets:
+    def test_row_budget_bounds_non_recursive_results(self, service):
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            service.reference(SCAN, budget=QueryBudget(max_rows=2))
+        assert exc.value.dimension == "rows"
+        assert exc.value.backend == "reference"
+
+    def test_depth_budget_bounds_the_fixpoint(self, service):
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            service.reference(OPEN, budget=QueryBudget(max_depth=1))
+        error = exc.value
+        assert error.dimension == "depth"
+        assert error.depth_reached is not None and error.depth_reached > 1
+
+    def test_generous_budget_matches_unbudgeted_result(self, service):
+        free = service.reference(HOPS)
+        bounded = service.reference(
+            HOPS, budget=QueryBudget(max_rows=10_000, timeout_seconds=60.0)
+        )
+        assert sorted(free.rows) == sorted(bounded.rows)
+
+    def test_evaluate_query_accepts_budget_directly(self, service):
+        prepared = service.prepare(SCAN)
+        with pytest.raises(QueryBudgetExceeded):
+            evaluate_query(
+                prepared.sql_ast, service.database, budget=QueryBudget(max_rows=1)
+            )
+
+
+class TestEngineBudgets:
+    def test_row_budget_trips_in_engine(self, service):
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            service.run(SCAN, budget=QueryBudget(max_rows=3, allow_downgrade=False))
+        error = exc.value
+        assert error.dimension == "rows"
+        assert error.stage == "engine"
+        assert error.backend == "sqlite-memory"
+        assert error.cypher_text == SCAN
+        assert not error.attempted_downgrade
+
+    def test_budget_metrics_count_by_dimension(self, service):
+        with pytest.raises(QueryBudgetExceeded):
+            service.run(SCAN, budget=QueryBudget(max_rows=3, allow_downgrade=False))
+        counter = service.metrics.counter("repro_budget_exceeded_total")
+        assert counter.value(backend="sqlite-memory", dimension="rows") == 1
+
+    def test_generous_budget_leaves_results_untouched(self, service):
+        free = service.run(HOPS)
+        bounded = service.run(
+            HOPS, budget=QueryBudget(max_rows=100_000, timeout_seconds=60.0)
+        )
+        assert sorted(free.rows) == sorted(bounded.rows)
+
+    def test_pool_member_survives_budget_abort(self, service):
+        with pytest.raises(QueryBudgetExceeded):
+            service.run(SCAN, budget=QueryBudget(max_rows=1, allow_downgrade=False))
+        # The same pool serves the next query: the abort damaged nothing.
+        assert len(service.run(SCAN).rows) == 40
+        snapshot = service.pool_snapshots()["sqlite-memory"]
+        assert snapshot["in_use"] == 0
+        assert snapshot["idle"] >= 1
+        assert service.metrics.counter("repro_pool_evictions_total").total() == 0
+
+    def test_sqlite_deadline_interrupts_runaway_statement(self, social_schema):
+        # A cross-join pyramid whose full evaluation takes far longer than
+        # the budget: the progress handler must abort it mid-statement.
+        with GraphitiService(social_schema) as svc:
+            svc.load_mock(400, seed=5)
+            slow = (
+                "MATCH (a:USER), (b:USER), (c:USER), (d:USER) "
+                "RETURN count(*) AS n"
+            )
+            started = time.perf_counter()
+            with pytest.raises(QueryBudgetExceeded) as exc:
+                svc.run(slow, budget=QueryBudget(timeout_seconds=0.2))
+            elapsed = time.perf_counter() - started
+            assert exc.value.dimension == "timeout"
+            assert exc.value.stage == "engine"
+            assert elapsed < 10.0  # aborted, not run to completion
+            # The interrupt killed the statement, not the connection.
+            assert len(svc.run(SCAN).rows) == 400
+
+    def test_default_budget_applies_to_every_run(self, social_schema):
+        with GraphitiService(
+            social_schema, default_budget=QueryBudget(max_rows=3)
+        ) as svc:
+            svc.load_mock(40, seed=5)
+            with pytest.raises(QueryBudgetExceeded):
+                svc.run(SCAN)
+            # A per-call budget overrides the default.
+            generous = svc.run(SCAN, budget=QueryBudget(max_rows=10_000))
+            assert len(generous.rows) == 40
+
+    def test_run_many_budgets_each_query_separately(self, service):
+        # Each query gets its own fresh tracker: the first queries must not
+        # consume the budget of later ones.
+        tables = service.run_many(
+            [SCAN] * 4, workers=2, budget=QueryBudget(max_rows=50)
+        )
+        assert [len(t.rows) for t in tables] == [40, 40, 40, 40]
+        with pytest.raises(QueryBudgetExceeded):
+            service.run_many([SCAN] * 2, workers=2, budget=QueryBudget(max_rows=30))
+
+
+class TestDowngrade:
+    def test_unrolled_plan_downgrades_to_recursive_then_raises(self, service):
+        prepared = service.prepare(HOPS, service.dialect_of("sqlite-memory"))
+        assert [t.choice for t in prepared.plan.traversals] == ["unrolled"]
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            service.run(HOPS, budget=QueryBudget(max_rows=1))
+        assert exc.value.attempted_downgrade
+        counter = service.metrics.counter("repro_budget_downgrades_total")
+        assert counter.value(backend="sqlite-memory") == 1
+
+    def test_downgrade_disabled_raises_immediately(self, service):
+        with pytest.raises(QueryBudgetExceeded) as exc:
+            service.run(HOPS, budget=QueryBudget(max_rows=1, allow_downgrade=False))
+        assert not exc.value.attempted_downgrade
+        counter = service.metrics.counter("repro_budget_downgrades_total")
+        assert counter.value(backend="sqlite-memory") == 0
+
+    def test_depth_cap_restricts_traversal_to_shorter_walks(self, service):
+        capped = service.run(HOPS, budget=QueryBudget(max_depth=1))
+        one_hop = service.run(
+            "MATCH (a:USER)-[:FOLLOWS*1..1]->(b:USER) RETURN a.uid, b.uid"
+        )
+        assert sorted(capped.rows) == sorted(one_hop.rows)
+
+    def test_depth_capped_plan_is_a_distinct_cache_entry(self, service):
+        service.prepare(HOPS, service.dialect_of("sqlite-memory"))
+        before = service.cache_info().currsize
+        service.run(HOPS, budget=QueryBudget(max_depth=1))
+        assert service.cache_info().currsize == before + 1
+        # Re-running with the same cap hits the variant entry.
+        hits = service.cache_info().hits
+        service.run(HOPS, budget=QueryBudget(max_depth=1))
+        assert service.cache_info().hits > hits
+
+    def test_depth_cap_on_open_bound_traversal(self, service):
+        capped = service.run(OPEN, budget=QueryBudget(max_depth=2))
+        two_hop = service.run(
+            "MATCH (a:USER)-[:FOLLOWS*1..2]->(b:USER) RETURN a.uid, b.uid"
+        )
+        assert sorted(set(capped.rows)) == sorted(set(two_hop.rows))
