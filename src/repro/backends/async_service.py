@@ -391,34 +391,52 @@ class AsyncGraphitiService:
             if tracker is not None:
                 tracker.check_timeout(stage="service")
             try:
-                breaker.allow()
+                probe = breaker.allow()
             except CircuitOpen:
                 service._breaker_rejections.inc(backend=name)
                 raise
+            # Everything past allow() must settle the breaker or release
+            # the half-open probe slot, or an exit without a verdict (pool
+            # timeout, task cancellation) wedges the breaker shedding
+            # forever.
             try:
-                result = await self._execute(pool, prepared, name, span, tracker)
-            except QueryBudgetExceeded as error:
-                # The guard aborted the statement, not the engine: the
-                # breaker must not open on a caller's tight budget.
-                breaker.record_success()
-                service._budget_exceeded.inc(backend=name, dimension=error.dimension)
-                raise error.annotate(backend=name, cypher_text=cypher_text)
-            except (PoolClosed, PoolTimeout):
-                raise  # pool congestion is not engine failure
-            except (_MemberLost, _SpawnFailed) as error:
-                breaker.record_failure()
-                if retry.should_retry(attempt) and not (
-                    tracker is not None and tracker.timed_out()
-                ):
-                    service._query_retries.inc(backend=name)
-                    await asyncio.sleep(retry.delay_for(attempt))
-                    attempt += 1
-                    continue
-                cause = error.__cause__
-                raise (cause if cause is not None else error) from None
-            else:
-                breaker.record_success()
-                return result
+                try:
+                    result = await self._execute(
+                        pool, prepared, name, span, tracker
+                    )
+                except QueryBudgetExceeded as error:
+                    # The guard aborted the statement, not the engine: the
+                    # breaker must not open on a caller's tight budget.
+                    breaker.record_success()
+                    service._budget_exceeded.inc(
+                        backend=name, dimension=error.dimension
+                    )
+                    raise error.annotate(backend=name, cypher_text=cypher_text)
+                except (PoolClosed, PoolTimeout):
+                    raise  # pool congestion is not engine failure
+                except (_MemberLost, _SpawnFailed) as error:
+                    breaker.record_failure()
+                    if retry.should_retry(attempt) and not (
+                        tracker is not None and tracker.timed_out()
+                    ):
+                        service._query_retries.inc(backend=name)
+                        await asyncio.sleep(retry.delay_for(attempt))
+                        attempt += 1
+                        continue
+                    cause = error.__cause__
+                    raise (cause if cause is not None else error) from None
+                except Exception:
+                    # A genuine query error on a retained (pinged-healthy)
+                    # member: the connection just proved alive, so the
+                    # breaker records success — it watches engine health,
+                    # not query validity.
+                    breaker.record_success()
+                    raise
+                else:
+                    breaker.record_success()
+                    return result
+            finally:
+                breaker.release_probe(probe)
 
     # -- execution ---------------------------------------------------------
 

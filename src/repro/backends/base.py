@@ -181,8 +181,15 @@ class ExecutionBackend(ABC):
         """Cheap liveness probe: can this backend still run a statement?
 
         Must never open a new connection — a dead member should report
-        dead, not silently resurrect (the pool owns respawn policy).
+        dead, not silently resurrect (the pool owns respawn policy).  The
+        default refuses when no connection is visibly open (a falsy or
+        missing ``connection`` attribute), because :meth:`execute` would
+        otherwise reconnect on the way to the probe statement; subclasses
+        whose connection state lives elsewhere must override this with an
+        equally non-reconnecting check (as :class:`DbApiBackend` does).
         """
+        if getattr(self, "connection", None) is None:
+            return False
         try:
             self.execute("SELECT 1")
         except Exception:

@@ -127,23 +127,34 @@ class CircuitBreaker:
         self._failures = 0
         self._opened_at = 0.0
         self._probing = False
+        self._probe_token = 0
 
     @property
     def state(self) -> str:
         with self._lock:
             return self._state
 
-    def allow(self) -> None:
-        """Admit one call or raise :class:`CircuitOpen` (load shed)."""
+    def allow(self) -> int | None:
+        """Admit one call or raise :class:`CircuitOpen` (load shed).
+
+        Returns a probe token when this call holds the single half-open
+        probe slot (``None`` otherwise).  The holder must settle the probe
+        — :meth:`record_success` or :meth:`record_failure` — or hand the
+        token to :meth:`release_probe` from a ``finally``, so a probe that
+        exits without a verdict (pool timeout, cancellation, a query-level
+        error) frees the slot instead of wedging the breaker HALF_OPEN
+        with every later :meth:`allow` shed forever.
+        """
         with self._lock:
             if self._state == self.CLOSED:
-                return
+                return None
             elapsed = self.clock() - self._opened_at
             if self._state == self.OPEN and elapsed >= self.cooldown_seconds:
                 self._transition(self.HALF_OPEN)
             if self._state == self.HALF_OPEN and not self._probing:
                 self._probing = True  # exactly one concurrent probe
-                return
+                self._probe_token += 1
+                return self._probe_token
             remaining = max(self.cooldown_seconds - elapsed, 0.0)
             raise CircuitOpen(
                 f"circuit for backend {self.backend_name!r} is open after "
@@ -153,6 +164,22 @@ class CircuitBreaker:
                 failures=self._failures,
                 retry_after_seconds=remaining,
             )
+
+    def release_probe(self, token: int | None) -> None:
+        """Free the half-open probe slot if the probe identified by *token*
+        never reached a verdict.
+
+        Safe to call unconditionally from a ``finally``: it is a no-op when
+        *token* is ``None``, after the probe was settled by
+        :meth:`record_success`/:meth:`record_failure`, and when a newer
+        probe holds the slot (the token match keeps a stale release from
+        freeing someone else's probe).
+        """
+        if token is None:
+            return
+        with self._lock:
+            if self._probing and token == self._probe_token:
+                self._probing = False
 
     def record_success(self) -> None:
         with self._lock:

@@ -654,66 +654,79 @@ class GraphitiService:
             if tracker is not None:
                 tracker.check_timeout(stage="service")
             try:
-                breaker.allow()
+                probe = breaker.allow()
             except CircuitOpen:
                 self._breaker_rejections.inc(backend=name)
                 raise
+            # Everything past allow() must settle the breaker or release
+            # the half-open probe slot, or an exit without a verdict (pool
+            # timeout, cancellation) wedges the breaker shedding forever.
             try:
-                member = pool.checkout(
-                    timeout=None if tracker is None else tracker.remaining_seconds()
-                )
-            except (PoolClosed, PoolTimeout):
-                raise  # pool congestion is not engine failure: no breaker charge
-            except Exception:
-                # Spawning a member failed — the engine refused a fresh
-                # connection, which is exactly what the breaker watches.
-                breaker.record_failure()
-                if retry.should_retry(attempt):
-                    self._query_retries.inc(backend=name)
-                    self._retry_sleep(retry.delay_for(attempt))
-                    attempt += 1
-                    continue
-                raise
-            try:
-                with self._tracer.span("execute", backend=name) as exec_span:
-                    start = time.perf_counter()
-                    # budget= only when bounded: keeps stubbed/monkeypatched
-                    # engines with the pre-budget signature working.
-                    result = (
-                        member.execute(prepared.sql_text)
-                        if tracker is None
-                        else member.execute(prepared.sql_text, budget=tracker)
+                try:
+                    member = pool.checkout(
+                        timeout=(
+                            None if tracker is None else tracker.remaining_seconds()
+                        )
                     )
-                    elapsed = time.perf_counter() - start
-                    exec_span.set("rows", len(result.rows))
-            except QueryBudgetExceeded as error:
-                # The guard aborted the statement, not the connection —
-                # validate on checkin so the member rejoins the idle set
-                # (never poisons the pool) and the engine is not blamed.
-                pool.checkin(member, damaged=True)
-                breaker.record_success()
-                self._budget_exceeded.inc(backend=name, dimension=error.dimension)
-                raise error.annotate(backend=name, cypher_text=cypher_text)
-            except Exception:
-                retained = pool.checkin(member, damaged=True)
-                if retained:
-                    # The member is alive: a genuine query error, not a
-                    # transient engine fault — retrying cannot help.
+                except (PoolClosed, PoolTimeout):
+                    raise  # pool congestion is not engine failure: no breaker charge
+                except Exception:
+                    # Spawning a member failed — the engine refused a fresh
+                    # connection, which is exactly what the breaker watches.
+                    breaker.record_failure()
+                    if retry.should_retry(attempt):
+                        self._query_retries.inc(backend=name)
+                        self._retry_sleep(retry.delay_for(attempt))
+                        attempt += 1
+                        continue
                     raise
-                breaker.record_failure()
-                if retry.should_retry(attempt) and not (
-                    tracker is not None and tracker.timed_out()
-                ):
-                    self._query_retries.inc(backend=name)
-                    self._retry_sleep(retry.delay_for(attempt))
-                    attempt += 1
-                    continue
-                raise
-            else:
-                pool.checkin(member)
-                breaker.record_success()
-                self._record(cypher_text, elapsed, backend=name)
-                return result
+                try:
+                    with self._tracer.span("execute", backend=name) as exec_span:
+                        start = time.perf_counter()
+                        # budget= only when bounded: keeps stubbed/monkeypatched
+                        # engines with the pre-budget signature working.
+                        result = (
+                            member.execute(prepared.sql_text)
+                            if tracker is None
+                            else member.execute(prepared.sql_text, budget=tracker)
+                        )
+                        elapsed = time.perf_counter() - start
+                        exec_span.set("rows", len(result.rows))
+                except QueryBudgetExceeded as error:
+                    # The guard aborted the statement, not the connection —
+                    # validate on checkin so the member rejoins the idle set
+                    # (never poisons the pool) and the engine is not blamed.
+                    pool.checkin(member, damaged=True)
+                    breaker.record_success()
+                    self._budget_exceeded.inc(
+                        backend=name, dimension=error.dimension
+                    )
+                    raise error.annotate(backend=name, cypher_text=cypher_text)
+                except Exception:
+                    retained = pool.checkin(member, damaged=True)
+                    if retained:
+                        # The member is alive: a genuine query error, not a
+                        # transient engine fault — retrying cannot help, and
+                        # the connection just proved healthy (the breaker
+                        # watches engine health, not query validity).
+                        breaker.record_success()
+                        raise
+                    breaker.record_failure()
+                    if retry.should_retry(attempt) and not (
+                        tracker is not None and tracker.timed_out()
+                    ):
+                        self._query_retries.inc(backend=name)
+                        self._retry_sleep(retry.delay_for(attempt))
+                        attempt += 1
+                        continue
+                    raise
+                else:
+                    pool.checkin(member)
+                    breaker.record_success()
+                    self._record(cypher_text, elapsed, backend=name)
+                    return result
+            finally:
+                breaker.release_probe(probe)
 
     def run_many(
         self,

@@ -119,10 +119,16 @@ class QueryBudget:
     ``timeout_seconds``
         Wall-clock limit for one query, spanning retries and downgrades.
     ``allow_downgrade``
-        Whether the service may retry a budget-tripped query on a cheaper
-        plan (unrolled traversal re-planned as a recursive CTE) before
-        giving up.  The downgrade never changes results — only the plan
-        shape — so it defaults to on.
+        Whether the service may degrade a budget-pressured query before
+        giving up.  Two distinct mechanisms gate on it: (1) a
+        budget-tripped unrolled traversal is re-planned as a recursive
+        CTE and retried once — result-preserving, only the plan shape
+        changes; (2) when ``max_depth`` is set, open-bound traversals are
+        planned depth-capped from the start, which *truncates* engine
+        answers to paths of at most ``max_depth`` hops (the reference
+        evaluator has no such cap and raises
+        :class:`QueryBudgetExceeded` instead, so the two paths diverge on
+        depth-limited queries).  Defaults to on.
     """
 
     max_rows: int | None = None

@@ -252,6 +252,46 @@ class TestCircuitBreakerUnit:
         breaker.record_failure()
         assert breaker.state == CircuitBreaker.CLOSED
 
+    def test_closed_allow_returns_no_probe_token(self):
+        breaker, _, _ = self.make()
+        assert breaker.allow() is None
+        breaker.release_probe(None)  # no-op by contract
+
+    def test_abandoned_probe_release_frees_the_slot(self):
+        # A probe that exits without a verdict (pool timeout, cancel) must
+        # free the slot from its finally, or the breaker sheds forever.
+        breaker, clock, _ = self.make(failure_threshold=1, cooldown_seconds=1.0)
+        breaker.record_failure()
+        clock[0] = 2.0
+        token = breaker.allow()
+        assert token is not None
+        breaker.release_probe(token)
+        assert breaker.allow() is not None  # a new probe is admitted
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_release_after_settle_is_a_no_op(self):
+        breaker, clock, _ = self.make(failure_threshold=1, cooldown_seconds=1.0)
+        breaker.record_failure()
+        clock[0] = 2.0
+        token = breaker.allow()
+        breaker.record_success()
+        breaker.release_probe(token)  # the finally fires after the verdict
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow() is None  # closed traffic, not a probe
+
+    def test_stale_release_cannot_free_a_newer_probe(self):
+        breaker, clock, _ = self.make(failure_threshold=1, cooldown_seconds=1.0)
+        breaker.record_failure()
+        clock[0] = 2.0
+        stale = breaker.allow()
+        breaker.record_failure()  # probe verdict: still down
+        clock[0] = 4.0
+        fresh = breaker.allow()  # a newer probe now holds the slot
+        assert fresh != stale
+        breaker.release_probe(stale)  # the first probe's late finally
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # the newer probe's slot is still held
+
 
 class TestServiceBreaker:
     def test_repeated_engine_failure_opens_the_circuit(self, social_schema):
@@ -300,6 +340,60 @@ class TestServiceBreaker:
                 assert svc.metrics.counter(
                     "repro_breaker_transitions_total"
                 ).value(backend="faulty", state="closed") == 1
+
+    def test_half_open_probe_query_error_does_not_wedge(self, social_schema):
+        """A genuine query error on a retained member during HALF_OPEN used
+        to leave the probe slot held forever, permanently shedding the
+        backend; the connection proved alive, so the circuit re-closes."""
+        with injected_faults(die_on_executes=(1, 2), error_on_executes=(3,)):
+            with faulty_service(
+                social_schema,
+                retry_policy=NO_RETRY,
+                breaker_threshold=2,
+                breaker_cooldown_seconds=0.05,
+            ) as svc:
+                for _ in range(2):
+                    with pytest.raises(Exception):
+                        svc.run(SCAN)
+                assert svc.breaker("faulty").state == CircuitBreaker.OPEN
+                time.sleep(0.06)
+                with pytest.raises(FaultInjected):
+                    svc.run(SCAN)  # the probe: query error, member retained
+                assert svc.breaker("faulty").state == CircuitBreaker.CLOSED
+                table = svc.run(SCAN)  # served, not shed
+                assert len(table.rows) == 20
+
+    def test_async_half_open_probe_query_error_does_not_wedge(
+        self, social_schema
+    ):
+        with injected_faults(die_on_executes=(1, 2), error_on_executes=(3,)):
+            with faulty_service(
+                social_schema,
+                retry_policy=NO_RETRY,
+                breaker_threshold=2,
+                breaker_cooldown_seconds=0.05,
+            ) as sync_svc:
+
+                async def main():
+                    async with AsyncGraphitiService(sync_svc) as svc:
+                        for _ in range(2):
+                            with pytest.raises(Exception):
+                                await svc.run(SCAN)
+                        assert (
+                            sync_svc.breaker("faulty").state
+                            == CircuitBreaker.OPEN
+                        )
+                        await asyncio.sleep(0.06)
+                        with pytest.raises(FaultInjected):
+                            await svc.run(SCAN)
+                        assert (
+                            sync_svc.breaker("faulty").state
+                            == CircuitBreaker.CLOSED
+                        )
+                        return await svc.run(SCAN)
+
+                table = asyncio.run(main())
+                assert len(table.rows) == 20
 
 
 class TestPoolSelfHealing:
