@@ -1,0 +1,134 @@
+"""Sharding benchmark: scatter-gather QPS vs a single unsharded backend.
+
+Thin entry point over :mod:`repro.backends.shard_bench` (the CLI's
+``repro bench-throughput --shards N`` drives the same harness).  Persists
+the tracked baseline ``BENCH_sharding.json`` at the repo root: QPS and
+per-query p50/p95 for one unsharded baseline and for 2/4/8 hash-partitioned
+shards serving the identical mixed batch (fragment-shaped scans,
+aggregates, DISTINCT, ORDER BY+LIMIT, plus one non-fragmentable join that
+exercises the transparent fallback), with every query bag-equivalence-gated
+against the reference evaluator at every shard count in both the threaded
+and asyncio scatter lanes, and every bench-scale sharded batch checked
+element-wise against the single-backend batch.
+
+Run directly::
+
+    python benchmarks/bench_sharding.py [--rows N] [--batch B] [--quick]
+    python benchmarks/bench_sharding.py --shards 2 --shards 4
+
+or under pytest (asserts the correctness gates; the sharded ≥ single QPS
+bar is only asserted when more than one CPU is actually available — shard
+scatters cannot beat serial on a single time-sliced core)::
+
+    pytest benchmarks/bench_sharding.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.backends.shard_bench import (
+    SHARD_COUNTS,
+    format_report,
+    run_bench,
+)
+from repro.backends.throughput import available_cpus
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_sharding.json"
+
+
+def test_bench_sharding(benchmark, report_rows, tmp_path):
+    report = benchmark.pedantic(
+        run_bench,
+        kwargs={
+            "rows_per_table": 1000,
+            "batch_size": 21,
+            "repeats": 2,
+            "shard_counts": (2, 4),
+            # Keep the committed baseline intact; pytest runs are smoke.
+            "out_path": tmp_path / "BENCH_sharding.json",
+        },
+        iterations=1,
+        rounds=1,
+    )
+    report_rows.extend(format_report(report))
+    summary = report["summary"]
+    assert summary["all_results_valid"]
+    assert summary["all_batches_consistent_with_single"]
+    # The non-fragmentable join must have taken the fallback path — a
+    # bench that never falls back is not exercising the seam.
+    assert summary["fallbacks_exercised"]
+    for entry in report["sharded"]:
+        # Every shard participated in the scatters.
+        assert all(count > 0 for count in entry["per_shard_queries"])
+    if available_cpus() >= 2:
+        # The acceptance bar: scatter-gather at least matches one backend.
+        assert summary["sharded_ge_single"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=2000, help="mock rows per table")
+    parser.add_argument("--batch", type=int, default=42, help="queries per batch")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats")
+    parser.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        dest="shard_counts",
+        help="shard count to measure (repeatable; default: 2, 4, 8)",
+    )
+    parser.add_argument(
+        "--backend", default="sqlite-memory", help="execution backend"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="coordinator batch fan-out"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller batch/repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    arguments = parser.parse_args(argv)
+    from repro.backends import BackendUnavailable
+
+    try:
+        report = _run(arguments)
+    except BackendUnavailable as error:
+        print(error, file=sys.stderr)
+        return 1
+    print("\n".join(format_report(report)))
+    print(f"wrote {arguments.out}")
+    # Exit status reflects correctness only — QPS scaling depends on the
+    # host's core count and must not flake CI smoke runs.
+    summary = report["summary"]
+    failed = not (
+        summary["all_results_valid"]
+        and summary["all_batches_consistent_with_single"]
+    )
+    return 1 if failed else 0
+
+
+def _run(arguments) -> dict:
+    shard_counts = (
+        tuple(arguments.shard_counts) if arguments.shard_counts else SHARD_COUNTS
+    )
+    if arguments.quick:
+        shard_counts = tuple(count for count in shard_counts if count <= 4) or (2,)
+    return run_bench(
+        rows_per_table=min(arguments.rows, 800) if arguments.quick else arguments.rows,
+        batch_size=21 if arguments.quick else arguments.batch,
+        repeats=2 if arguments.quick else arguments.repeats,
+        shard_counts=shard_counts,
+        backend=arguments.backend,
+        workers=arguments.workers,
+        out_path=arguments.out,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,11 @@ The subsystem has four layers:
   the asyncio serving layer over the same pools and caches (``await
   run``/``run_many``, semaphore backpressure, executor offload for the
   blocking drivers; sync and async callers coexist on one pool).
+* :mod:`repro.backends.sharding` — :class:`ShardedGraphitiService` /
+  :class:`AsyncShardedGraphitiService`: hash-partitioned horizontal
+  sharding with scatter-gather execution (fragmentable plans fan out to
+  per-shard services and merge at the coordinator; everything else falls
+  back transparently to an unsharded backend).
 * :mod:`repro.backends.guards` — :class:`RetryPolicy` (bounded backoff
   with jitter) and :class:`CircuitBreaker` (per-backend load shedding),
   the recovery primitives both serving layers compose.
@@ -70,6 +75,12 @@ from repro.backends.service import (
     stats_digest,
 )
 from repro.backends.async_service import AsyncGraphitiService
+from repro.backends.sharding import (
+    AsyncShardedGraphitiService,
+    ShardPartitioner,
+    ShardedGraphitiService,
+    stable_shard_hash,
+)
 from repro.backends.guards import (
     NO_RETRY,
     CircuitBreaker,
@@ -115,6 +126,10 @@ __all__ = [
     "default_cache_dir",
     "CacheInfo",
     "AsyncGraphitiService",
+    "AsyncShardedGraphitiService",
+    "ShardPartitioner",
+    "ShardedGraphitiService",
+    "stable_shard_hash",
     "GraphitiService",
     "PreparedQuery",
     "QueryStat",

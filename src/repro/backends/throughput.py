@@ -97,6 +97,23 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
+def speedup_note(cpu_count: int | None = None) -> str:
+    """The single-CPU qualifier every concurrency bench records in its meta.
+
+    Parallel speedups (worker threads, async gather, shard scatter) need
+    hardware: on a single-CPU host the lanes time-slice one core and
+    speedups hover near 1.0, so the reports qualify their numbers with
+    this shared note instead of each bench wording its own.
+    """
+    count = available_cpus() if cpu_count is None else cpu_count
+    if count < 2:
+        return (
+            "parallel QPS speedup requires >1 CPU; on a single-CPU host "
+            "concurrent lanes time-slice one core and speedups hover near 1.0"
+        )
+    return ""
+
+
 # ---------------------------------------------------------------------------
 # correctness: concurrent results vs the reference evaluator
 # ---------------------------------------------------------------------------
@@ -669,12 +686,7 @@ def run_bench(
             "backends": list(names),
             "universe": SOCIAL.name,
             "cpu_count": available_cpus(),
-            "note": (
-                "thread-level QPS speedup requires >1 CPU; on a single-CPU "
-                "host workers time-slice one core and speedups hover near 1.0"
-                if available_cpus() < 2
-                else ""
-            ),
+            "note": speedup_note(),
             "elapsed_seconds": round(time.time() - started, 1),
         },
         "bulk_load": measure_bulk_load(),

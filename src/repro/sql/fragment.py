@@ -1,0 +1,469 @@
+"""Query fragmentation for scatter-gather execution over hash shards.
+
+The sharding coordinator (:mod:`repro.backends.sharding`) hash-partitions
+node rows by primary key and co-partitions edge rows with their ``SRC``
+endpoint, so every base-table row lives on exactly one shard.  A query is
+*fragmentable* when running it unchanged (or lightly rewritten) on each
+shard and combining the partial results reproduces the reference answer
+over the whole database.  This module is the planner seam that decides —
+statically, on the optimized algebra — which of three regimes a plan
+falls into:
+
+``shard_local``
+    The plan scans exactly one base relation and computes no aggregate:
+    every output row is derived from a single input row, and each input
+    row lives on exactly one shard, so the bag union of the per-shard
+    results *is* the global result.  A root ``DISTINCT`` or ``ORDER
+    BY``/``LIMIT`` is re-applied at the coordinator (per-shard ``ORDER BY
+    x LIMIT k`` is kept as sound top-k pruning: the global top-k is a
+    subset of the union of per-shard top-ks).
+
+``merge_aggregable``
+    A root ``GroupBy`` whose aggregates are all distributive
+    (``Count``/``Sum``/``Min``/``Max``) or algebraic (``Avg``, decomposed
+    into per-shard ``Sum`` + ``Count`` columns) over a single scanned
+    relation.  Shards compute partial aggregates per group; the
+    coordinator re-groups partials by the group-key columns and folds
+    them.  The folds reproduce the paper's aggregate quirk exactly
+    (see :mod:`repro.common.aggregates`): a partial is ``NULL`` when the
+    group's argument was ``NULL`` on every row of that shard, and the
+    merged value is ``NULL`` only when *every* shard's partial is ``NULL``
+    — including ``Count``.
+
+``non_fragmentable``
+    Everything else — joins and subqueries (row provenance spans shards
+    once more than one scan participates), recursive traversals (the
+    fixpoint needs the full edge relation, including the cross-shard
+    edge table), CTEs (a binding scanned twice is a self-join), HAVING,
+    DISTINCT aggregates, bare ``LIMIT`` without ``ORDER BY``
+    (nondeterministic), and anything whose output the classifier cannot
+    prove reconstructible.  The coordinator then routes the query,
+    unchanged, to a single unsharded fallback backend: same results,
+    with the reason recorded in the :class:`~repro.sql.planner.PlanReport`.
+
+Classification is a property of the plan alone — it does not depend on
+the shard count — so it is computed once per prepared query and cached
+alongside it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.values import NULL, Value, is_null, sort_key
+from repro.relational.instance import Table
+from repro.relational.schema import RelationalSchema
+from repro.sql import ast
+from repro.sql.analysis import iter_nodes, output_attributes
+
+SHARD_LOCAL = "shard_local"
+MERGE_AGGREGABLE = "merge_aggregable"
+NON_FRAGMENTABLE = "non_fragmentable"
+
+#: Alias prefix for the per-shard Sum/Count columns an Avg decomposes into.
+#: Double-underscore keeps them out of the way of user-visible aliases
+#: (Cypher identifiers cannot start with ``_``).
+_AVG_SUM = "__shard_avg_sum_"
+_AVG_COUNT = "__shard_avg_count_"
+
+
+@dataclass(frozen=True)
+class MergeColumn:
+    """How the coordinator reconstructs one output column from partials.
+
+    *kind* is ``"key"`` (group key: all partials in a merged group agree,
+    take any), ``"sum"`` (``Count``/``Sum``: fold partials by addition),
+    ``"min"``/``"max"``, or ``"avg"`` (divide the merged hidden ``Sum``
+    partial by the merged hidden ``Count`` partial).  *source* is the
+    column's position in the *shard* result; for ``"avg"`` the
+    decomposed pair lives at *source* (sum) and *count_source* (count).
+    """
+
+    alias: str
+    kind: str
+    source: int
+    count_source: int | None = None
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """A root ``ORDER BY``/``LIMIT`` the coordinator re-applies post-union."""
+
+    indexes: tuple[int, ...]
+    ascending: tuple[bool, ...]
+    limit: int | None
+
+    def to_dict(self) -> dict:
+        return {
+            "indexes": list(self.indexes),
+            "ascending": list(self.ascending),
+            "limit": self.limit,
+        }
+
+
+@dataclass(frozen=True)
+class FragmentPlan:
+    """The classifier's verdict plus everything the coordinator needs.
+
+    For fragmentable plans, *shard_query* is the algebra each shard
+    executes (possibly rewritten: Avg decomposed, ORDER BY stripped from
+    aggregate fragments) and *attributes* names the final merged output
+    columns.  *merge* and *key_indexes* drive the merge-aggregable fold;
+    *order* the post-union sort; *distinct* the post-union dedup.
+    """
+
+    kind: str
+    reason: str
+    shard_query: ast.Query | None = None
+    attributes: tuple[str, ...] | None = None
+    merge: tuple[MergeColumn, ...] = ()
+    key_indexes: tuple[int, ...] = ()
+    distinct: bool = False
+    order: OrderSpec | None = None
+
+    @property
+    def fragmentable(self) -> bool:
+        return self.kind != NON_FRAGMENTABLE
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary, embedded in ``PlanReport.sharding``."""
+        document: dict = {"kind": self.kind, "reason": self.reason}
+        if self.fragmentable:
+            document["distinct"] = self.distinct
+            document["merged_aggregates"] = [
+                {"alias": column.alias, "merge": column.kind}
+                for column in self.merge
+                if column.kind != "key"
+            ]
+            if self.order is not None:
+                document["order"] = self.order.to_dict()
+        return document
+
+
+def _non_fragmentable(reason: str) -> FragmentPlan:
+    return FragmentPlan(NON_FRAGMENTABLE, reason)
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+def fragment_query(query: ast.Query, schema: RelationalSchema) -> FragmentPlan:
+    """Classify *query* (an optimized plan) for scatter-gather execution."""
+    scans = 0
+    for node in iter_nodes(query):
+        if isinstance(node, ast.RecursiveQuery):
+            return _non_fragmentable(
+                "recursive traversal needs the full edge relation "
+                "(cross-shard edges break per-shard fixpoints)"
+            )
+        if isinstance(node, ast.WithQuery):
+            return _non_fragmentable(
+                "CTE binding may be scanned more than once (self-join across shards)"
+            )
+        if isinstance(node, ast.Relation):
+            scans += 1
+        if isinstance(node, ast.Aggregate) and node.distinct:
+            return _non_fragmentable(
+                "DISTINCT aggregate cannot be folded from per-shard partials"
+            )
+    if scans == 0:
+        return _non_fragmentable("plan scans no base relation")
+    if scans > 1:
+        return _non_fragmentable(
+            f"plan scans {scans} base relations; join/subquery provenance "
+            "spans shard boundaries"
+        )
+
+    body, order, order_error = _peel_root_order(query, schema)
+    if order_error is not None:
+        return _non_fragmentable(order_error)
+    for node in iter_nodes(body):
+        if isinstance(node, ast.OrderBy):
+            return _non_fragmentable(
+                "ORDER BY below the plan root cannot be re-applied after the union"
+            )
+        if isinstance(node, ast.Projection) and node.distinct and node is not body:
+            return _non_fragmentable(
+                "DISTINCT below the plan root would drop cross-shard duplicates late"
+            )
+
+    if isinstance(body, ast.GroupBy):
+        return _classify_group_by(query, body, order, schema)
+
+    for node in iter_nodes(body):
+        if isinstance(node, (ast.GroupBy, ast.Aggregate)):
+            return _non_fragmentable(
+                "aggregation below the plan root cannot be merged at the coordinator"
+            )
+
+    attributes = output_attributes(query, schema)
+    if attributes is None:
+        return _non_fragmentable("output attributes are not statically determinable")
+    # Per-shard top-k is sound pruning for a root ORDER BY + LIMIT, so the
+    # shard query keeps the whole plan (including the OrderBy node); the
+    # coordinator re-sorts the union and re-applies the limit.
+    return FragmentPlan(
+        SHARD_LOCAL,
+        "single-relation scan: per-shard results union to the global bag",
+        shard_query=query,
+        attributes=attributes,
+        distinct=isinstance(body, ast.Projection) and body.distinct,
+        order=order,
+    )
+
+
+def _peel_root_order(
+    query: ast.Query, schema: RelationalSchema
+) -> tuple[ast.Query, OrderSpec | None, str | None]:
+    """Split a root ``OrderBy`` off *query*; (body, spec, error)."""
+    if not isinstance(query, ast.OrderBy):
+        return query, None, None
+    if not query.keys:
+        if query.limit is not None:
+            return query, None, (
+                "LIMIT without ORDER BY keys selects nondeterministic rows "
+                "across shards"
+            )
+        return query.query, None, None
+    inner_attributes = output_attributes(query.query, schema)
+    if inner_attributes is None:
+        return query, None, "ORDER BY over statically unknown output attributes"
+    indexes: list[int] = []
+    for key in query.keys:
+        if not isinstance(key, ast.AttributeRef):
+            return query, None, "ORDER BY key is not a plain column reference"
+        index = _resolve_attribute(key.name, inner_attributes)
+        if index is None:
+            return query, None, f"ORDER BY key {key.name!r} not found in output"
+        indexes.append(index)
+    spec = OrderSpec(tuple(indexes), tuple(query.ascending), query.limit)
+    return query.query, spec, None
+
+
+def _resolve_attribute(name: str, attributes: tuple[str, ...]) -> int | None:
+    """Exact match first, then unique local-name match (SQL resolution)."""
+    if name in attributes:
+        return attributes.index(name)
+    matches = [
+        index
+        for index, attribute in enumerate(attributes)
+        if attribute.rsplit(".", 1)[-1] == name
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def _classify_group_by(
+    query: ast.Query,
+    group: ast.GroupBy,
+    order: OrderSpec | None,
+    schema: RelationalSchema,
+) -> FragmentPlan:
+    if group.having != ast.TRUE:
+        return _non_fragmentable(
+            "HAVING filters on final aggregate values, unknown before the merge"
+        )
+    for node in iter_nodes(group.query):
+        if isinstance(node, (ast.GroupBy, ast.Aggregate)):
+            return _non_fragmentable(
+                "nested aggregation below the grouping cannot be merged"
+            )
+    column_expressions = {column.expression for column in group.columns}
+    for key in group.keys:
+        if key not in column_expressions:
+            return _non_fragmentable(
+                "a grouping key is not in the output; partials cannot be re-grouped"
+            )
+
+    merge: list[MergeColumn] = []
+    shard_columns: list[ast.OutputColumn] = []
+    key_indexes: list[int] = []
+    avg_serial = 0
+    for column in group.columns:
+        expression = column.expression
+        source = len(shard_columns)
+        if isinstance(expression, ast.Aggregate):
+            if expression.function in ("Count", "Sum"):
+                merge.append(MergeColumn(column.alias, "sum", source))
+                shard_columns.append(column)
+            elif expression.function in ("Min", "Max"):
+                merge.append(
+                    MergeColumn(column.alias, expression.function.lower(), source)
+                )
+                shard_columns.append(column)
+            elif expression.function == "Avg":
+                # Algebraic decomposition: shards emit the Sum and Count
+                # partials under reserved aliases; the coordinator divides.
+                assert expression.argument is not None
+                merge.append(
+                    MergeColumn(column.alias, "avg", source, count_source=source + 1)
+                )
+                shard_columns.append(
+                    ast.OutputColumn(
+                        f"{_AVG_SUM}{avg_serial}",
+                        ast.Aggregate("Sum", expression.argument),
+                    )
+                )
+                shard_columns.append(
+                    ast.OutputColumn(
+                        f"{_AVG_COUNT}{avg_serial}",
+                        ast.Aggregate("Count", expression.argument),
+                    )
+                )
+                avg_serial += 1
+            else:  # pragma: no cover - Aggregate.VALID bounds the functions
+                return _non_fragmentable(
+                    f"aggregate {expression.function} has no merge rule"
+                )
+        elif expression in group.keys:
+            key_indexes.append(source)
+            merge.append(MergeColumn(column.alias, "key", source))
+            shard_columns.append(column)
+        else:
+            return _non_fragmentable(
+                "output column mixes aggregates into a non-key expression"
+            )
+
+    shard_query: ast.Query = ast.GroupBy(
+        group.query, group.keys, tuple(shard_columns), group.having
+    )
+    # A root ORDER BY is *not* kept in the shard query: ordering (and
+    # top-k pruning) by partial aggregate values would be unsound.  The
+    # coordinator sorts the merged groups instead.
+    return FragmentPlan(
+        MERGE_AGGREGABLE,
+        "distributive aggregates over one relation: partials fold at the coordinator",
+        shard_query=shard_query,
+        attributes=tuple(column.alias for column in group.columns),
+        merge=tuple(merge),
+        key_indexes=tuple(key_indexes),
+        order=order,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Gather (the coordinator-side merge)
+# ---------------------------------------------------------------------------
+
+
+def merge_partials(plan: FragmentPlan, partials: list[Table]) -> Table:
+    """Combine per-shard result tables into the global answer for *plan*."""
+    if not plan.fragmentable or plan.shard_query is None:
+        raise ValueError("cannot merge partials of a non-fragmentable plan")
+    assert plan.attributes is not None
+    if plan.kind == SHARD_LOCAL:
+        rows: list[tuple[Value, ...]] = []
+        for partial in partials:
+            rows.extend(partial.rows)
+        if plan.distinct:
+            rows = _dedup_rows(rows)
+    else:
+        rows = _merge_groups(plan, partials)
+    if plan.order is not None:
+        rows = _apply_order(rows, plan.order)
+    return Table(plan.attributes, rows, ordered=plan.order is not None)
+
+
+def _merge_groups(plan: FragmentPlan, partials: list[Table]) -> list[tuple]:
+    """Re-group partial aggregate rows by key tuple and fold each column.
+
+    The folds skip NULL partials and yield NULL only when every partial is
+    NULL — matching :func:`repro.common.aggregates.combine`, where an
+    aggregate (Count included) over an all-NULL argument is NULL.  A group
+    a shard has no rows for simply contributes no partial, which is also
+    how the reference's Cypher grouping treats empty input (no groups).
+    """
+    groups: dict[tuple, list[tuple]] = {}
+    for partial in partials:
+        for row in partial.rows:
+            key = tuple(row[index] for index in plan.key_indexes)
+            groups.setdefault(key, []).append(row)
+    merged: list[tuple] = []
+    for group_rows in groups.values():
+        out: list[Value] = []
+        for column in plan.merge:
+            partial_values = [row[column.source] for row in group_rows]
+            if column.kind == "key":
+                out.append(partial_values[0])
+            elif column.kind == "avg":
+                assert column.count_source is not None
+                total = _fold_sum(partial_values)
+                count = _fold_sum([row[column.count_source] for row in group_rows])
+                if is_null(count) or is_null(total):
+                    out.append(NULL)
+                else:
+                    out.append(total / count)
+            elif column.kind == "sum":
+                out.append(_fold_sum(partial_values))
+            elif column.kind == "min":
+                out.append(_fold_extremum(partial_values, min))
+            else:
+                out.append(_fold_extremum(partial_values, max))
+        merged.append(tuple(out))
+    return merged
+
+
+def _fold_sum(values: list[Value]) -> Value:
+    present = [value for value in values if not is_null(value)]
+    if not present:
+        return NULL
+    total: Value = 0
+    for value in present:
+        total += value  # type: ignore[operator]
+    return total
+
+
+def _fold_extremum(values: list[Value], pick) -> Value:
+    present = [value for value in values if not is_null(value)]
+    return pick(present) if present else NULL
+
+
+def _dedup_rows(rows: list[tuple]) -> list[tuple]:
+    seen: set[tuple] = set()
+    out: list[tuple] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    return out
+
+
+class _Descending:
+    """Inverts comparisons so one ascending sort serves DESC keys."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+
+def _apply_order(rows: list[tuple], order: OrderSpec) -> list[tuple]:
+    """Sort (and limit) merged rows exactly like the reference ``OrderBy``."""
+
+    def decorate(row: tuple) -> tuple:
+        keys = []
+        for index, ascending in zip(order.indexes, order.ascending):
+            key = sort_key(row[index])
+            keys.append(key if ascending else _Descending(key))
+        return tuple(keys)
+
+    ordered = sorted(rows, key=decorate)
+    if order.limit is not None:
+        ordered = ordered[: order.limit]
+    return ordered
+
+
+__all__ = [
+    "FragmentPlan",
+    "MergeColumn",
+    "OrderSpec",
+    "SHARD_LOCAL",
+    "MERGE_AGGREGABLE",
+    "NON_FRAGMENTABLE",
+    "fragment_query",
+    "merge_partials",
+]

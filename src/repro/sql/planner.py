@@ -122,6 +122,12 @@ class PlanReport:
     joins: list[JoinPlan] = field(default_factory=list)
     cte_names: list[str] = field(default_factory=list)
     estimated_rows: float | None = None
+    #: Scatter-gather classification, filled in by the sharding coordinator
+    #: (:mod:`repro.sql.fragment`): kind (shard_local / merge_aggregable /
+    #: non_fragmentable), the reason, and the merge rules — so ``repro
+    #: explain`` shows the scatter plan.  ``None`` until a sharded service
+    #: prepares the query.
+    sharding: dict | None = None
 
     @property
     def traversal_choice(self) -> str | None:
@@ -139,6 +145,7 @@ class PlanReport:
             "cte_names": list(self.cte_names),
             "estimated_rows": self.estimated_rows,
             "traversal_choice": self.traversal_choice,
+            "sharding": self.sharding,
         }
 
 

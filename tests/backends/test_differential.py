@@ -30,7 +30,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.backends import GraphitiService, available_backends
+from repro.backends import (
+    GraphitiService,
+    ShardedGraphitiService,
+    available_backends,
+)
 from repro.backends.comparison import DEFAULT_SCHEMA, DEFAULT_WORKLOAD
 from repro.backends.throughput import WORKLOAD as SOCIAL_WORKLOAD
 from repro.benchmarks.universes import COMPANY, SOCIAL
@@ -183,3 +187,75 @@ class TestDifferentialHarness:
         """The parametrization tracks the registry — a newly registered,
         importable engine is automatically subject to the harness."""
         assert set(available_backends()) >= {"sqlite-memory", "sqlite-file"}
+
+
+#: Shard counts for the scatter-gather lane: 2 exercises the binary
+#: boundary cases, 3 an uneven partition.
+SHARD_COUNTS = (2, 3)
+
+
+@pytest.fixture(scope="module")
+def sharded_differential_services():
+    """One sharded coordinator per (universe, shard count), module-shared.
+
+    The same corpus runs through :class:`ShardedGraphitiService`: single-
+    relation queries scatter across the shards and merge at the
+    coordinator, joins and variable-length traversals take the transparent
+    unsharded fallback — so this lane differentially validates *both* the
+    merge rules and the fallback routing against the reference evaluator,
+    over data whose edges genuinely cross shard boundaries (the traversal
+    corpus's FOLLOWS graph is partitioned with a populated cross-shard
+    edge ledger).
+    """
+    services: dict[tuple[str, int], ShardedGraphitiService] = {}
+
+    def service_for(universe: str, num_shards: int) -> ShardedGraphitiService:
+        key = (universe, num_shards)
+        service = services.get(key)
+        if service is None:
+            schema, _ = CORPUS[universe]
+            service = ShardedGraphitiService(schema, num_shards=num_shards)
+            service.load_mock(ROWS_PER_TABLE, seed=SEEDS.get(universe, DEFAULT_SEED))
+            services[key] = service
+        return service
+
+    yield service_for
+    for service in services.values():
+        service.close()
+
+
+class TestShardedDifferentialHarness:
+    @pytest.mark.parametrize("backend_name", available_backends())
+    @pytest.mark.parametrize("opt_level", sorted(OPT_LEVELS))
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize(("universe", "label"), CASES)
+    def test_sharded_matches_reference(
+        self,
+        universe,
+        label,
+        num_shards,
+        opt_level,
+        backend_name,
+        sharded_differential_services,
+    ):
+        _, workload = CORPUS[universe]
+        cypher = workload[label]
+        service = sharded_differential_services(universe, num_shards)
+        expected = service.reference(cypher)
+        actual = service.run(cypher, backend=backend_name, opt_level=opt_level)
+        assert tables_equivalent(expected, actual), (
+            f"{backend_name} (opt {opt_level}, {num_shards} shards) diverges "
+            f"from the reference evaluator on {cypher!r}"
+            f"\nreference:\n{expected}\nsharded:\n{actual}"
+        )
+
+    def test_traversal_corpus_has_cross_shard_edges(
+        self, sharded_differential_services
+    ):
+        """Guard the lane itself: the traversal universe's partition must
+        place FOLLOWS edges across shard boundaries, otherwise the lane
+        would never exercise the cross-shard path."""
+        for num_shards in SHARD_COUNTS:
+            service = sharded_differential_services("traversal", num_shards)
+            report = service.partition_report()
+            assert sum(report["cross_shard_edges"].values()) > 0
