@@ -68,6 +68,7 @@ from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
 from repro.backends.cache import PersistentQueryCache, default_cache_dir
 from repro.backends.service import (
     CacheInfo,
+    ExecutionFeedback,
     GraphitiService,
     PreparedQuery,
     QueryStat,
@@ -131,6 +132,7 @@ __all__ = [
     "ShardedGraphitiService",
     "stable_shard_hash",
     "GraphitiService",
+    "ExecutionFeedback",
     "PreparedQuery",
     "QueryStat",
     "schema_fingerprint",

@@ -1,0 +1,332 @@
+"""Adaptive-execution benchmark: feedback-triggered re-planning on skew.
+
+The scenario the estimator cannot win statically: the service plans with
+statistics the data has outgrown (small uniform numbers), while the live
+``FOLLOWS`` graph is hub-skewed — a dense core of high-fan-out hubs that
+blows up the unrolled join chains' intermediates while the traversal's
+*output* (distinct endpoint pairs) stays small.  The stale stats pick the
+unrolled plan; even freshly collected stats keep picking it, because mean
+NDVs cannot see the hot hubs.  Only the estimate-vs-actual feedback loop
+(:meth:`~repro.backends.service.GraphitiService.observe_execution`)
+escapes: divergence → stats refresh (epoch 1) → still diverging with an
+unchanged digest → traversal forced recursive (epoch 2) → converged on
+the incremental-frontier plan.
+
+Lanes:
+
+* **static** — feedback disabled, stale stats: the mis-chosen unrolled
+  plan forever (the pre-PR serving stack).
+* **adaptive** — feedback on: the same start, then the re-plan sequence
+  above; per-execution latencies show the convergence step.
+* **overhead** — a well-estimated uniform workload served with feedback
+  on vs off (equal-sample interleaved rounds): the observation path must
+  stay inside the established <5% guard-budget lane.
+
+Every executed result — every lane, every epoch — is bag-equivalence
+checked against the reference evaluator's table (computed once; the
+pure-Python evaluator nested-loops joins, so it is the scale limiter).
+
+``benchmarks/bench_adaptive.py`` is the CLI entry point; the tracked
+baseline is ``BENCH_adaptive.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.backends.service import GraphitiService
+from repro.backends.throughput import build_batch
+from repro.benchmarks.universes import SOCIAL
+from repro.core.sdt import infer_sdt
+from repro.relational.instance import Database, tables_equivalent
+from repro.sql.stats import collect_stats
+
+#: The mis-estimated workload: a bounded traversal whose unrolled chains
+#: explode on the hub core while the distinct-pair output stays small.
+ADAPTIVE_QUERY = "MATCH (a:USER)-[:FOLLOWS*1..3]->(b:USER) RETURN a.uid, b.uid"
+
+#: The serving stack's established overhead budget (guards, tracing, and
+#: now feedback observation all answer to the same lane).
+FEEDBACK_BUDGET_PCT = 5.0
+
+
+def build_skewed_database(
+    users: int, hubs: int, hub_edges: int, posts: int = 10
+) -> Database:
+    """A hub-skewed social instance: *hubs* users own all ``FOLLOWS``
+    fan-out (a dense hub→hub core plus one spoke per remaining user), so
+    per-hop fan-out is ``hub_edges/hubs`` while the *mean* fan-out the NDV
+    statistics see is only ``edges/users``."""
+    sdt = infer_sdt(SOCIAL.graph_schema)
+    database = Database(sdt.schema)
+    user_table = sdt.table_for("USER")
+    post_table = sdt.table_for("POST")
+    follows = sdt.table_for("FOLLOWS")
+    wrote = sdt.table_for("WROTE")
+    likes = sdt.table_for("LIKES")
+    for uid in range(1, users + 1):
+        database.insert(user_table, [uid, f"user{uid}", 20 + uid % 50])
+    for pid in range(1, posts + 1):
+        database.insert(post_table, [pid, f"post{pid}", pid % 7])
+    fid = 0
+    for index in range(hub_edges):
+        fid += 1
+        source = (index % hubs) + 1
+        target = ((index * 7 + index // hubs) % hubs) + 1
+        database.insert(follows, [fid, source, target])
+    for uid in range(hubs + 1, users + 1):
+        fid += 1
+        database.insert(follows, [fid, uid, (uid % hubs) + 1])
+    for pid in range(1, posts + 1):
+        database.insert(wrote, [pid, (pid % users) + 1, pid])
+        database.insert(likes, [pid, (pid * 3 % users) + 1, pid])
+    return database
+
+
+def _lane_executions(
+    service: GraphitiService,
+    expected,
+    executions: int,
+    backend: str,
+) -> list[dict]:
+    """Serve :data:`ADAPTIVE_QUERY` *executions* times, recording latency,
+    plan choice, feedback epoch, and the bag-equivalence verdict."""
+    steps = []
+    for _ in range(executions):
+        start = time.perf_counter()
+        result, prepared = service.serve(ADAPTIVE_QUERY, backend=backend)
+        elapsed = time.perf_counter() - start
+        plan = prepared.plan
+        steps.append(
+            {
+                "ms": round(elapsed * 1000.0, 3),
+                "rows": len(result.rows),
+                "choice": plan.traversal_choice if plan is not None else None,
+                "estimated_rows": (
+                    round(plan.estimated_rows, 1)
+                    if plan is not None and plan.estimated_rows is not None
+                    else None
+                ),
+                "epoch": prepared.feedback_epoch,
+                "valid": tables_equivalent(expected, result),
+            }
+        )
+    return steps
+
+
+def measure_feedback_overhead(
+    rows_per_table: int = 400,
+    batch_size: int = 30,
+    repeats: int = 12,
+    backend: str = "sqlite-memory",
+    seed: int = 42,
+) -> dict:
+    """Feedback-on vs feedback-off serving QPS on a *well-estimated*
+    workload (fresh uniform stats, so no re-plan ever triggers — the lane
+    prices the always-on observation path: per-execution bookkeeping and
+    the q-error histogram).
+
+    Equal-sample interleaved rounds, as in
+    :func:`repro.backends.throughput.measure_guard_overhead`; the spread
+    between the off-lane's two half-samples bounds host noise.
+    """
+    batch = build_batch(batch_size)
+    results: dict[str, list[float]] = {"on": [], "off": []}
+    with GraphitiService(SOCIAL.graph_schema) as on_service, GraphitiService(
+        SOCIAL.graph_schema, feedback_ratio=None
+    ) as off_service:
+        for service in (on_service, off_service):
+            service.load_mock(rows_per_table, seed=seed)
+            service.warm_pool(backend, 1)
+            service.run_many(batch, workers=1, backend=backend)  # warm caches
+
+        def timed(service: GraphitiService) -> float:
+            start = time.perf_counter()
+            service.run_many(batch, workers=1, backend=backend)
+            return time.perf_counter() - start
+
+        for round_index in range(repeats):
+            if round_index % 2 == 0:
+                results["off"].append(timed(off_service))
+                results["on"].append(timed(on_service))
+            else:
+                results["on"].append(timed(on_service))
+                results["off"].append(timed(off_service))
+        replans = on_service.feedback_state(batch[0])
+    off_first = len(batch) / min(results["off"][0::2])
+    off_second = len(batch) / min(results["off"][1::2])
+    baseline = len(batch) / min(results["off"])
+    with_feedback = len(batch) / min(results["on"])
+    spread = (
+        abs(off_first - off_second) / max(off_first, off_second) * 100.0
+        if off_first and off_second
+        else 0.0
+    )
+    overhead = (
+        (baseline - with_feedback) / baseline * 100.0 if baseline else 0.0
+    )
+    return {
+        "backend": backend,
+        "rows_per_table": rows_per_table,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "feedback_off_qps_first": round(off_first, 1),
+        "feedback_off_qps_second": round(off_second, 1),
+        "feedback_off_spread_pct": round(spread, 2),
+        "feedback_on_qps": round(with_feedback, 1),
+        "feedback_overhead_pct": round(overhead, 2),
+        "budget_pct": FEEDBACK_BUDGET_PCT,
+        "within_budget": overhead <= FEEDBACK_BUDGET_PCT,
+        # A well-estimated workload must never re-plan.
+        "spurious_replans": replans is not None,
+    }
+
+
+def run_bench(
+    users: int = 100,
+    hubs: int = 12,
+    hub_edges: int = 480,
+    stale_rows: int = 60,
+    executions: int = 12,
+    backend: str = "sqlite-memory",
+    overhead_rows: int = 400,
+    overhead_batch: int = 30,
+    overhead_repeats: int = 12,
+    out_path: Path | str | None = None,
+    seed: int = 42,
+) -> dict:
+    """The full adaptive-execution benchmark (see the module docstring)."""
+    started = time.perf_counter()
+    sdt = infer_sdt(SOCIAL.graph_schema)
+    from repro.execution.datagen import MockDataGenerator
+
+    small = MockDataGenerator(
+        SOCIAL.graph_schema, sdt, seed=seed
+    ).induced_instance(stale_rows)
+    stale_stats = collect_stats(small)
+    skewed = build_skewed_database(users, hubs, hub_edges)
+
+    # Reference truth, computed once: the pure-Python evaluator is the
+    # scale limiter, every engine result below compares against this table.
+    with GraphitiService(SOCIAL.graph_schema, feedback_ratio=None) as ref_service:
+        ref_service.load_database(skewed, stats=stale_stats)
+        expected = ref_service.reference(ADAPTIVE_QUERY)
+
+    # Static lane: stale stats, feedback off — mis-planned forever.
+    with GraphitiService(SOCIAL.graph_schema, feedback_ratio=None) as static_service:
+        static_service.load_database(skewed, stats=stale_stats)
+        static_steps = _lane_executions(
+            static_service, expected, executions, backend
+        )
+
+    # Adaptive lane: same stale start, feedback on.
+    with GraphitiService(SOCIAL.graph_schema) as adaptive_service:
+        adaptive_service.load_database(skewed, stats=stale_stats)
+        adaptive_steps = _lane_executions(
+            adaptive_service, expected, executions, backend
+        )
+        feedback = adaptive_service.feedback_state(ADAPTIVE_QUERY)
+        replan_counts = (
+            adaptive_service.metrics.snapshot()
+            .get("repro_plan_replans_total", {})
+            .get("series", [])
+        )
+
+    overhead = measure_feedback_overhead(
+        rows_per_table=overhead_rows,
+        batch_size=overhead_batch,
+        repeats=overhead_repeats,
+        backend=backend,
+        seed=seed,
+    )
+
+    final_epoch = adaptive_steps[-1]["epoch"]
+    converged = [s for s in adaptive_steps if s["epoch"] == final_epoch]
+    pre_replan = [s for s in adaptive_steps if s["epoch"] == 0]
+    static_median = statistics.median(s["ms"] for s in static_steps)
+    converged_median = statistics.median(s["ms"] for s in converged)
+    pre_median = (
+        statistics.median(s["ms"] for s in pre_replan) if pre_replan else None
+    )
+    all_valid = all(
+        s["valid"] for s in static_steps + adaptive_steps
+    )
+    report = {
+        "meta": {
+            "generated_at": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "universe": SOCIAL.name,
+            "backend": backend,
+            "users": users,
+            "hubs": hubs,
+            "hub_edges": hub_edges,
+            "stale_rows": stale_rows,
+            "executions": executions,
+            "elapsed_seconds": round(time.perf_counter() - started, 1),
+        },
+        "static": {
+            "steps": static_steps,
+            "median_ms": round(static_median, 3),
+            "choice": static_steps[-1]["choice"],
+        },
+        "adaptive": {
+            "steps": adaptive_steps,
+            "pre_replan_median_ms": (
+                round(pre_median, 3) if pre_median is not None else None
+            ),
+            "converged_median_ms": round(converged_median, 3),
+            "converged_choice": converged[-1]["choice"],
+            "final_epoch": final_epoch,
+            "feedback": feedback,
+            "replan_counts": replan_counts,
+        },
+        "overhead": overhead,
+        "summary": {
+            "all_results_valid": all_valid,
+            "replans_triggered": feedback["replans"] if feedback else 0,
+            "replanned": bool(feedback and feedback["replans"]),
+            "converged_choice": converged[-1]["choice"],
+            "speedup_converged_vs_static": (
+                round(static_median / converged_median, 2)
+                if converged_median
+                else None
+            ),
+            "feedback_overhead_within_budget": overhead["within_budget"],
+        },
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_report(report: dict) -> list[str]:
+    meta = report["meta"]
+    summary = report["summary"]
+    adaptive = report["adaptive"]
+    overhead = report["overhead"]
+    lines = [
+        f"adaptive-execution bench — universe={meta['universe']} "
+        f"backend={meta['backend']} users={meta['users']} hubs={meta['hubs']} "
+        f"hub_edges={meta['hub_edges']} stale_rows={meta['stale_rows']}",
+        f"static lane (stale stats, feedback off): "
+        f"median {report['static']['median_ms']} ms, "
+        f"plan stays {report['static']['choice']}",
+        f"adaptive lane: pre-replan median "
+        f"{adaptive['pre_replan_median_ms']} ms → converged median "
+        f"{adaptive['converged_median_ms']} ms "
+        f"({adaptive['converged_choice']}, epoch {adaptive['final_epoch']}, "
+        f"{summary['replans_triggered']} re-plan(s))",
+        f"speedup converged vs static: "
+        f"{summary['speedup_converged_vs_static']}x",
+        f"feedback overhead: {overhead['feedback_overhead_pct']}% "
+        f"(budget {overhead['budget_pct']}%, "
+        f"{'within' if overhead['within_budget'] else 'OVER'})",
+        f"bag-equivalence: "
+        f"{'all results match reference' if summary['all_results_valid'] else 'FAILURES'}",
+    ]
+    return lines

@@ -467,6 +467,10 @@ class AsyncGraphitiService:
             result = await self._run_prepared(
                 pool, name, cypher_text, prepared, tracker, span
             )
+            if depth_cap is None:
+                # Same adaptive seam as the sync path: actuals accumulate
+                # on the shared cache entry, divergence re-plans it.
+                service.observe_execution(prepared, len(result.rows), name)
             return result, prepared
         except QueryBudgetExceeded as error:
             assert budget is not None and tracker is not None

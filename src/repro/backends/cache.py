@@ -35,7 +35,10 @@ from pathlib import Path
 #: Bump when the pickled payload or key layout changes incompatibly.
 #: 2: PreparedQuery grew a ``plan`` (PlanReport) field — version-1 pickles
 #: would unpickle without it and fail on attribute access.
-SCHEMA_VERSION = 2
+#: 3: PreparedQuery grew ``feedback`` (ExecutionFeedback) and
+#: ``feedback_epoch`` fields for adaptive execution — version-2 pickles
+#: lack both and would fail on attribute access.
+SCHEMA_VERSION = 3
 
 CACHE_FILE_NAME = "transpilations.sqlite"
 

@@ -36,7 +36,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -50,7 +50,11 @@ from repro.core.transpile import transpile
 from repro.cypher.parser import parse_cypher
 from repro.execution.datagen import MockDataGenerator
 from repro.graph.schema import GraphSchema
-from repro.observability.metrics import MetricsRegistry, SlowQueryLog
+from repro.observability.metrics import (
+    RATIO_BUCKETS,
+    MetricsRegistry,
+    SlowQueryLog,
+)
 from repro.observability.tracing import NOOP_TRACER
 from repro.relational.instance import Database, Table
 from repro.sql import ast as sq
@@ -100,7 +104,12 @@ def stats_digest(stats: DatabaseStats | None) -> str:
     for name in sorted(stats):
         table = stats[name]
         distinct = ",".join(f"{c}={n}" for c, n in sorted(table.distinct.items()))
-        parts.append(f"{name}:{table.row_count}:{distinct}")
+        entry = f"{name}:{table.row_count}:{distinct}"
+        if getattr(table, "sampled", False):
+            # Sampled NDVs are estimates, not facts — keep their plans
+            # keyed apart from exact collections of the same data.
+            entry += f":sampled{table.sample_size}"
+        parts.append(entry)
     return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()[:16]
 
 
@@ -112,6 +121,55 @@ class CacheInfo:
     misses: int
     maxsize: int
     currsize: int
+
+
+@dataclass
+class ExecutionFeedback:
+    """Observed actual row counts for one cached plan.
+
+    Mutable on purpose: the same object lives in the LRU entry, so every
+    execution of a cache-hit plan accumulates here and a later ``repro
+    explain`` renders the true observed history, not just the original
+    estimate.  Mutations happen under the service lock.
+    """
+
+    executions: int = 0
+    total_rows: int = 0
+    last_rows: int | None = None
+
+    def observe(self, rows: int) -> None:
+        self.executions += 1
+        self.total_rows += rows
+        self.last_rows = rows
+
+    @property
+    def mean_rows(self) -> float:
+        return self.total_rows / self.executions if self.executions else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "executions": self.executions,
+            "last_rows": self.last_rows,
+            "mean_rows": round(self.mean_rows, 1),
+        }
+
+
+@dataclass
+class _FeedbackDecision:
+    """Per-Cypher-text adaptive-execution state (service-internal).
+
+    ``epoch`` is a cache-key component: bumping it invalidates exactly
+    this query's entries (both tiers) without touching anything else.
+    ``force_recursive``/``row_scale`` are the corrections applied when the
+    stats digest did not change; ``last`` summarises the most recent
+    re-plan for ``repro explain``.
+    """
+
+    epoch: int = 0
+    replans: int = 0
+    force_recursive: bool = False
+    row_scale: float = 1.0
+    last: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -136,6 +194,14 @@ class PreparedQuery:
     #: travels with the prepared query — through both cache tiers — so plan
     #: introspection works even when a trace shows only a cache hit.
     plan: PlanReport | None = None
+    #: Observed actual rows, accumulated per execution (mutable — see
+    #: :class:`ExecutionFeedback`).  The adaptive layer compares its running
+    #: mean against ``plan.estimated_rows`` to decide re-planning.
+    feedback: ExecutionFeedback = field(default_factory=ExecutionFeedback)
+    #: The feedback epoch this entry was planned under.  Only an entry from
+    #: the *current* epoch may trigger a re-plan — a stale entry observed
+    #: after the plan already changed must not bump the epoch again.
+    feedback_epoch: int = 0
 
 
 @dataclass(frozen=True)
@@ -258,6 +324,11 @@ class GraphitiService:
         breaker_threshold: int = 5,
         breaker_cooldown_seconds: float = 5.0,
         validate_on_checkout: bool = True,
+        feedback_ratio: float | None = 8.0,
+        feedback_min_observations: int = 2,
+        max_replans: int = 4,
+        stats_sample_threshold: int | None = None,
+        stats_sample_size: int | None = None,
     ) -> None:
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
@@ -332,6 +403,34 @@ class GraphitiService:
             "repro_breaker_rejections_total",
             "Calls shed instantly because a backend's circuit was open.",
         )
+        # Adaptive execution: estimate-vs-actual feedback.  A level-2 plan
+        # whose running observed rows diverge from ``estimated_rows`` by at
+        # least ``feedback_ratio`` (q-error, so symmetric) after
+        # ``feedback_min_observations`` executions is re-planned: stats are
+        # re-collected from the live data, and when that alone cannot
+        # explain the miss, corrections (forced recursive traversal, a
+        # base-row scale) apply under a bumped feedback epoch that
+        # invalidates exactly that query's cache entries.
+        if feedback_ratio is not None and feedback_ratio <= 1.0:
+            raise ValueError(
+                f"feedback_ratio must be > 1 (or None to disable), "
+                f"got {feedback_ratio}"
+            )
+        self.feedback_ratio = feedback_ratio
+        self.feedback_min_observations = max(feedback_min_observations, 1)
+        self.max_replans = max_replans
+        self.stats_sample_threshold = stats_sample_threshold
+        self.stats_sample_size = stats_sample_size
+        self._feedback: dict[str, _FeedbackDecision] = {}
+        self._replans_total = self._registry.counter(
+            "repro_plan_replans_total",
+            "Feedback-triggered query re-plans, by backend and reason.",
+        )
+        self._estimate_error = self._registry.histogram(
+            "repro_estimate_error",
+            "Estimate-vs-actual q-error per observed execution.",
+            buckets=RATIO_BUCKETS,
+        )
 
     @staticmethod
     def _open_persistent(
@@ -352,22 +451,59 @@ class GraphitiService:
         """The currently loaded induced-schema instance."""
         return self._database
 
-    def load_database(self, database: Database) -> None:
+    def load_database(
+        self, database: Database, stats: DatabaseStats | None = None
+    ) -> None:
         """Serve queries over *database* (an induced-schema instance).
 
         Statistics are collected here, once, and handed down to every pool
-        member — backends never re-scan the same data.
+        member — backends never re-scan the same data.  Large tables are
+        reservoir sampled (see :func:`repro.sql.stats.collect_stats`; tune
+        with ``stats_sample_threshold``/``stats_sample_size``).  Pass
+        *stats* to supply precomputed (possibly stale) statistics instead —
+        the adaptive-execution benchmark uses this to plan against numbers
+        the data has outgrown and watch feedback correct them.
         """
         if database.schema.relations != self.sdt.schema.relations:
             raise ValueError(
                 "database schema does not match the induced schema of this service"
             )
-        stats = collect_stats(database)
+        if stats is None:
+            stats = self._collect_stats(database)
         with self._lock:
             self._reset_pools()
             self._database = database
             self._stats = stats
             self._stats_digest = stats_digest(stats)
+            # Fresh data: divergence verdicts reached on the old data no
+            # longer mean anything.
+            self._feedback.clear()
+
+    def _collect_stats(self, database: Database) -> DatabaseStats:
+        kwargs: dict = {}
+        if self.stats_sample_threshold is not None:
+            kwargs["sample_threshold"] = self.stats_sample_threshold
+        if self.stats_sample_size is not None:
+            kwargs["sample_size"] = self.stats_sample_size
+        return collect_stats(database, **kwargs)
+
+    def refresh_stats(self) -> bool:
+        """Re-collect statistics from the live data; ``True`` if the digest
+        changed (which invalidates exactly the level-2 cache entries).
+
+        Unlike :meth:`load_database` this does **not** reset the pools —
+        the data inside the engines is unchanged; only the planner's
+        numbers are refreshed.
+        """
+        with self._lock:
+            database = self._database
+        stats = self._collect_stats(database)
+        digest = stats_digest(stats)
+        with self._lock:
+            changed = digest != self._stats_digest
+            self._stats = stats
+            self._stats_digest = digest
+        return changed
 
     def load_graph(self, graph: object) -> None:
         """Serve queries over a property graph, via the standard transformer."""
@@ -411,11 +547,25 @@ class GraphitiService:
             raise ValueError(f"unknown optimization level {level!r}")
         with self._lock:  # a racing load_database must not tear stats/digest
             stats, digest = self._stats, self._stats_digest
+            decision = (
+                self._feedback.get(cypher_text)
+                if level >= 2 and self.feedback_ratio is not None
+                else None
+            )
         if level < 2:
             digest = ""
         variant = ""
         if force_recursive or depth_cap is not None:
             variant = f"fr{int(force_recursive)}:dc{depth_cap}"
+        # Feedback corrections ride a dedicated cache-key component: bumping
+        # the epoch re-keys exactly this query's entries in both tiers, so
+        # the superseded plan can never shadow the corrected one.
+        epoch = decision.epoch if decision is not None else 0
+        fb_force = decision.force_recursive if decision is not None else False
+        fb_scale = decision.row_scale if decision is not None else 1.0
+        replan_note = decision.last if decision is not None else None
+        if epoch:
+            variant += f":fb{epoch}.{int(fb_force)}.{fb_scale:.4g}"
         key = (self.fingerprint, cypher_text, dialect.name, level, digest, variant)
         tracer = self._tracer
         with tracer.span(
@@ -460,9 +610,12 @@ class GraphitiService:
                     schema=self.sdt.schema,
                     stats=stats,
                     report=report,
-                    force_recursive=force_recursive,
+                    force_recursive=force_recursive or fb_force,
                     depth_cap=depth_cap,
+                    row_scale=fb_scale,
                 )
+                if epoch and replan_note is not None:
+                    report.feedback = dict(replan_note)
                 if report.traversal_choice is not None:
                     span.set("traversals", report.traversal_choice)
                 span.set("joins_planned", len(report.joins))
@@ -480,6 +633,7 @@ class GraphitiService:
                 self.fingerprint,
                 level,
                 report,
+                feedback_epoch=epoch,
             )
             self._cache.put(key, prepared)
             if self._persistent is not None:
@@ -537,6 +691,20 @@ class GraphitiService:
         :class:`~repro.backends.guards.CircuitOpen` until a cooldown
         probe succeeds.
         """
+        return self.serve(cypher_text, backend, opt_level, budget)[0]
+
+    def serve(
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        opt_level: int | None = None,
+        budget: QueryBudget | None = None,
+    ) -> tuple[Table, PreparedQuery]:
+        """Like :meth:`run`, but also returns the :class:`PreparedQuery`
+        that actually served the execution — the entry whose plan and
+        observed-feedback history describe *this* result, even when the
+        adaptive layer re-planned the query right after it ran (``repro
+        explain`` relies on this to stay truthful)."""
         name = backend or self.default_backend
         with self._tracer.span("query", backend=name, cypher=cypher_text) as span:
             result, prepared = self._serve(cypher_text, name, opt_level, budget)
@@ -544,7 +712,7 @@ class GraphitiService:
             span.set("rows", len(result.rows))
             if prepared.plan is not None and prepared.plan.estimated_rows is not None:
                 span.set("estimated_rows", round(prepared.plan.estimated_rows, 1))
-        return result
+        return result, prepared
 
     def _effective_budget(self, budget: QueryBudget | None) -> QueryBudget | None:
         budget = budget if budget is not None else self.default_budget
@@ -597,10 +765,12 @@ class GraphitiService:
         )
         pool = self._pool(name)
         try:
-            return (
-                self._run_prepared(pool, name, cypher_text, prepared, tracker),
-                prepared,
-            )
+            result = self._run_prepared(pool, name, cypher_text, prepared, tracker)
+            if depth_cap is None:
+                # Depth-capped plans are budget variants — their row counts
+                # say nothing about the normal plan's estimate.
+                self.observe_execution(prepared, len(result.rows), name)
+            return result, prepared
         except QueryBudgetExceeded as error:
             assert budget is not None and tracker is not None
             downgradable = (
@@ -727,6 +897,158 @@ class GraphitiService:
                     return result
             finally:
                 breaker.release_probe(probe)
+
+    # -- adaptive execution (estimate-vs-actual feedback) -------------------
+
+    def observe_execution(
+        self,
+        prepared: PreparedQuery,
+        actual_rows: int,
+        backend: str | None = None,
+    ) -> None:
+        """Feed one execution's actual row count back to the planner.
+
+        Accumulates on the cache entry's :class:`ExecutionFeedback` (so a
+        later ``repro explain`` shows the observed history even on cache
+        hits), records the q-error, and — when the running mean diverges
+        from the plan's estimate by ``feedback_ratio`` or more after
+        ``feedback_min_observations`` executions — re-plans the query (see
+        :meth:`_replan`).  Called by the serving paths (sync and async);
+        harmless to call directly.
+        """
+        name = backend or self.default_backend
+        plan = prepared.plan
+        with self._lock:
+            prepared.feedback.observe(actual_rows)
+            executions = prepared.feedback.executions
+            mean_rows = prepared.feedback.mean_rows
+            decision = self._feedback.get(prepared.cypher_text)
+            current_epoch = decision.epoch if decision is not None else 0
+        if (
+            self.feedback_ratio is None
+            or plan is None
+            or plan.level < 2
+            or plan.estimated_rows is None
+        ):
+            return
+        estimate = max(float(plan.estimated_rows), 1.0)
+        actual = max(float(actual_rows), 1.0)
+        self._estimate_error.observe(
+            max(actual / estimate, estimate / actual), backend=name
+        )
+        if executions < self.feedback_min_observations:
+            return
+        running = max(mean_rows, 1.0)
+        divergence = max(running / estimate, estimate / running)
+        if divergence < self.feedback_ratio:
+            return
+        if prepared.feedback_epoch != current_epoch:
+            # A newer plan already exists; this entry is a superseded
+            # straggler and must not re-plan again.
+            return
+        self._replan(prepared, running, divergence, name)
+
+    def _replan(
+        self,
+        prepared: PreparedQuery,
+        observed_rows: float,
+        divergence: float,
+        backend: str,
+    ) -> None:
+        """Correct a diverged plan: refresh stats, derive corrections, bump
+        the feedback epoch, and eagerly re-prepare under the new key.
+
+        A stats refresh whose digest changes re-keys every level-2 entry
+        and usually explains the miss on its own, so corrections reset.
+        When the digest did *not* change (the skew is invisible to
+        row counts and NDVs) the estimator itself is corrected: a diverged
+        unrolled traversal is forced recursive — the budget-downgrade
+        machinery's variant, now driven by evidence instead of a blown
+        budget — and otherwise observed rows scale the estimator's base
+        cardinalities.
+        """
+        cypher_text = prepared.cypher_text
+        plan = prepared.plan
+        assert plan is not None and plan.estimated_rows is not None
+        estimate = max(float(plan.estimated_rows), 1.0)
+        reason = "underestimate" if observed_rows >= estimate else "overestimate"
+        with self._lock:
+            decision = self._feedback.setdefault(cypher_text, _FeedbackDecision())
+            if decision.epoch != prepared.feedback_epoch:
+                return  # lost the race: another thread re-planned first
+            if decision.replans >= self.max_replans:
+                return  # refusing to oscillate forever on noisy actuals
+        with self._tracer.span(
+            "optimize.feedback",
+            backend=backend,
+            reason=reason,
+            divergence=round(divergence, 1),
+        ) as span:
+            stats_changed = self.refresh_stats()
+            with self._lock:
+                if decision.epoch != prepared.feedback_epoch:
+                    return
+                decision.epoch += 1
+                decision.replans += 1
+                if stats_changed:
+                    # Fresh statistics take precedence over blind nudges.
+                    decision.force_recursive = False
+                    decision.row_scale = 1.0
+                elif any(
+                    traversal.choice == "unrolled"
+                    for traversal in plan.traversals
+                ):
+                    # The estimator is badly wrong *in either direction*
+                    # around an unrolled traversal: a skew the NDVs cannot
+                    # see (hot hubs behind an average fan-out) blows up the
+                    # chain's intermediates while the output stays small.
+                    # The unroll decision rests on those same numbers, so
+                    # take the conservative plan — the incremental frontier.
+                    # No row-scale here: a correction computed against the
+                    # unrolled plan's estimate is meaningless for the
+                    # recursive plan it is about to produce.
+                    decision.force_recursive = True
+                else:
+                    ratio = observed_rows / estimate
+                    decision.row_scale = min(
+                        max(decision.row_scale * ratio, 1.0 / 1024), 1024.0
+                    )
+                decision.last = {
+                    "epoch": decision.epoch,
+                    "reason": reason,
+                    "divergence": round(divergence, 2),
+                    "observed_rows": round(observed_rows, 1),
+                    "previous_estimate": round(estimate, 1),
+                    "stats_refreshed": stats_changed,
+                    "force_recursive": decision.force_recursive,
+                    "row_scale": round(decision.row_scale, 4),
+                }
+            self._replans_total.inc(backend=backend, reason=reason)
+            span.set("epoch", decision.epoch)
+            span.set("stats_refreshed", stats_changed)
+            # Eager re-prepare: the next execution finds the corrected plan
+            # already cached under the new epoch's key.
+            self.prepare(
+                cypher_text,
+                self.dialect_of(backend),
+                opt_level=prepared.opt_level,
+            )
+
+    def feedback_state(self, cypher_text: str) -> dict | None:
+        """The adaptive layer's decision record for *cypher_text* (or
+        ``None`` when no re-plan ever triggered) — introspection for tests,
+        benchmarks, and ``repro explain``."""
+        with self._lock:
+            decision = self._feedback.get(cypher_text)
+            if decision is None:
+                return None
+            return {
+                "epoch": decision.epoch,
+                "replans": decision.replans,
+                "force_recursive": decision.force_recursive,
+                "row_scale": decision.row_scale,
+                "last": dict(decision.last) if decision.last else None,
+            }
 
     def run_many(
         self,

@@ -427,11 +427,23 @@ class ShardedGraphitiService:
         budget: QueryBudget | None = None,
     ) -> Table:
         """Scatter-gather execution (or transparent unsharded fallback)."""
+        return self.serve(cypher_text, backend, opt_level, budget)[0]
+
+    def serve(
+        self,
+        cypher_text: str,
+        backend: str | None = None,
+        opt_level: int | None = None,
+        budget: QueryBudget | None = None,
+    ) -> tuple[Table, PreparedQuery]:
+        """Like :meth:`run`, but also returns the coordinator's
+        :class:`PreparedQuery` (``repro explain`` uses it, same contract
+        as :meth:`GraphitiService.serve`)."""
         name = backend or self.default_backend
         prepared = self.prepare(cypher_text, self.dialect_of(name), opt_level)
         plan = self._fragment_for(prepared)
         if not plan.fragmentable:
-            return self._run_fallback(cypher_text, plan, name, opt_level, budget)
+            return self._serve_fallback(cypher_text, plan, name, opt_level, budget)
         with self._tracer.span(
             "query", backend=name, cypher=cypher_text, mode="sharded"
         ) as span:
@@ -443,21 +455,21 @@ class ShardedGraphitiService:
             )
             span.set("opt_level", prepared.opt_level)
             span.set("rows", len(result.rows))
-        return result
+        return result, prepared
 
-    def _run_fallback(
+    def _serve_fallback(
         self,
         cypher_text: str,
         plan: FragmentPlan,
         name: str,
         opt_level: int | None,
         budget: QueryBudget | None,
-    ) -> Table:
+    ) -> tuple[Table, PreparedQuery]:
         self._fallbacks.inc(reason=plan.reason)
         with self._tracer.span(
             "shard.fallback", backend=name, reason=plan.reason
         ):
-            return self._fallback.run(
+            return self._fallback.serve(
                 cypher_text, backend=name, opt_level=opt_level, budget=budget
             )
 
@@ -557,9 +569,9 @@ class ShardedGraphitiService:
                     prepared = self.prepare(texts[index], dialect, opt_level)
                     plan = self._fragment_for(prepared)
                     if not plan.fragmentable:
-                        table = self._run_fallback(
+                        table = self._serve_fallback(
                             texts[index], plan, name, opt_level, budget
-                        )
+                        )[0]
                     else:
                         started = time.perf_counter()
                         partials = self._scatter(prepared, plan, name, budget, span)

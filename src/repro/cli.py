@@ -273,6 +273,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-query traversal depth budget (variable-length paths are "
         "re-planned with the cap before execution)",
     )
+    run_parser.add_argument(
+        "--feedback-ratio",
+        type=float,
+        default=None,
+        dest="feedback_ratio",
+        metavar="R",
+        help="estimate-vs-actual divergence (q-error) that triggers an "
+        "adaptive re-plan (default 8; 0 disables adaptive execution)",
+    )
 
     explain_parser = subparsers.add_parser(
         "explain",
@@ -472,6 +481,13 @@ def _command_run(arguments) -> int:
     workers = max(1, arguments.workers)
     async_workers = max(0, arguments.async_workers)
     shards = max(0, getattr(arguments, "shards", 0))
+    adaptive_kwargs = {}
+    feedback_ratio = getattr(arguments, "feedback_ratio", None)
+    if feedback_ratio is not None:
+        # 0 (or anything ≤ 1) turns adaptive re-planning off.
+        adaptive_kwargs["feedback_ratio"] = (
+            feedback_ratio if feedback_ratio > 1.0 else None
+        )
     if shards > 0:
         from repro.backends import ShardedGraphitiService
 
@@ -483,6 +499,7 @@ def _command_run(arguments) -> int:
                 opt_level=arguments.opt,
                 pool_size=max(4, workers, async_workers),
                 persistent_cache=arguments.persistent_cache or None,
+                **adaptive_kwargs,
             )
 
     else:
@@ -494,6 +511,7 @@ def _command_run(arguments) -> int:
                 opt_level=arguments.opt,
                 pool_size=max(4, workers, async_workers),
                 persistent_cache=arguments.persistent_cache or None,
+                **adaptive_kwargs,
             )
 
     with make_service() as service:

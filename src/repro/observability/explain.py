@@ -65,11 +65,15 @@ class ExplainReport:
     plan: object | None  # PlanReport (kept loose: lazily imported layer)
     rows: int
     metrics: dict
+    #: Observed actual-row history from the cache entry's
+    #: :class:`~repro.backends.service.ExecutionFeedback` — the truthful
+    #: counterpart to the plan's estimate, even on a pure cache hit.
+    observed: dict | None = None
 
     def render(self, show_sql: bool = True) -> list[str]:
         lines = [f"== trace ({self.backend}, opt level {self.opt_level}) =="]
         lines.extend(render_span_tree(self.trace))
-        plan_lines = _render_plan(self.plan)
+        plan_lines = _render_plan(self.plan, self.observed)
         if plan_lines:
             lines.append("")
             lines.append("== plan ==")
@@ -91,12 +95,15 @@ class ExplainReport:
             "rows": self.rows,
             "trace": self.trace.to_dict(),
             "plan": plan,
+            "observed": self.observed,
             "sql": self.sql_text,
             "metrics": self.metrics,
         }
 
 
-def _render_plan(plan: object | None) -> list[str]:
+def _render_plan(
+    plan: object | None, observed: dict | None = None
+) -> list[str]:
     if plan is None:
         return []
     lines: list[str] = []
@@ -129,6 +136,29 @@ def _render_plan(plan: object | None) -> list[str]:
     estimated = getattr(plan, "estimated_rows", None)
     if estimated is not None:
         lines.append(f"estimated result rows: {estimated:.0f}")
+    if observed and observed.get("executions"):
+        lines.append(
+            f"observed actual rows: last {observed['last_rows']}, "
+            f"mean {observed['mean_rows']} over "
+            f"{observed['executions']} execution(s)"
+        )
+    feedback = getattr(plan, "feedback", None)
+    if feedback:
+        corrections = []
+        if feedback.get("stats_refreshed"):
+            corrections.append("statistics refreshed")
+        if feedback.get("force_recursive"):
+            corrections.append("traversal forced recursive")
+        scale = feedback.get("row_scale")
+        if scale is not None and scale != 1.0:
+            corrections.append(f"row estimates scaled ×{scale:g}")
+        applied = f" — {', '.join(corrections)}" if corrections else ""
+        lines.append(
+            f"re-planned (epoch {feedback.get('epoch')}): "
+            f"{feedback.get('reason')} ×{feedback.get('divergence')} "
+            f"(observed {feedback.get('observed_rows')} vs estimated "
+            f"{feedback.get('previous_estimate')}){applied}"
+        )
     sharding = getattr(plan, "sharding", None)
     if sharding:
         kind = sharding.get("kind")
@@ -181,14 +211,17 @@ def explain_query(
     previous = service.tracer
     service.set_tracer(tracer)
     try:
-        result = service.run(cypher_text, backend=name, opt_level=opt_level)
+        # serve() hands back the exact cache entry that executed, so the
+        # plan and observed history below describe *this* run — even when
+        # the adaptive layer re-planned the query right afterwards.
+        result, prepared = service.serve(
+            cypher_text, backend=name, opt_level=opt_level
+        )
     finally:
         service.set_tracer(previous)
     trace = tracer.last_trace()
     assert trace is not None, "traced run produced no root span"
-    prepared = service.prepare(
-        cypher_text, service.dialect_of(name), opt_level=opt_level
-    )
+    feedback = getattr(prepared, "feedback", None)
     return ExplainReport(
         cypher_text=cypher_text,
         backend=name,
@@ -198,4 +231,5 @@ def explain_query(
         plan=prepared.plan,
         rows=len(result.rows),
         metrics=service.metrics.snapshot(),
+        observed=feedback.to_dict() if feedback is not None else None,
     )

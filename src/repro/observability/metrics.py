@@ -52,6 +52,24 @@ DEFAULT_BUCKETS = (
     10.0,
 )
 
+#: Bucket upper bounds for ratio-shaped observations (q-error of estimate
+#: vs actual rows: ``max(a/e, e/a)``, so every sample is ≥ 1).  Powers of
+#: two up to 1024× — anything past that is "the estimator was not even
+#: wrong" and lands in +Inf.
+RATIO_BUCKETS = (
+    1.0,
+    2.0,
+    4.0,
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+)
+
 _LabelKey = tuple[tuple[str, str], ...]
 
 

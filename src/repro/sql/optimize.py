@@ -74,6 +74,7 @@ def optimize(
     report: "object | None" = None,
     force_recursive: bool = False,
     depth_cap: "int | None" = None,
+    row_scale: float = 1.0,
 ) -> ast.Query:
     """Optimize *query* at *level* (see the module docstring).
 
@@ -92,6 +93,11 @@ def optimize(
     *depth_cap* bounds every fixpoint to that many hops
     (:func:`~repro.sql.planner.cap_recursions` — applied at every level,
     since it enforces a budget rather than optimising).
+
+    *row_scale* is the adaptive-execution correction: a multiplier on
+    every base-table row count, set by the serving layer when observed
+    actuals keep diverging from estimates without a stats change
+    (:attr:`~repro.sql.planner.CardinalityEstimator.row_scale`).
     """
     if level not in OPT_LEVELS:
         raise ValueError(f"unknown optimization level {level!r} (use 0, 1, or 2)")
@@ -115,7 +121,7 @@ def optimize(
         prune_columns,
     )
 
-    estimator = CardinalityEstimator(schema, stats)
+    estimator = CardinalityEstimator(schema, stats, row_scale=row_scale)
     query = expand_recursions(
         query, estimator, report=report, force_recursive=force_recursive
     )

@@ -36,6 +36,7 @@ correlated subqueries in the wrong place) leave the tree untouched.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -128,6 +129,13 @@ class PlanReport:
     #: explain`` shows the scatter plan.  ``None`` until a sharded service
     #: prepares the query.
     sharding: dict | None = None
+    #: Adaptive-execution decision that produced this plan, filled in by
+    #: the serving layer when estimate-vs-actual feedback triggered a
+    #: re-plan (:meth:`repro.backends.service.GraphitiService
+    #: .observe_execution`): epoch, reason, divergence, and the applied
+    #: corrections — so ``repro explain`` shows *why* the plan changed.
+    #: ``None`` for first-epoch plans.
+    feedback: dict | None = None
 
     @property
     def traversal_choice(self) -> str | None:
@@ -146,6 +154,7 @@ class PlanReport:
             "estimated_rows": self.estimated_rows,
             "traversal_choice": self.traversal_choice,
             "sharding": self.sharding,
+            "feedback": self.feedback,
         }
 
 
@@ -165,13 +174,19 @@ class CardinalityEstimator:
 
     schema: RelationalSchema
     stats: DatabaseStats | None = None
+    #: Multiplicative correction applied to every base-table row count —
+    #: the adaptive-execution layer sets this from observed actual rows
+    #: when the stats digest did not change but estimates keep diverging.
+    row_scale: float = 1.0
 
     # -- relation-level statistics ------------------------------------------
 
     def base_rows(self, relation: str) -> float:
         if self.stats is not None and relation in self.stats:
-            return float(max(self.stats[relation].row_count, 1))
-        return DEFAULT_ROW_COUNT
+            rows = float(max(self.stats[relation].row_count, 1))
+        else:
+            rows = DEFAULT_ROW_COUNT
+        return max(rows * self.row_scale, 1.0)
 
     def distinct_values(
         self, name: str, provenance: dict[str, tuple[str, str]]
@@ -247,6 +262,19 @@ class CardinalityEstimator:
     # -- cardinalities ------------------------------------------------------
 
     def cardinality(self, query: ast.Query) -> float:
+        """Estimated output rows of *query*, clamped to sane floors.
+
+        Degenerate inputs (empty tables, NDV-0 columns, ``LIMIT 0``) must
+        never produce 0- or NaN-shaped estimates: a zero-cost subtree makes
+        every join order containing it tie at zero and the greedy
+        reorderer's choice becomes arbitrary.
+        """
+        estimate = self._cardinality(query)
+        if math.isnan(estimate):
+            return DEFAULT_ROW_COUNT
+        return max(estimate, 1.0)
+
+    def _cardinality(self, query: ast.Query) -> float:
         if isinstance(query, ast.Relation):
             return self.base_rows(query.name)
         if isinstance(query, ast.Selection):
@@ -303,7 +331,9 @@ class CardinalityEstimator:
         if isinstance(query, ast.OrderBy):
             inner = self.cardinality(query.query)
             if query.limit is not None:
-                return min(inner, float(query.limit))
+                # LIMIT 0 still floors at one row — a zero estimate would
+                # poison every join order containing this subtree.
+                return min(inner, float(max(query.limit, 1)))
             return inner
         return DEFAULT_ROW_COUNT
 

@@ -2,61 +2,218 @@
 
 The optimizer's join planner (:mod:`repro.sql.planner`) ranks candidate
 join orders by estimated output cardinality.  The estimates come from two
-numbers per base table, collected in one pass over the data at bulk-load
-time (:meth:`repro.backends.base.DbApiBackend.bulk_load` and
+numbers per base table, collected at bulk-load time
+(:meth:`repro.backends.base.DbApiBackend.bulk_load` and
 :meth:`repro.backends.service.GraphitiService.load_database`):
 
 * the row count, and
 * the number of distinct non-null values per column (NDV).
 
-When no statistics are available the estimator falls back to the textbook
-Selinger defaults (see :class:`repro.sql.planner.CardinalityEstimator`),
-so plans are still produced — just ranked by heuristics instead of data.
+Small tables get an exact one-pass count.  Tables above
+:data:`SAMPLE_THRESHOLD` rows are *reservoir sampled* (Algorithm R) and
+their NDVs estimated with the GEE estimator (Charikar et al., PODS 2000:
+``D̂ = sqrt(n/r)·f₁ + Σ_{j≥2} f_j``), so ``load_database`` on large inputs
+stops paying a full O(rows×cols) set-building pass.  Sampled stats carry
+explicit per-column bounds — the true NDV of a column always lies in
+``[d_seen, d_seen + (n − r)]`` because every unsampled row can contribute
+at most one new value — and the estimate is clamped into that interval.
+
+Columns holding unhashable values (list/dict properties) are hashed by a
+stable canonical key; if even that fails the NDV is recorded as ``None``
+(unknown) instead of crashing, and the estimator falls back to its
+Selinger default for that column.
+
+When no statistics are available at all the estimator falls back to the
+textbook Selinger defaults (see
+:class:`repro.sql.planner.CardinalityEstimator`), so plans are still
+produced — just ranked by heuristics instead of data.
 """
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.relational.instance import Database
 
+#: Tables with at most this many rows get exact NDV counting; larger
+#: tables are reservoir sampled.  Exact counting is O(rows×cols) set
+#: building — fine for small instances, a measurable load-time tax at
+#: bench scale.
+SAMPLE_THRESHOLD = 4096
+
+#: Reservoir size used above the threshold.
+SAMPLE_SIZE = 1024
+
 
 @dataclass(frozen=True)
 class TableStats:
-    """Statistics for one base relation."""
+    """Statistics for one base relation.
+
+    ``distinct`` maps a column's local name to its NDV — exact when
+    ``sampled`` is false, a GEE estimate otherwise — or to ``None`` when
+    the column's values could not be counted (unhashable, no canonical
+    key).  ``ndv_bounds`` carries the declared ``(low, high)`` interval
+    per sampled column; empty for exact stats.
+    """
 
     row_count: int
-    distinct: Mapping[str, int] = field(default_factory=dict)
+    distinct: Mapping[str, int | None] = field(default_factory=dict)
+    sampled: bool = False
+    sample_size: int = 0
+    ndv_bounds: Mapping[str, tuple[int, int]] = field(default_factory=dict)
 
     def distinct_of(self, column: str) -> int | None:
         """NDV of *column* (local name), or ``None`` when unknown."""
         return self.distinct.get(column)
+
+    def bounds_of(self, column: str) -> tuple[int, int] | None:
+        """Declared NDV bounds for *column*; exact stats return the point
+        interval ``(ndv, ndv)``, unknown columns ``None``."""
+        if column in self.ndv_bounds:
+            return self.ndv_bounds[column]
+        count = self.distinct.get(column)
+        if count is None:
+            return None
+        return (count, count)
 
 
 #: Relation name → its statistics.
 DatabaseStats = Mapping[str, TableStats]
 
 
-def collect_stats(database: "Database") -> dict[str, TableStats]:
-    """One-pass row-count + NDV collection over every table of *database*."""
+def canonical_key(value: object) -> object:
+    """A hashable stand-in for *value*, stable across equal values.
+
+    Lists/tuples become tuples of canonical keys, dicts become sorted
+    item tuples, sets become frozensets.  Raises ``TypeError`` when no
+    stable key exists (callers record NDV ``None`` for the column).
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_key(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            sorted((str(k), canonical_key(v)) for k, v in value.items())
+        )
+    if isinstance(value, (set, frozenset)):
+        return frozenset(canonical_key(item) for item in value)
+    hash(value)  # raises TypeError for exotic unhashables
+    return value
+
+
+def _gee_estimate(freq: dict, sampled_rows: int, total_rows: int) -> int:
+    """GEE NDV estimate from a sample's value-frequency table, clamped
+    into the sound interval ``[d_seen, d_seen + (total − sampled)]``."""
+    d_seen = len(freq)
+    if d_seen == 0 or sampled_rows <= 0:
+        return 0
+    singletons = sum(1 for count in freq.values() if count == 1)
+    estimate = (
+        math.sqrt(total_rows / sampled_rows) * singletons
+        + (d_seen - singletons)
+    )
+    upper = d_seen + max(total_rows - sampled_rows, 0)
+    return max(d_seen, min(int(round(estimate)), upper))
+
+
+def _reservoir(rows: list, size: int, rng: random.Random) -> list:
+    """Algorithm R: a uniform *size*-row sample of *rows*."""
+    sample = list(rows[:size])
+    for index in range(size, len(rows)):
+        slot = rng.randint(0, index)
+        if slot < size:
+            sample[slot] = rows[index]
+    return sample
+
+
+def _exact_table_stats(table) -> TableStats:
     from repro.common.values import is_null
 
+    seen: list[set | None] = [set() for _ in table.attributes]
+    rows = 0
+    for row in table.rows:
+        rows += 1
+        for index, value in enumerate(row):
+            bucket = seen[index]
+            if bucket is None or is_null(value):
+                continue
+            try:
+                bucket.add(canonical_key(value))
+            except TypeError:
+                # Unhashable with no canonical key: NDV unknown, not a crash.
+                seen[index] = None
+    return TableStats(
+        rows,
+        {
+            attribute: (None if seen[index] is None else len(seen[index]))
+            for index, attribute in enumerate(table.attributes)
+        },
+    )
+
+
+def _sampled_table_stats(
+    table, sample_size: int, rng: random.Random
+) -> TableStats:
+    from repro.common.values import is_null
+
+    total = len(table.rows)
+    sample = _reservoir(table.rows, sample_size, rng)
+    sampled_rows = len(sample)
+    unsampled = max(total - sampled_rows, 0)
+    freqs: list[dict | None] = [{} for _ in table.attributes]
+    for row in sample:
+        for index, value in enumerate(row):
+            freq = freqs[index]
+            if freq is None or is_null(value):
+                continue
+            try:
+                key = canonical_key(value)
+            except TypeError:
+                freqs[index] = None
+                continue
+            freq[key] = freq.get(key, 0) + 1
+    distinct: dict[str, int | None] = {}
+    bounds: dict[str, tuple[int, int]] = {}
+    for index, attribute in enumerate(table.attributes):
+        freq = freqs[index]
+        if freq is None:
+            distinct[attribute] = None
+            continue
+        distinct[attribute] = _gee_estimate(freq, sampled_rows, total)
+        bounds[attribute] = (len(freq), len(freq) + unsampled)
+    return TableStats(
+        total,
+        distinct,
+        sampled=True,
+        sample_size=sampled_rows,
+        ndv_bounds=bounds,
+    )
+
+
+def collect_stats(
+    database: "Database",
+    *,
+    sample_threshold: int = SAMPLE_THRESHOLD,
+    sample_size: int = SAMPLE_SIZE,
+    seed: int = 0,
+) -> dict[str, TableStats]:
+    """Row-count + NDV collection over every table of *database*.
+
+    Tables at or under *sample_threshold* rows are counted exactly;
+    larger tables are reservoir sampled with *sample_size* rows (seeded
+    per table, so repeated collections over unchanged data produce an
+    identical — and identically digested — result).
+    """
+    if sample_size < 1:
+        raise ValueError("sample_size must be positive")
     stats: dict[str, TableStats] = {}
     for name, table in database.tables.items():
-        seen: list[set] = [set() for _ in table.attributes]
-        rows = 0
-        for row in table.rows:
-            rows += 1
-            for index, value in enumerate(row):
-                if not is_null(value):
-                    seen[index].add(value)
-        stats[name] = TableStats(
-            rows,
-            {
-                attribute: len(seen[index])
-                for index, attribute in enumerate(table.attributes)
-            },
-        )
+        if len(table.rows) <= max(sample_threshold, 0):
+            stats[name] = _exact_table_stats(table)
+        else:
+            rng = random.Random(f"{seed}:{name}")
+            stats[name] = _sampled_table_stats(table, sample_size, rng)
     return stats

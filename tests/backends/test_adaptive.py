@@ -1,0 +1,210 @@
+"""Adaptive execution: stats refresh, estimate-vs-actual feedback, re-plans.
+
+The lifecycle under test (PR 9): executions accumulate observed actual
+rows on the cache entry; when the running mean diverges from the plan's
+estimate by ``feedback_ratio`` (q-error) the service re-plans — stats are
+re-collected, and when the digest cannot explain the miss the estimator
+itself is corrected (forced recursive traversal / scaled base rows) under
+a bumped feedback epoch that re-keys exactly that query's cache entries.
+"""
+
+import pytest
+
+from repro.backends import GraphitiService
+from repro.backends.adaptive_bench import (
+    ADAPTIVE_QUERY,
+    build_skewed_database,
+)
+from repro.benchmarks.universes import SOCIAL
+from repro.core.sdt import infer_sdt
+from repro.execution.datagen import MockDataGenerator
+from repro.observability.explain import explain_query
+from repro.relational.instance import tables_equivalent
+from repro.sql.stats import collect_stats
+
+JOIN_QUERY = "MATCH (n:EMP)-[e:WORK_AT]->(m:DEPT) RETURN n.name, m.dname"
+SCAN_QUERY = "MATCH (n:EMP) RETURN n.name"
+
+
+@pytest.fixture
+def service(emp_dept_schema, emp_dept_graph):
+    with GraphitiService(emp_dept_schema) as svc:
+        svc.load_graph(emp_dept_graph)
+        yield svc
+
+
+def grow_table(service, factor=50):
+    """Mutate the live data enough to change the stats digest."""
+    table = service.database.tables["EMP"]
+    width = len(table.attributes)
+    base = len(table.rows)
+    for index in range(base * factor):
+        table.rows.append((10_000 + index,) + ("grown",) * (width - 1))
+
+
+class TestStatsRefresh:
+    def test_unchanged_data_keeps_digest(self, service):
+        assert service.refresh_stats() is False
+
+    def test_mutated_data_changes_digest(self, service):
+        grow_table(service)
+        assert service.refresh_stats() is True
+        # And the refreshed numbers reflect the live rows.
+        assert service._stats["EMP"].row_count == len(
+            service.database.tables["EMP"].rows
+        )
+
+    def test_refresh_invalidates_exactly_level_two_entries(self, service):
+        service.prepare(SCAN_QUERY, opt_level=1)
+        service.prepare(SCAN_QUERY, opt_level=2)
+        grow_table(service)
+        assert service.refresh_stats() is True
+        misses = service.cache_info().misses
+        # Level-2 keys include the digest: the old entry is unreachable.
+        service.prepare(SCAN_QUERY, opt_level=2)
+        assert service.cache_info().misses == misses + 1
+        # Level-1 keys do not: still a hit.
+        hits = service.cache_info().hits
+        service.prepare(SCAN_QUERY, opt_level=1)
+        assert service.cache_info().hits == hits + 1
+
+    def test_refresh_does_not_reset_pools(self, service):
+        before = service.run(SCAN_QUERY)
+        service.refresh_stats()
+        assert tables_equivalent(service.run(SCAN_QUERY), before)
+
+
+class TestFeedbackAccumulation:
+    def test_serve_accumulates_on_the_cache_entry(self, service):
+        _, first = service.serve(SCAN_QUERY)
+        assert first.feedback.executions == 1
+        _, second = service.serve(SCAN_QUERY)
+        assert second is first  # cache hit: the same entry keeps history
+        assert second.feedback.executions == 2
+        assert second.feedback.last_rows == len(
+            service.database.tables["EMP"].rows
+        )
+
+    def test_cache_hit_explain_reports_observed_history(self, service):
+        explain_query(service, SCAN_QUERY)
+        report = explain_query(service, SCAN_QUERY)
+        assert report.observed is not None
+        assert report.observed["executions"] >= 2
+        assert "observed actual rows" in "\n".join(report.render())
+
+    def test_feedback_ratio_must_exceed_one(self, emp_dept_schema):
+        with pytest.raises(ValueError):
+            GraphitiService(emp_dept_schema, feedback_ratio=1.0)
+
+    def test_disabled_feedback_never_replans(self, emp_dept_schema, emp_dept_graph):
+        with GraphitiService(emp_dept_schema, feedback_ratio=None) as svc:
+            svc.load_graph(emp_dept_graph)
+            prepared = svc.prepare(SCAN_QUERY)
+            for _ in range(5):
+                svc.observe_execution(prepared, 1_000_000)
+            assert svc.feedback_state(SCAN_QUERY) is None
+            # History still accumulates for explain, it just never acts.
+            assert prepared.feedback.executions == 5
+
+
+class TestReplan:
+    def trigger(self, service, query=SCAN_QUERY, rows=1_000_000, times=2):
+        prepared = service.prepare(query)
+        for _ in range(times):
+            service.observe_execution(prepared, rows)
+        return prepared
+
+    def test_divergence_bumps_epoch_and_rekeys(self, service):
+        stale = self.trigger(service)
+        assert stale.feedback_epoch == 0
+        state = service.feedback_state(SCAN_QUERY)
+        assert state is not None
+        assert state["epoch"] == 1
+        assert state["replans"] == 1
+        assert state["last"]["reason"] == "underestimate"
+        # The corrected plan lives under the new epoch's cache key; the
+        # superseded entry is unreachable but intact.
+        corrected = service.prepare(SCAN_QUERY)
+        assert corrected is not stale
+        assert corrected.feedback_epoch == 1
+        assert corrected.plan.feedback["epoch"] == 1
+
+    def test_scan_correction_scales_rows_not_traversal(self, service):
+        stale_estimate = service.prepare(SCAN_QUERY).plan.estimated_rows
+        self.trigger(service, rows=1_000_000)
+        state = service.feedback_state(SCAN_QUERY)
+        assert not state["force_recursive"]
+        assert state["row_scale"] > 1.0
+        corrected = service.prepare(SCAN_QUERY)
+        assert corrected.plan.estimated_rows > stale_estimate
+
+    def test_stale_entry_cannot_replan_again(self, service):
+        stale = self.trigger(service)
+        for _ in range(3):
+            service.observe_execution(stale, 1_000_000)
+        state = service.feedback_state(SCAN_QUERY)
+        assert state["epoch"] == 1
+        assert state["replans"] == 1
+
+    def test_max_replans_caps_oscillation(self, emp_dept_schema, emp_dept_graph):
+        with GraphitiService(emp_dept_schema, max_replans=1) as svc:
+            svc.load_graph(emp_dept_graph)
+            prepared = svc.prepare(SCAN_QUERY)
+            for _ in range(2):
+                svc.observe_execution(prepared, 1_000_000)
+            assert svc.feedback_state(SCAN_QUERY)["replans"] == 1
+            # The *current* epoch's entry diverges again — capped out.
+            corrected = svc.prepare(SCAN_QUERY)
+            for _ in range(2):
+                svc.observe_execution(corrected, 1)
+            assert svc.feedback_state(SCAN_QUERY)["replans"] == 1
+
+    def test_changed_digest_resets_corrections(self, service):
+        grow_table(service)  # live data outgrew the loaded stats
+        self.trigger(service)
+        state = service.feedback_state(SCAN_QUERY)
+        assert state["last"]["stats_refreshed"]
+        assert not state["force_recursive"]
+        assert state["row_scale"] == 1.0
+
+    def test_below_min_observations_never_replans(self, service):
+        self.trigger(service, times=1)
+        assert service.feedback_state(SCAN_QUERY) is None
+
+    def test_replans_counted_in_metrics(self, service):
+        self.trigger(service)
+        snapshot = service.metrics.snapshot()
+        series = snapshot["repro_plan_replans_total"]["series"]
+        assert any(
+            entry["labels"]["reason"] == "underestimate" and entry["value"] == 1
+            for entry in series
+        )
+        assert snapshot["repro_estimate_error"]["series"]
+
+
+class TestSkewConvergence:
+    """End-to-end on the bench's hub-skewed graph: stale uniform stats pick
+    the unrolled traversal, feedback converges on the recursive plan."""
+
+    def test_feedback_flips_unrolled_to_recursive(self):
+        sdt = infer_sdt(SOCIAL.graph_schema)
+        small = MockDataGenerator(SOCIAL.graph_schema, sdt, seed=7).induced_instance(30)
+        stale = collect_stats(small)
+        skewed = build_skewed_database(users=40, hubs=6, hub_edges=120)
+        with GraphitiService(SOCIAL.graph_schema) as svc:
+            svc.load_database(skewed, stats=stale)
+            results = []
+            epochs = []
+            for _ in range(8):
+                result, prepared = svc.serve(ADAPTIVE_QUERY)
+                results.append(result)
+                epochs.append(prepared.feedback_epoch)
+            state = svc.feedback_state(ADAPTIVE_QUERY)
+            assert state is not None and state["replans"] >= 1
+            assert prepared.plan.traversal_choice == "recursive"
+            assert state["force_recursive"]
+            # Every epoch served the same bag of rows.
+            assert all(tables_equivalent(results[0], r) for r in results[1:])
+            # Epochs only move forward.
+            assert epochs == sorted(epochs)
+            assert epochs[-1] >= 1

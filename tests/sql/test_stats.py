@@ -1,0 +1,226 @@
+"""Statistics collection: exact vs sampled paths, canonical keys, bounds.
+
+Covers the PR-9 estimator bugfixes: ``collect_stats`` must survive
+unhashable property values (regression: it used to crash building the
+per-column distinct sets), sampled statistics must honour their declared
+NDV bounds, and the estimator must clamp degenerate inputs instead of
+emitting 0/0 or zero-cost estimates.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.common.values import NULL
+from repro.relational.instance import Database
+from repro.relational.schema import Relation, RelationalSchema
+from repro.sql import ast
+from repro.sql.planner import DEFAULT_ROW_COUNT, CardinalityEstimator
+from repro.sql.stats import (
+    SAMPLE_THRESHOLD,
+    TableStats,
+    canonical_key,
+    collect_stats,
+)
+
+
+def single_table_db(rows, attributes=("a", "b")) -> Database:
+    schema = RelationalSchema.of([Relation("t", tuple(attributes))])
+    database = Database(schema)
+    for row in rows:
+        database.insert("t", row)
+    return database
+
+
+class Unkeyable:
+    """Unhashable and with no canonical key (not a list/dict/set)."""
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __eq__(self, other):  # pragma: no cover - identity is irrelevant
+        return isinstance(other, Unkeyable)
+
+
+class TestCanonicalKey:
+    def test_nested_containers_get_stable_keys(self):
+        assert canonical_key([1, [2, 3]]) == canonical_key((1, (2, 3)))
+        assert canonical_key({"b": 2, "a": 1}) == canonical_key({"a": 1, "b": 2})
+        assert canonical_key({1, 2}) == canonical_key({2, 1})
+        # Keys are hashable, so they can live in the distinct sets.
+        {canonical_key({"a": [1, {2}]})}
+
+    def test_distinguishes_different_values(self):
+        assert canonical_key({"a": 1}) != canonical_key({"a": 2})
+        assert canonical_key([1, 2]) != canonical_key([2, 1])
+
+    def test_raises_for_exotic_unhashables(self):
+        with pytest.raises(TypeError):
+            canonical_key(Unkeyable())
+        with pytest.raises(TypeError):
+            canonical_key([Unkeyable()])
+
+
+class TestCollectStatsUnhashable:
+    def test_list_and_dict_properties_do_not_crash(self):
+        # Regression: list/dict property values crashed the exact-NDV pass.
+        db = single_table_db(
+            [
+                (1, [1, 2]),
+                (2, [1, 2]),
+                (3, {"k": "v"}),
+                (4, {"k": "v"}),
+                (5, [3]),
+            ]
+        )
+        stats = collect_stats(db)
+        assert stats["t"].row_count == 5
+        assert stats["t"].distinct_of("a") == 5
+        # Canonical keys make equal containers count as one value.
+        assert stats["t"].distinct_of("b") == 3
+
+    def test_exotic_unhashable_records_unknown_ndv(self):
+        db = single_table_db([(1, Unkeyable()), (2, Unkeyable())])
+        stats = collect_stats(db)
+        assert stats["t"].row_count == 2
+        assert stats["t"].distinct_of("b") is None
+        assert stats["t"].bounds_of("b") is None
+        # The healthy column is unaffected.
+        assert stats["t"].distinct_of("a") == 2
+
+    def test_exotic_unhashable_in_sampled_path(self):
+        rows = [(i, Unkeyable()) for i in range(20)]
+        db = single_table_db(rows)
+        stats = collect_stats(db, sample_threshold=10, sample_size=8)
+        assert stats["t"].sampled
+        assert stats["t"].distinct_of("b") is None
+        assert stats["t"].distinct_of("a") is not None
+
+    def test_estimator_falls_back_to_defaults_for_unknown_ndv(self):
+        db = single_table_db([(1, Unkeyable()), (1, Unkeyable())])
+        stats = collect_stats(db)
+        estimator = CardinalityEstimator(db.schema, stats)
+        provenance = {"b": ("t", "b")}
+        assert estimator.distinct_values("b", provenance) is None
+
+
+class TestSampling:
+    def test_threshold_switches_exact_to_sampled(self):
+        at_threshold = single_table_db([(i, i % 3) for i in range(10)])
+        exact = collect_stats(at_threshold, sample_threshold=10)["t"]
+        assert not exact.sampled
+        assert exact.sample_size == 0
+        assert exact.distinct_of("a") == 10
+        assert exact.distinct_of("b") == 3
+        assert exact.bounds_of("b") == (3, 3)
+
+        above = single_table_db([(i, i % 3) for i in range(11)])
+        sampled = collect_stats(above, sample_threshold=10, sample_size=8)["t"]
+        assert sampled.sampled
+        assert sampled.sample_size == 8
+        assert sampled.row_count == 11
+
+    def test_default_threshold_keeps_small_tables_exact(self):
+        db = single_table_db([(i, 0) for i in range(50)])
+        assert not collect_stats(db)["t"].sampled
+        assert SAMPLE_THRESHOLD >= 50
+
+    def test_sampled_ndv_within_declared_bounds(self):
+        rng = random.Random(7)
+        rows = [
+            (i, rng.randrange(500), rng.randrange(5))
+            for i in range(10_000)
+        ]
+        db = single_table_db(rows, attributes=("unique", "mid", "low"))
+        table = collect_stats(db, sample_threshold=4096, sample_size=1024)["t"]
+        assert table.sampled
+        assert table.row_count == 10_000
+        for column, true_ndv in [
+            ("unique", 10_000),
+            ("mid", len({row[1] for row in rows})),
+            ("low", 5),
+        ]:
+            estimate = table.distinct_of(column)
+            low, high = table.bounds_of(column)
+            # The declared interval is sound (contains the truth) and the
+            # estimate is clamped into it.
+            assert low <= true_ndv <= high
+            assert low <= estimate <= high
+        # GEE on a heavy-singleton column scales up; on a 5-value column
+        # the sample has seen everything.
+        assert table.distinct_of("unique") > 1024
+        assert table.distinct_of("low") == 5
+
+    def test_collection_is_deterministic(self):
+        rows = [(i, i % 97) for i in range(6000)]
+        db = single_table_db(rows)
+        first = collect_stats(db)["t"]
+        second = collect_stats(db)["t"]
+        assert first == second
+        assert first.sampled
+
+    def test_nulls_are_not_counted_as_values(self):
+        db = single_table_db([(1, NULL), (2, NULL), (3, 9)])
+        assert collect_stats(db)["t"].distinct_of("b") == 1
+
+    def test_sample_size_must_be_positive(self):
+        db = single_table_db([(1, 2)])
+        with pytest.raises(ValueError):
+            collect_stats(db, sample_size=0)
+
+
+class TestDegenerateEstimates:
+    """Bugfix: empty tables / NDV-0 stats used to produce 0-cost subtrees
+    (every join order containing one tied at zero) and 0/0 selectivities."""
+
+    def schema(self) -> RelationalSchema:
+        return RelationalSchema.of([Relation("t", ("a", "b"))])
+
+    def test_empty_table_floors_at_one_row(self):
+        estimator = CardinalityEstimator(
+            self.schema(), {"t": TableStats(0, {"a": 0, "b": 0})}
+        )
+        assert estimator.cardinality(ast.Relation("t")) == 1.0
+
+    def test_zero_ndv_does_not_zero_divide(self):
+        estimator = CardinalityEstimator(
+            self.schema(), {"t": TableStats(0, {"a": 0, "b": 0})}
+        )
+        filtered = ast.Selection(
+            ast.Relation("t"),
+            ast.Comparison("=", ast.AttributeRef("a"), ast.Literal(1)),
+        )
+        estimate = estimator.cardinality(filtered)
+        assert estimate >= 1.0
+        assert math.isfinite(estimate)
+
+    def test_join_of_empty_tables_stays_positive(self):
+        schema = RelationalSchema.of(
+            [Relation("t", ("a", "b")), Relation("u", ("c", "d"))]
+        )
+        estimator = CardinalityEstimator(
+            schema,
+            {"t": TableStats(0, {"a": 0}), "u": TableStats(0, {"c": 0})},
+        )
+        cross = ast.Join(ast.JoinKind.CROSS, ast.Relation("t"), ast.Relation("u"))
+        assert estimator.cardinality(cross) >= 1.0
+
+    def test_limit_zero_floors_at_one(self):
+        estimator = CardinalityEstimator(
+            self.schema(), {"t": TableStats(100, {"a": 100})}
+        )
+        capped = ast.OrderBy(
+            ast.Relation("t"),
+            (ast.AttributeRef("a"),),
+            (True,),
+            limit=0,
+        )
+        assert estimator.cardinality(capped) == 1.0
+
+    def test_row_scale_multiplies_base_rows(self):
+        stats = {"t": TableStats(100, {"a": 100})}
+        scaled = CardinalityEstimator(self.schema(), stats, row_scale=4.0)
+        assert scaled.cardinality(ast.Relation("t")) == 400.0
+        # Scaling down never goes below the one-row floor.
+        tiny = CardinalityEstimator(self.schema(), stats, row_scale=1e-9)
+        assert tiny.cardinality(ast.Relation("t")) == 1.0
