@@ -29,6 +29,12 @@ The subsystem has four layers:
   sharding with scatter-gather execution (fragmentable plans fan out to
   per-shard services and merge at the coordinator; everything else falls
   back transparently to an unsharded backend).
+* :mod:`repro.backends.executor` — intra-query parallelism:
+  :func:`plan_parallelism` gates fragmentable scans on estimated row
+  counts, :class:`FragmentExecutor` splits the scanned relation into
+  disjoint rowid ranges and scatter-gathers them over pooled
+  connections, and :func:`run_indexed` is the shared batch fan-out loop
+  both ``run_many`` implementations use.
 * :mod:`repro.backends.guards` — :class:`RetryPolicy` (bounded backoff
   with jitter) and :class:`CircuitBreaker` (per-backend load shedding),
   the recovery primitives both serving layers compose.
@@ -76,6 +82,15 @@ from repro.backends.service import (
     stats_digest,
 )
 from repro.backends.async_service import AsyncGraphitiService
+from repro.backends.executor import (
+    PARALLEL_ROW_THRESHOLD,
+    FragmentExecutor,
+    ParallelDecision,
+    partition_bounds,
+    partition_statements,
+    plan_parallelism,
+    run_indexed,
+)
 from repro.backends.sharding import (
     AsyncShardedGraphitiService,
     ShardPartitioner,
@@ -132,6 +147,13 @@ __all__ = [
     "ShardedGraphitiService",
     "stable_shard_hash",
     "GraphitiService",
+    "PARALLEL_ROW_THRESHOLD",
+    "FragmentExecutor",
+    "ParallelDecision",
+    "partition_bounds",
+    "partition_statements",
+    "plan_parallelism",
+    "run_indexed",
     "ExecutionFeedback",
     "PreparedQuery",
     "QueryStat",

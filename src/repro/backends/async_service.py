@@ -464,9 +464,25 @@ class AsyncGraphitiService:
         )
         pool = service.pool(name)
         try:
-            result = await self._run_prepared(
-                pool, name, cypher_text, prepared, tracker, span
-            )
+            runner = service._parallel_runner(prepared)
+            if runner is not None:
+                # Partition-parallel scatter: the sync runner already fans
+                # out over its own executor and pooled connections (with
+                # the full per-partition retry/breaker discipline), so the
+                # event loop only needs one offloaded call for the whole
+                # scatter-gather.  The explicit parent= keeps the
+                # parallel.* spans under this query's span even though
+                # they open on executor threads.
+                result = await self._offload(
+                    lambda: service._run_parallel(
+                        pool, name, cypher_text, prepared, runner, tracker,
+                        parent=span,
+                    )
+                )
+            else:
+                result = await self._run_prepared(
+                    pool, name, cypher_text, prepared, tracker, span
+                )
             if depth_cap is None:
                 # Same adaptive seam as the sync path: actuals accumulate
                 # on the shared cache entry, divergence re-plans it.

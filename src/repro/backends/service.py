@@ -36,7 +36,7 @@ import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Sequence
 
@@ -59,6 +59,7 @@ from repro.observability.tracing import NOOP_TRACER
 from repro.relational.instance import Database, Table
 from repro.sql import ast as sq
 from repro.sql.dialect import SqlDialect, dialect_for
+from repro.sql.fragment import fragment_query
 from repro.sql.optimize import DEFAULT_OPT_LEVEL, OPT_LEVELS, optimize
 from repro.sql.planner import PlanReport
 from repro.sql.pretty import to_sql_text
@@ -67,6 +68,12 @@ from repro.sql.stats import DatabaseStats, collect_stats
 from repro.transformer.semantics import transform_graph
 
 from repro.backends.cache import PersistentQueryCache, cache_key
+from repro.backends.executor import (
+    FragmentExecutor,
+    ParallelDecision,
+    plan_parallelism,
+    run_indexed,
+)
 from repro.backends.guards import CircuitBreaker, CircuitOpen, RetryPolicy
 from repro.backends.pool import ConnectionPool, PoolClosed, PoolTimeout
 from repro.backends.registry import available_backends
@@ -304,6 +311,13 @@ class GraphitiService:
     :func:`repro.backends.cache.default_cache_dir`), a path, or a
     :class:`~repro.backends.cache.PersistentQueryCache` to share one store
     between services.
+    *parallelism* (degree K >= 2) enables intra-query parallelism:
+    fragmentable plans whose estimated scan clears
+    *parallel_row_threshold* (default
+    :data:`repro.backends.executor.PARALLEL_ROW_THRESHOLD`) are split
+    into K disjoint rowid range partitions, scattered over pooled
+    connections, and merged with the shard coordinator's rules — see
+    :mod:`repro.backends.executor`.
     """
 
     def __init__(
@@ -329,11 +343,15 @@ class GraphitiService:
         max_replans: int = 4,
         stats_sample_threshold: int | None = None,
         stats_sample_size: int | None = None,
+        parallelism: int = 1,
+        parallel_row_threshold: float | None = None,
     ) -> None:
         if opt_level not in OPT_LEVELS:
             raise ValueError(f"unknown optimization level {opt_level!r}")
         if pool_size < 1:
             raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
         self.graph_schema = graph_schema
         self.sdt = infer_sdt(graph_schema)
         self.fingerprint = schema_fingerprint(graph_schema)
@@ -431,6 +449,31 @@ class GraphitiService:
             "Estimate-vs-actual q-error per observed execution.",
             buckets=RATIO_BUCKETS,
         )
+        # Intra-query parallelism: fragmentable plans over large scans are
+        # split into rowid range partitions and scattered over pooled
+        # connections (see repro.backends.executor).  The gate's verdicts
+        # and rendered partition SQL are cached per prepared query; the
+        # two persistent thread pools (batch fan-out vs partition fan-out)
+        # are deliberately separate so a run_many worker mid-batch can
+        # never deadlock waiting for partition slots its siblings hold.
+        self.parallelism = parallelism
+        self.parallel_row_threshold = parallel_row_threshold
+        self._parallel_states: dict[
+            object, tuple[ParallelDecision, FragmentExecutor | None]
+        ] = {}
+        self._batch_executor: ThreadPoolExecutor | None = None
+        self._batch_workers = 0
+        self._partition_executor: ThreadPoolExecutor | None = None
+        self._partition_workers = 0
+        self._parallel_queries = self._registry.counter(
+            "repro_parallel_queries_total",
+            "Queries served by partition-parallel scatter, by backend and "
+            "fragment kind.",
+        )
+        self._parallel_partitions = self._registry.histogram(
+            "repro_parallel_partitions",
+            "Partitions per parallel query.",
+        )
 
     @staticmethod
     def _open_persistent(
@@ -476,8 +519,9 @@ class GraphitiService:
             self._stats = stats
             self._stats_digest = stats_digest(stats)
             # Fresh data: divergence verdicts reached on the old data no
-            # longer mean anything.
+            # longer mean anything, and neither do partition bounds.
             self._feedback.clear()
+            self._parallel_states.clear()
 
     def _collect_stats(self, database: Database) -> DatabaseStats:
         kwargs: dict = {}
@@ -503,6 +547,10 @@ class GraphitiService:
             changed = digest != self._stats_digest
             self._stats = stats
             self._stats_digest = digest
+            if changed:
+                # Parallel gate verdicts and partition bounds derive from
+                # row counts; re-derive them from the fresh numbers.
+                self._parallel_states.clear()
         return changed
 
     def load_graph(self, graph: object) -> None:
@@ -566,6 +614,12 @@ class GraphitiService:
         replan_note = decision.last if decision is not None else None
         if epoch:
             variant += f":fb{epoch}.{int(fb_force)}.{fb_scale:.4g}"
+        # The parallel degree is a plan-choice input like budgets and
+        # feedback: a parallel-enabled service's entries (whose PlanReport
+        # records the gate's verdict) must never shadow a serial service's
+        # in the shared persistent store, and vice versa.
+        if self.parallelism > 1:
+            variant += f":par{self.parallelism}"
         key = (self.fingerprint, cypher_text, dialect.name, level, digest, variant)
         tracer = self._tracer
         with tracer.span(
@@ -765,7 +819,7 @@ class GraphitiService:
         )
         pool = self._pool(name)
         try:
-            result = self._run_prepared(pool, name, cypher_text, prepared, tracker)
+            result = self._execute_prepared(pool, name, cypher_text, prepared, tracker)
             if depth_cap is None:
                 # Depth-capped plans are budget variants — their row counts
                 # say nothing about the normal plan's estimate.
@@ -806,7 +860,7 @@ class GraphitiService:
                     final.attempted_downgrade = True
                     raise
 
-    def _run_prepared(
+    def _execute_prepared(
         self,
         pool: ConnectionPool,
         name: str,
@@ -814,9 +868,46 @@ class GraphitiService:
         prepared: PreparedQuery,
         tracker: BudgetTracker | None,
     ) -> Table:
+        """Serial pooled execution — or the partition-parallel scatter,
+        when this service's degree and the cost gate both say yes."""
+        runner = self._parallel_runner(prepared)
+        if runner is not None:
+            return self._run_parallel(
+                pool, name, cypher_text, prepared, runner, tracker
+            )
+        return self._run_prepared(pool, name, cypher_text, prepared, tracker)
+
+    def execute_fragment(
+        self,
+        backend: str | None,
+        cypher_text: str,
+        prepared: PreparedQuery,
+        tracker: BudgetTracker | None = None,
+    ) -> Table:
+        """Execute an externally prepared plan under this service's own
+        parallel gate — the shard coordinator's seam: each shard serves
+        its fragment through here, so a shard whose local slice is still
+        large enough to clear the threshold partition-scans it."""
+        name = backend or self.default_backend
+        return self._execute_prepared(
+            self._pool(name), name, cypher_text, prepared, tracker
+        )
+
+    def _run_prepared(
+        self,
+        pool: ConnectionPool,
+        name: str,
+        cypher_text: str,
+        prepared: PreparedQuery,
+        tracker: BudgetTracker | None,
+        record: bool = True,
+    ) -> Table:
         """One plan's pooled execution: breaker gate, checkout (bounded by
         the budget's remaining time), engine guards, damage-aware checkin,
-        and bounded backoff retry when the member turns out to be dead."""
+        and bounded backoff retry when the member turns out to be dead.
+
+        *record* is off for partition executions — the parallel runner
+        accounts the query's wall clock once, not per partition."""
         breaker = self.breaker(name)
         retry = self.retry_policy
         attempt = 1
@@ -893,10 +984,140 @@ class GraphitiService:
                 else:
                     pool.checkin(member)
                     breaker.record_success()
-                    self._record(cypher_text, elapsed, backend=name)
+                    if record:
+                        self._record(cypher_text, elapsed, backend=name)
                     return result
             finally:
                 breaker.release_probe(probe)
+
+    # -- intra-query parallelism (partition-parallel scans) ------------------
+
+    def _parallel_for(
+        self, prepared: PreparedQuery
+    ) -> tuple[ParallelDecision, FragmentExecutor | None]:
+        """The partition gate's verdict (and executor, when it opened) for
+        *prepared* under this service's degree — computed once per
+        prepared query and cached; records the verdict in
+        ``PlanReport.parallelism`` so ``repro explain`` shows it."""
+        key = (
+            prepared.fingerprint,
+            prepared.cypher_text,
+            prepared.dialect,
+            prepared.opt_level,
+            self.parallelism,
+        )
+        with self._lock:
+            state = self._parallel_states.get(key)
+            stats = self._stats
+            feedback = self._feedback.get(prepared.cypher_text)
+            row_scale = feedback.row_scale if feedback is not None else 1.0
+        if state is None:
+            dialect = dialect_for(prepared.dialect)
+            fragment = fragment_query(prepared.sql_ast, self.sdt.schema)
+            decision = plan_parallelism(
+                fragment,
+                schema=self.sdt.schema,
+                stats=stats,
+                degree=self.parallelism,
+                dialect=dialect,
+                row_scale=row_scale,
+                threshold=self.parallel_row_threshold,
+            )
+            runner = None
+            if decision.parallel:
+                assert stats is not None
+                runner = FragmentExecutor.build(
+                    fragment,
+                    decision,
+                    schema=self.sdt.schema,
+                    stats=stats,
+                    dialect=dialect,
+                )
+            state = (decision, runner)
+            with self._lock:
+                self._parallel_states[key] = state
+        decision, runner = state
+        # Written once per prepared query (the plan object travels with the
+        # cache entry) — rebuilding the dict on every serve would tax the
+        # gated-serial hot path.
+        if prepared.plan is not None and prepared.plan.parallelism is None:
+            prepared.plan.parallelism = decision.to_dict()
+        return state
+
+    def _parallel_runner(
+        self, prepared: PreparedQuery
+    ) -> FragmentExecutor | None:
+        """*prepared*'s partition executor, or ``None`` to stay serial."""
+        if self.parallelism < 2:
+            return None
+        _, runner = self._parallel_for(prepared)
+        return runner
+
+    def _run_parallel(
+        self,
+        pool: ConnectionPool,
+        name: str,
+        cypher_text: str,
+        prepared: PreparedQuery,
+        runner: FragmentExecutor,
+        tracker: BudgetTracker | None,
+        parent=None,
+    ) -> Table:
+        """Scatter *prepared* over rowid partitions and gather.
+
+        Each partition runs through :meth:`_run_prepared` — the full
+        breaker/retry/eviction discipline per partition, so a member
+        dying mid-partition-scan is retried on a healthy member without
+        failing the query.  All partitions charge the one shared
+        *tracker*: the budget bounds the query, not each slice.  Wall
+        clock is recorded once, against the whole query.
+        """
+        decision = runner.decision
+        degree = decision.degree
+        self._pool(name, min_capacity=degree)
+        self._parallel_queries.inc(backend=name, kind=decision.kind or "unknown")
+        self._parallel_partitions.observe(float(degree), backend=name)
+        start = time.perf_counter()
+        attributes = dict(
+            backend=name,
+            degree=degree,
+            relation=decision.relation,
+            kind=decision.kind,
+        )
+        # parent=None would force a root span — only re-parent explicitly
+        # when the caller crossed a thread boundary (the async offload);
+        # on the sync path the span attaches to the current query span.
+        scan_context = (
+            self._tracer.span("parallel.scan", **attributes)
+            if parent is None
+            else self._tracer.span("parallel.scan", parent=parent, **attributes)
+        )
+        with scan_context as scan_span:
+
+            def run_partition(index: int) -> Table:
+                partition = replace(prepared, sql_text=runner.statements[index])
+                with self._tracer.span(
+                    "parallel.partition",
+                    parent=scan_span,
+                    backend=name,
+                    index=index,
+                ) as span:
+                    partial = self._run_prepared(
+                        pool, name, cypher_text, partition, tracker, record=False
+                    )
+                    span.set("rows", len(partial.rows))
+                    return partial
+
+            partials = runner.scatter(
+                run_partition, executor=self._partition_pool(degree)
+            )
+            with self._tracer.span(
+                "parallel.gather", parent=scan_span, backend=name, partitions=degree
+            ) as gather_span:
+                result = runner.gather(partials)
+                gather_span.set("rows", len(result.rows))
+        self._record(cypher_text, time.perf_counter() - start, backend=name)
+        return result
 
     # -- adaptive execution (estimate-vs-actual feedback) -------------------
 
@@ -1105,13 +1326,12 @@ class GraphitiService:
                     results[index] = table
                     span.set("rows", len(table.rows))
 
-            if workers == 1:
-                for index in range(len(texts)):
-                    execute_one(index)
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as executor:
-                    # list() drains the iterator so worker exceptions propagate.
-                    list(executor.map(execute_one, range(len(texts))))
+            run_indexed(
+                len(texts),
+                execute_one,
+                workers,
+                executor=None if workers == 1 else self._batch_pool(workers),
+            )
         assert all(table is not None for table in results)
         return results  # type: ignore[return-value]
 
@@ -1259,6 +1479,16 @@ class GraphitiService:
 
     def close(self) -> None:
         with self._lock:
+            batch, self._batch_executor = self._batch_executor, None
+            partition, self._partition_executor = self._partition_executor, None
+            self._batch_workers = self._partition_workers = 0
+        # Shut the persistent executors down before the pools: in-flight
+        # work still holds checked-out members.
+        if batch is not None:
+            batch.shutdown(wait=True)
+        if partition is not None:
+            partition.shutdown(wait=True)
+        with self._lock:
             self._reset_pools()
         if self._owns_persistent and self._persistent is not None:
             self._persistent.close()
@@ -1270,6 +1500,47 @@ class GraphitiService:
         self.close()
 
     # -- internals ---------------------------------------------------------
+
+    def _batch_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent ``run_many`` fan-out executor, grown on demand.
+
+        One pool for the service's lifetime (shut down in :meth:`close`)
+        instead of a throwaway per batch; when a batch asks for more
+        workers than the pool has, it is replaced by a larger one — the
+        old pool's threads drain their queue and exit on their own.
+        """
+        with self._lock:
+            if self._batch_executor is None or self._batch_workers < workers:
+                old = self._batch_executor
+                self._batch_workers = max(4, workers, self._batch_workers)
+                self._batch_executor = ThreadPoolExecutor(
+                    max_workers=self._batch_workers,
+                    thread_name_prefix="graphiti-batch",
+                )
+                if old is not None:
+                    old.shutdown(wait=False)
+            return self._batch_executor
+
+    def _partition_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent partition fan-out executor, grown on demand.
+
+        Separate from :meth:`_batch_pool` on purpose: a batch worker
+        scattering partitions must never compete with (or wait behind)
+        its own siblings for fan-out slots — shared pools deadlock when
+        every batch thread blocks on partition futures no free thread
+        can run.
+        """
+        with self._lock:
+            if self._partition_executor is None or self._partition_workers < workers:
+                old = self._partition_executor
+                self._partition_workers = max(4, workers, self._partition_workers)
+                self._partition_executor = ThreadPoolExecutor(
+                    max_workers=self._partition_workers,
+                    thread_name_prefix="graphiti-partition",
+                )
+                if old is not None:
+                    old.shutdown(wait=False)
+            return self._partition_executor
 
     def _pool(self, name: str, min_capacity: int = 1) -> ConnectionPool:
         with self._lock:

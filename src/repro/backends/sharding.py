@@ -65,6 +65,7 @@ from repro.backends.async_service import (
     DEFAULT_MAX_CONCURRENCY,
     AsyncGraphitiService,
 )
+from repro.backends.executor import run_indexed
 from repro.backends.service import DEFAULT_BACKEND, GraphitiService, PreparedQuery
 
 DEFAULT_NUM_SHARDS = 2
@@ -505,9 +506,11 @@ class ShardedGraphitiService:
                 with self._tracer.span(
                     "shard.query", parent=scatter_span, shard=index, backend=name
                 ) as shard_span:
-                    pool = shard.pool(name)
-                    table = shard._run_prepared(
-                        pool, name, prepared.cypher_text, shard_prepared, tracker
+                    # execute_fragment applies the shard's *own* parallel
+                    # gate: a shard whose local slice still clears the
+                    # row threshold partition-scans its fragment.
+                    table = shard.execute_fragment(
+                        name, prepared.cypher_text, shard_prepared, tracker
                     )
                     shard_span.set("rows", len(table.rows))
                 self._shard_queries.inc(shard=str(index))
@@ -582,14 +585,10 @@ class ShardedGraphitiService:
                     results[index] = table
                     span.set("rows", len(table.rows))
 
-            if workers == 1:
-                for index in range(len(texts)):
-                    execute_one(index)
-            else:
-                with ThreadPoolExecutor(
-                    max_workers=workers, thread_name_prefix="graphiti-shard-batch"
-                ) as executor:
-                    list(executor.map(execute_one, range(len(texts))))
+            # Batch fan-out stays off the shard executor: a batch worker
+            # blocks on shard futures, so sharing one pool could leave no
+            # thread free to run them.
+            run_indexed(len(texts), execute_one, workers)
         assert all(table is not None for table in results)
         return results  # type: ignore[return-value]
 
@@ -764,15 +763,29 @@ class AsyncShardedGraphitiService:
 
             async def run_shard(index: int) -> Table:
                 shard_async = self._shard_async[index]
+                shard = shard_async.service
                 tracker = effective.start() if effective is not None else None
                 with tracer.span(
                     "shard.query", parent=scatter_span, shard=index, backend=name
                 ) as shard_span:
-                    pool = shard_async.service.pool(name)
-                    table = await shard_async._run_prepared(
-                        pool, name, prepared.cypher_text, shard_prepared,
-                        tracker, shard_span,
-                    )
+                    pool = shard.pool(name)
+                    runner = shard._parallel_runner(shard_prepared)
+                    if runner is not None:
+                        # The shard's own parallel gate fired: one offloaded
+                        # call covers the whole partition scatter-gather
+                        # (same shape as AsyncGraphitiService._serve).
+                        table = await shard_async._offload(
+                            lambda: shard._run_parallel(
+                                pool, name, prepared.cypher_text,
+                                shard_prepared, runner, tracker,
+                                parent=shard_span,
+                            )
+                        )
+                    else:
+                        table = await shard_async._run_prepared(
+                            pool, name, prepared.cypher_text, shard_prepared,
+                            tracker, shard_span,
+                        )
                     shard_span.set("rows", len(table.rows))
                 sharded._shard_queries.inc(shard=str(index))
                 return table

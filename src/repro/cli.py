@@ -244,6 +244,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "queries fall back to one backend transparently)",
     )
     run_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="partition-parallel scan degree: split single-relation scans "
+        "into N rowid ranges and run them concurrently (1, the default, "
+        "stays serial; small or non-fragmentable plans stay serial "
+        "regardless — see 'repro explain')",
+    )
+    run_parser.add_argument(
         "--persistent-cache",
         action="store_true",
         help="use the on-disk transpilation cache (cross-process reuse)",
@@ -318,6 +328,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "section then shows the fragment classification and merge rules)",
     )
     explain_parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="request partition-parallel scans at degree N (the plan "
+        "section then shows the chosen degree, or why the query stayed "
+        "serial)",
+    )
+    explain_parser.add_argument(
         "--json",
         action="store_true",
         help="emit the machine-readable report (the trace member round-trips "
@@ -379,11 +398,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "(repeatable; writes BENCH_sharding.json unless --out is given)",
     )
     throughput_parser.add_argument(
+        "--parallel",
+        action="append",
+        type=int,
+        dest="parallel_degrees",
+        metavar="N",
+        help="measure the partition-parallel scan lane at degree N instead "
+        "(repeatable; writes BENCH_parallel.json unless --out is given)",
+    )
+    throughput_parser.add_argument(
         "--out",
         type=Path,
         default=None,
-        help="output JSON path (default ./BENCH_throughput.json, or "
-        "./BENCH_sharding.json with --shards)",
+        help="output JSON path (default ./BENCH_throughput.json, "
+        "./BENCH_sharding.json with --shards, or ./BENCH_parallel.json "
+        "with --parallel)",
     )
 
     backends_parser = subparsers.add_parser(
@@ -481,6 +510,7 @@ def _command_run(arguments) -> int:
     workers = max(1, arguments.workers)
     async_workers = max(0, arguments.async_workers)
     shards = max(0, getattr(arguments, "shards", 0))
+    parallel = max(1, getattr(arguments, "parallel", 1))
     adaptive_kwargs = {}
     feedback_ratio = getattr(arguments, "feedback_ratio", None)
     if feedback_ratio is not None:
@@ -497,8 +527,9 @@ def _command_run(arguments) -> int:
                 num_shards=shards,
                 default_backend=arguments.backend,
                 opt_level=arguments.opt,
-                pool_size=max(4, workers, async_workers),
+                pool_size=max(4, workers, async_workers, parallel),
                 persistent_cache=arguments.persistent_cache or None,
+                parallelism=parallel,
                 **adaptive_kwargs,
             )
 
@@ -509,8 +540,9 @@ def _command_run(arguments) -> int:
                 schema,
                 default_backend=arguments.backend,
                 opt_level=arguments.opt,
-                pool_size=max(4, workers, async_workers),
+                pool_size=max(4, workers, async_workers, parallel),
                 persistent_cache=arguments.persistent_cache or None,
+                parallelism=parallel,
                 **adaptive_kwargs,
             )
 
@@ -559,8 +591,9 @@ def _command_run(arguments) -> int:
         else:
             batch = f" ({len(queries)} queries, {workers} workers)"
         sharded = f", {shards} shards" if shards > 0 else ""
+        par = f", parallel {parallel}" if parallel > 1 else ""
         print(
-            f"-- {total_rows} rows on {arguments.backend}{sharded}{batch} "
+            f"-- {total_rows} rows on {arguments.backend}{sharded}{par}{batch} "
             f"({seconds * 1000:.2f} ms)"
         )
         if arguments.persistent_cache:
@@ -581,6 +614,7 @@ def _command_explain(arguments) -> int:
 
     schema = _load_graph_schema(arguments)
     shards = max(0, getattr(arguments, "shards", 0))
+    parallel = max(1, getattr(arguments, "parallel", 1))
     if shards > 0:
         from repro.backends import ShardedGraphitiService
 
@@ -589,10 +623,14 @@ def _command_explain(arguments) -> int:
             num_shards=shards,
             default_backend=arguments.backend,
             opt_level=arguments.opt,
+            parallelism=parallel,
         )
     else:
         service_context = GraphitiService(
-            schema, default_backend=arguments.backend, opt_level=arguments.opt
+            schema,
+            default_backend=arguments.backend,
+            opt_level=arguments.opt,
+            parallelism=parallel,
         )
     with service_context as service:
         service.load_mock(arguments.rows, seed=arguments.seed)
@@ -641,6 +679,8 @@ def _run_batch_async(
 def _command_bench_throughput(arguments) -> int:
     from repro.backends import BackendUnavailable
 
+    if getattr(arguments, "parallel_degrees", None):
+        return _bench_throughput_parallel(arguments)
     if arguments.shard_counts:
         return _bench_throughput_sharded(arguments)
     from repro.backends.throughput import MODES, format_report, run_bench
@@ -664,6 +704,34 @@ def _command_bench_throughput(arguments) -> int:
     ok = (
         summary["all_concurrent_results_valid"]
         and summary["all_batches_consistent_with_serial"]
+    )
+    return 0 if ok else 1
+
+
+def _bench_throughput_parallel(arguments) -> int:
+    """The ``--parallel`` lane: partition-parallel scans vs serial."""
+    from repro.backends import BackendUnavailable
+    from repro.backends.parallel_bench import format_report, run_bench
+
+    out_path = arguments.out or Path("BENCH_parallel.json")
+    backend = arguments.backends[0] if arguments.backends else "sqlite-memory"
+    try:
+        report = run_bench(
+            rows_per_table=arguments.rows,
+            repeats=arguments.repeats,
+            degrees=tuple(arguments.parallel_degrees),
+            backend=backend,
+            out_path=out_path,
+        )
+    except BackendUnavailable as error:
+        raise SystemExit(str(error))
+    print("\n".join(format_report(report)))
+    print(f"wrote {out_path}")
+    summary = report["summary"]
+    ok = (
+        summary["all_results_valid"]
+        and summary["all_parallel_consistent_with_serial"]
+        and summary["overhead_within_3x_budget"]
     )
     return 0 if ok else 1
 

@@ -28,6 +28,7 @@ the backends package.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -162,15 +163,19 @@ class QueryBudget:
 class BudgetTracker:
     """Running totals for one query's spend against a :class:`QueryBudget`.
 
-    Not thread-safe: one tracker belongs to one query execution.  The
-    charge methods raise :class:`QueryBudgetExceeded` the moment a limit
-    is crossed; callers pass ``stage`` so the error names the enforcing
-    layer.
+    One tracker belongs to one query execution, but that execution may
+    fan out: a partition-parallel scan
+    (:mod:`repro.backends.executor`) charges every partition's rows
+    against the *same* tracker from concurrent threads, so the counter
+    updates are lock-protected.  The charge methods raise
+    :class:`QueryBudgetExceeded` the moment a limit is crossed; callers
+    pass ``stage`` so the error names the enforcing layer.
     """
 
     def __init__(self, budget: QueryBudget, clock=time.monotonic) -> None:
         self.budget = budget
         self._clock = clock
+        self._lock = threading.Lock()
         self.started_at = clock()
         self.rows_produced = 0
         self.depth_reached = 0
@@ -193,22 +198,26 @@ class BudgetTracker:
 
     def charge_rows(self, count: int, stage: str = "fixpoint") -> None:
         """Record *count* more rows produced; raise if over ``max_rows``."""
-        self.rows_produced += count
+        with self._lock:
+            self.rows_produced += count
+            produced = self.rows_produced
         limit = self.budget.max_rows
-        if limit is not None and self.rows_produced > limit:
+        if limit is not None and produced > limit:
             raise self._exceeded(
                 "rows",
                 limit,
-                f"query produced {self.rows_produced} rows, over the "
+                f"query produced {produced} rows, over the "
                 f"budget of {limit}",
                 stage,
             )
 
     def charge_depth(self, depth: int, stage: str = "fixpoint") -> None:
         """Record recursion reaching *depth*; raise if over ``max_depth``."""
-        self.depth_reached = max(self.depth_reached, depth)
+        with self._lock:
+            self.depth_reached = max(self.depth_reached, depth)
+            reached = self.depth_reached
         limit = self.budget.max_depth
-        if limit is not None and self.depth_reached > limit:
+        if limit is not None and reached > limit:
             raise self._exceeded(
                 "depth",
                 limit,
@@ -237,8 +246,9 @@ class BudgetTracker:
         """Zero the row/depth counters for a fresh attempt (transparent
         retry on another member, or a plan downgrade).  The wall clock is
         deliberately *not* reset — the timeout spans all attempts."""
-        self.rows_produced = 0
-        self.depth_reached = 0
+        with self._lock:
+            self.rows_produced = 0
+            self.depth_reached = 0
 
     def _exceeded(
         self, dimension: str, limit: float | int, message: str, stage: str

@@ -159,6 +159,20 @@ def _render_plan(
             f"(observed {feedback.get('observed_rows')} vs estimated "
             f"{feedback.get('previous_estimate')}){applied}"
         )
+    parallelism = getattr(plan, "parallelism", None)
+    if parallelism:
+        if parallelism.get("parallel"):
+            lines.append(
+                f"parallelism: {parallelism.get('degree')}-way partition "
+                f"scan of {parallelism.get('relation')} "
+                f"({parallelism.get('kind')}) — {parallelism.get('reason')}"
+            )
+        else:
+            lines.append(
+                f"parallelism: serial (requested "
+                f"{parallelism.get('requested')}) — "
+                f"{parallelism.get('reason')}"
+            )
     sharding = getattr(plan, "sharding", None)
     if sharding:
         kind = sharding.get("kind")

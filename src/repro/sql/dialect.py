@@ -56,6 +56,12 @@ class SqlDialect:
     #: Whether the engine treats backslash as an escape inside string
     #: literals (MySQL's default sql_mode), requiring it to be doubled.
     escape_backslashes: bool = False
+    #: Name of the engine's implicit row-address pseudo-column (``rowid``
+    #: on SQLite and DuckDB), or ``None`` when the engine has no such
+    #: column.  Partition-parallel scans slice base tables by disjoint
+    #: ranges of this column (:mod:`repro.backends.executor`); dialects
+    #: without one refuse the parallel plan and stay serial.
+    rowid_column: str | None = None
 
     # -- identifiers -------------------------------------------------------
 
@@ -113,6 +119,7 @@ class SqlDialect:
 SQLITE = SqlDialect(
     name="sqlite",
     explain_prefix="EXPLAIN QUERY PLAN",
+    rowid_column="rowid",
 )
 
 DUCKDB = SqlDialect(
@@ -122,6 +129,7 @@ DUCKDB = SqlDialect(
     true_predicate="TRUE",
     false_predicate="FALSE",
     typed_ddl=True,
+    rowid_column="rowid",
 )
 
 ANSI = SqlDialect(

@@ -136,6 +136,13 @@ class PlanReport:
     #: corrections — so ``repro explain`` shows *why* the plan changed.
     #: ``None`` for first-epoch plans.
     feedback: dict | None = None
+    #: Intra-query parallelism decision, filled in by the serving layer's
+    #: partition gate (:mod:`repro.backends.executor`): whether the scan
+    #: was split, the chosen degree, the partitioned relation, and the
+    #: reason when it stays serial — so ``repro explain`` shows the cost
+    #: decision either way.  ``None`` until a parallel-enabled service
+    #: prepares the query.
+    parallelism: dict | None = None
 
     @property
     def traversal_choice(self) -> str | None:
@@ -155,6 +162,7 @@ class PlanReport:
             "traversal_choice": self.traversal_choice,
             "sharding": self.sharding,
             "feedback": self.feedback,
+            "parallelism": self.parallelism,
         }
 
 

@@ -536,3 +536,32 @@ class TestAsyncCancellation:
                 assert snapshot["in_use"] == 0
                 assert snapshot["waiters"] == 0
                 assert snapshot["idle"] == snapshot["size"]
+
+
+class TestMemberDiesMidPartitionScan:
+    def test_partition_retries_on_a_healthy_member(self, social_schema):
+        """A pool member dying mid-partition-scan is a *per-partition*
+        event: that partition's execution evicts the member and retries
+        on a healthy one through the same guarded pipeline every serial
+        query uses, the sibling partition is untouched, and the merged
+        result is intact — the parallel query never fails."""
+        with injected_faults(die_on_executes=(1,)) as plan:
+            with faulty_service(
+                social_schema, parallelism=2, parallel_row_threshold=0
+            ) as svc:
+                table, prepared = svc.serve(SCAN)
+                assert len(table.rows) == 20
+                assert prepared.plan.parallelism["parallel"]
+                assert prepared.plan.parallelism["degree"] == 2
+                assert plan.events == [("die", 1)]
+                metrics = svc.metrics
+                assert metrics.counter("repro_query_retries_total").value(
+                    backend="faulty"
+                ) == 1
+                assert metrics.counter("repro_pool_evictions_total").total() == 1
+                assert svc.breaker("faulty").state == CircuitBreaker.CLOSED
+                # The pool healed: gauges back at the idle baseline, and
+                # the service keeps serving parallel queries.
+                snapshot = svc.pool_snapshots()["faulty"]
+                assert snapshot["in_use"] == 0
+                assert len(svc.run(SCAN).rows) == 20
